@@ -1,0 +1,15 @@
+"""Fig. 1 — coRR: read-read coherence violations across the seven chips.
+
+Paper: observed several thousand times per 100k on Fermi/Kepler, never on
+Maxwell or AMD.
+"""
+
+from repro.data import paper
+from repro.litmus import library
+
+from _common import reproduce_figure
+
+
+def test_fig1_corr(benchmark):
+    rows = [("coRR (intra-CTA)", library.build("coRR"), paper.FIG1_CORR)]
+    reproduce_figure(benchmark, "fig01_coRR", rows, paper.FIGURE_CHIPS)

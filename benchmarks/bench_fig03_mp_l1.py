@@ -1,0 +1,20 @@
+"""Fig. 3 — mp-L1: message passing with L1-targeting loads, fence sweep.
+
+Paper: on the Tesla C2075 the weak outcome survives every fence scope —
+no fence suffices under default CUDA compilation (``.ca`` loads).
+"""
+
+from repro.data import paper
+from repro.litmus import library
+from repro.ptx.types import Scope
+
+from _common import reproduce_figure
+
+_FENCES = [("no-op", None), ("membar.cta", Scope.CTA),
+           ("membar.gl", Scope.GL), ("membar.sys", Scope.SYS)]
+
+
+def test_fig3_mp_l1(benchmark):
+    rows = [(label, library.mp_l1(fence=fence), paper.FIG3_MP_L1[label])
+            for label, fence in _FENCES]
+    reproduce_figure(benchmark, "fig03_mp_L1", rows, paper.NVIDIA_CHIPS)

@@ -1,0 +1,22 @@
+"""Fig. 4 — coRR-L2-L1: mixing cache operators within coRR, fence sweep.
+
+Paper: on the Tesla C2075 no fence guarantees that updated values are
+read reliably from the L1, even after an updated value was read from the
+L2.
+"""
+
+from repro.data import paper
+from repro.litmus import library
+from repro.ptx.types import Scope
+
+from _common import reproduce_figure
+
+_FENCES = [("no-op", None), ("membar.cta", Scope.CTA),
+           ("membar.gl", Scope.GL), ("membar.sys", Scope.SYS)]
+
+
+def test_fig4_corr_l2_l1(benchmark):
+    rows = [(label, library.corr_l2_l1(fence=fence),
+             paper.FIG4_CORR_L2_L1[label])
+            for label, fence in _FENCES]
+    reproduce_figure(benchmark, "fig04_coRR_L2_L1", rows, paper.NVIDIA_CHIPS)

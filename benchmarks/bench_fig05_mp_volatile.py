@@ -1,0 +1,13 @@
+"""Fig. 5 — mp-volatile: ``.volatile`` does not restore SC in shared
+memory on Fermi/Kepler, contrary to the PTX manual."""
+
+from repro.data import paper
+from repro.litmus import library
+
+from _common import reproduce_figure
+
+
+def test_fig5_mp_volatile(benchmark):
+    rows = [("mp-volatile (intra-CTA, shared)", library.build("mp-volatile"),
+             paper.FIG5_MP_VOLATILE)]
+    reproduce_figure(benchmark, "fig05_mp_volatile", rows, paper.NVIDIA_CHIPS)

@@ -1,0 +1,21 @@
+"""Fig. 7 — dlb-mp: the deque's message-passing bug (a stolen task is
+stale).  Adding the (+) fences forbids the behaviour on every chip."""
+
+from repro.data import paper
+from repro.litmus import library
+
+from _common import iterations, reproduce_figure
+
+#: Zeros everywhere once fenced (the paper's "(+) lines forbid this").
+_FENCED_ZEROS = {chip: 0 for chip in paper.FIGURE_CHIPS}
+
+
+def test_fig7_dlb_mp(benchmark):
+    # The bug fires at 4-65/100k on hardware: use a deeper run per cell.
+    per_cell = max(iterations(), 8000)
+    rows = [
+        ("dlb-mp", library.build("dlb-mp"), paper.FIG7_DLB_MP),
+        ("dlb-mp+membar.gls", library.dlb_mp(fences=True), _FENCED_ZEROS),
+    ]
+    reproduce_figure(benchmark, "fig07_dlb_mp", rows, paper.FIGURE_CHIPS,
+                     iterations_per_cell=per_cell)

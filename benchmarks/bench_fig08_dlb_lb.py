@@ -1,0 +1,38 @@
+"""Fig. 8 — dlb-lb: the deque's load-buffering bug (a steal reads a
+later push).  The HD 6570 column is n/a: the TeraScale 2 OpenCL compiler
+reorders the load past the CAS, invalidating the test.
+"""
+
+from repro.compiler import LOAD_CAS_REORDERED, effective_litmus
+from repro.data import paper
+from repro.litmus import library
+
+from _common import reproduce_figure
+
+_FENCED_ZEROS = {chip: 0 for chip in paper.FIGURE_CHIPS}
+#: Chips where the test is hardware-valid (AMD TeraScale 2 is excluded by
+#: the compiler bug, exactly as in the paper).
+_VALID_CHIPS = [chip for chip in paper.FIGURE_CHIPS if chip != "HD6570"]
+
+
+def test_fig8_dlb_lb(benchmark):
+    rows = [
+        ("dlb-lb", library.build("dlb-lb"),
+         {chip: value for chip, value in paper.FIG8_DLB_LB.items()
+          if value is not None}),
+        ("dlb-lb+membar.gls", library.dlb_lb(fences=True), _FENCED_ZEROS),
+    ]
+    reproduce_figure(benchmark, "fig08_dlb_lb", rows, _VALID_CHIPS)
+
+
+def test_fig8_hd6570_is_na(benchmark):
+    """The n/a cell: compiling dlb-lb for Evergreen miscompiles it."""
+    def check():
+        _, transformations, valid = effective_litmus(
+            library.build("dlb-lb"), "TeraScale 2")
+        return transformations, valid
+
+    transformations, valid = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert LOAD_CAS_REORDERED in transformations
+    assert not valid
+    assert paper.FIG8_DLB_LB["HD6570"] is None

@@ -1,0 +1,19 @@
+"""Fig. 9 — cas-sl: the CUDA-by-Example spin lock admits stale reads in
+its critical section; membar.gl fences forbid it (Nvidia's erratum)."""
+
+from repro.data import paper
+from repro.litmus import library
+
+from _common import iterations, reproduce_figure
+
+_FENCED_ZEROS = {chip: 0 for chip in paper.FIGURE_CHIPS}
+
+
+def test_fig9_cas_sl(benchmark):
+    per_cell = max(iterations(), 8000)
+    rows = [
+        ("cas-sl", library.build("cas-sl"), paper.FIG9_CAS_SL),
+        ("cas-sl+membar.gls", library.cas_sl(fences=True), _FENCED_ZEROS),
+    ]
+    reproduce_figure(benchmark, "fig09_cas_sl", rows, paper.FIGURE_CHIPS,
+                     iterations_per_cell=per_cell)

@@ -1,0 +1,28 @@
+"""Fig. 11 — sl-future: the He-Yu lock lets a critical section read a
+value written by the *next* critical section (isolation violation).
+
+AMD columns are n/a (the OpenCL compiler's automatic fence placement
+could not be avoided, Sec. 3.2).  Known calibration gap: our simulator
+over-reports this test's rate by ~5-10x relative to the paper (the same
+store-passes-load relaxation drives both dlb-lb and sl-future; hardware
+evidently races the lock handoff less often) — see EXPERIMENTS.md.
+"""
+
+from repro.data import paper
+from repro.litmus import library
+
+from _common import iterations, reproduce_figure
+
+_FENCED_ZEROS = {chip: 0 for chip in paper.NVIDIA_CHIPS}
+
+
+def test_fig11_sl_future(benchmark):
+    per_cell = max(iterations(), 8000)
+    rows = [
+        ("sl-future", library.build("sl-future"),
+         {chip: value for chip, value in paper.FIG11_SL_FUTURE.items()
+          if value is not None}),
+        ("sl-future+fixed", library.sl_future(fixed=True), _FENCED_ZEROS),
+    ]
+    reproduce_figure(benchmark, "fig11_sl_future", rows, paper.NVIDIA_CHIPS,
+                     iterations_per_cell=per_cell)

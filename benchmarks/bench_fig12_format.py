@@ -1,0 +1,26 @@
+"""Fig. 12 — the GPU litmus format: parse/print round-trip of the sb
+example and throughput of the parser over the whole library."""
+
+from repro.litmus import library, parse_litmus, write_litmus
+
+from _common import report
+
+
+def test_fig12_round_trip(benchmark):
+    def round_trip_library():
+        count = 0
+        for name in sorted(library.PAPER_TESTS):
+            test = library.build(name)
+            parsed = parse_litmus(write_litmus(test))
+            assert parsed.condition == test.condition, name
+            assert [str(i) for thread in parsed.threads for i in thread] == \
+                   [str(i) for thread in test.threads for i in thread], name
+            count += 1
+        return count
+
+    count = benchmark(round_trip_library)
+    sb = library.build("SB-fig12")
+    report("fig12_format",
+           "fig12: litmus format round-trip over %d library tests\n\n%s"
+           % (count, write_litmus(sb)))
+    assert count >= 25

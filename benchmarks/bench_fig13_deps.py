@@ -1,0 +1,40 @@
+"""Fig. 13 — manufactured dependencies under ``ptxas -O3``.
+
+The xor scheme (a) is optimised away; the and-with-high-bit scheme (b)
+survives.  Reproduced by assembling both chains and running the static
+dependency analysis on the SASS.
+"""
+
+from repro._util import format_table
+from repro.compiler import (assemble, dependent_load_pair,
+                            sass_address_dependency_intact)
+from repro.ptx.program import ThreadProgram
+
+from _common import report
+
+
+def _intact(scheme, opt_level):
+    instructions, _ = dependent_load_pair("x", "y", scheme=scheme)
+    sass = assemble(ThreadProgram(0, instructions), opt_level)
+    return sass_address_dependency_intact(sass)
+
+
+def test_fig13_dependency_schemes(benchmark):
+    def analyse():
+        return {(scheme, level): _intact(scheme, level)
+                for scheme in ("xor", "and")
+                for level in ("-O0", "-O3")}
+
+    outcome = benchmark(analyse)
+    rows = [[scheme,
+             "intact" if outcome[(scheme, "-O0")] else "removed",
+             "intact" if outcome[(scheme, "-O3")] else "removed",
+             "removed" if scheme == "xor" else "intact"]
+            for scheme in ("xor", "and")]
+    report("fig13_dependencies",
+           "fig13: manufactured address dependencies\n" +
+           format_table(["scheme", "-O0", "-O3", "paper (-O3)"], rows))
+    assert outcome[("xor", "-O3")] is False   # Fig. 13a: optimised
+    assert outcome[("and", "-O3")] is True    # Fig. 13b: survives
+    assert outcome[("xor", "-O0")] is True
+    assert outcome[("and", "-O0")] is True

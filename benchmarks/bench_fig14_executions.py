@@ -1,0 +1,39 @@
+"""Fig. 14 — candidate executions of the mp test and the rmo-cta cycle.
+
+The weak candidate of the intra-CTA mp (membar.cta between the writes,
+membar.gl between the reads) exhibits a cycle in ``rmo-cta``; the model
+forbids it by the cta-constraint (Sec. 5.3).
+"""
+
+from repro.litmus import library
+from repro.model.enumerate import enumerate_executions
+from repro.model.models import ptx_model
+
+from _common import report
+
+
+def test_fig14_execution_graph(benchmark):
+    test = library.build("mp-fig14")
+    model = ptx_model()
+
+    def enumerate_and_check():
+        executions = enumerate_executions(test)
+        weak = [e for e in executions if test.condition.holds(e.final_state)]
+        failures = model.failed_checks(weak[0])
+        return executions, weak, failures
+
+    executions, weak, failures = benchmark(enumerate_and_check)
+    lines = ["fig14: %d candidate executions of %s" % (len(executions),
+                                                       test.name),
+             "", weak[0].pretty(), ""]
+    for failure in failures:
+        lines.append("forbidden by %s; offending cycle:" % failure.name)
+        lines.extend("  %s" % event.pretty() for event in failure.cycle)
+    report("fig14_executions", "\n".join(lines))
+
+    assert len(executions) == 4
+    assert len(weak) == 1
+    assert any(f.name == "cta-constraint" for f in failures)
+    # Fig. 14's cycle spans membar.cta, rfe, membar.gl and fr: 4 events.
+    cycle = [f for f in failures if f.name == "cta-constraint"][0].cycle
+    assert len(cycle) == 4

@@ -1,0 +1,55 @@
+"""Figs. 15 & 16 — the PTX model in .cat, executed herd-style.
+
+Checks the model text compiles, reproduces the paper's allowed/forbidden
+verdicts over the library, and benchmarks herd-style checking throughput.
+"""
+
+from repro._util import format_table
+from repro.litmus import library
+from repro.model.cat import CatModel
+from repro.model.models import PTX_CAT, RMO_CORE_CAT, RMO_PER_SCOPE_CAT, ptx_model
+
+from _common import report
+
+#: The paper's verdicts (allowed weak outcome?) for the library tests.
+EXPECTED = {
+    "coRR": True, "mp": True, "mp+membar.gls": False, "mp-fig14": False,
+    "sb": True, "SB-fig12": True, "lb": True, "lb+membar.ctas": True,
+    "lb+membar.gls": False, "mp-volatile": True,
+    "dlb-mp": True, "dlb-mp+membar.gls": False,
+    "dlb-lb": True, "dlb-lb+membar.gls": False,
+    "cas-sl": True, "cas-sl+membar.gls": False, "exch-sl": True,
+    "sl-future": True, "sl-future+fixed": False,
+}
+
+
+def test_fig15_16_ptx_model(benchmark):
+    model = ptx_model()
+
+    def check_library():
+        return {name: model.allows_condition(library.build(name))
+                for name in EXPECTED}
+
+    verdicts = benchmark(check_library)
+    rows = [[name, "Allow" if verdicts[name] else "Forbid",
+             "Allow" if EXPECTED[name] else "Forbid",
+             "ok" if verdicts[name] == EXPECTED[name] else "MISMATCH"]
+            for name in sorted(EXPECTED)]
+    report("fig15_16_model",
+           "figs 15-16: PTX model (RMO per scope) verdicts\n" +
+           format_table(["test", "model", "paper", ""], rows))
+    assert verdicts == EXPECTED
+
+
+def test_fig15_16_cat_structure(benchmark):
+    def compile_model():
+        return CatModel(PTX_CAT)
+
+    model = benchmark(compile_model)
+    # Fig. 15 contributes sc-per-loc-llh and no-thin-air; Fig. 16 the
+    # three per-scope constraints; plus the RMW atomicity axiom.
+    assert set(model.check_names) == {
+        "sc-per-loc-llh", "no-thin-air", "cta-constraint", "gl-constraint",
+        "sys-constraint", "atomicity"}
+    assert PTX_CAT.startswith(RMO_CORE_CAT)
+    assert RMO_PER_SCOPE_CAT in PTX_CAT

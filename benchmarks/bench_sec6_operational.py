@@ -1,0 +1,60 @@
+"""Sec. 6 — the operational model of Sorensen et al. is unsound.
+
+The inter-CTA ``lb+membar.ctas`` test is forbidden by that model (fences
+order at every scope there) but was observed 586 times per 100k on the
+GTX Titan and 19 on the GTX 660.  Our scope-aware simulator reproduces
+the observation; the scope-blind machine and the unscoped-RMO axiomatic
+shadow reproduce the forbidding — and the paper's PTX model allows it.
+"""
+
+from repro._util import format_table
+from repro.data.paper import SEC6_LB_MEMBAR_CTAS
+from repro.litmus import library
+from repro.model.models import ptx_model
+from repro.model.operational import SorensenOperationalModel
+from repro.sim import chip
+from repro.sim.machine import run_iterations
+
+from _common import iterations, report
+
+
+def test_sec6_operational_model_unsound(benchmark):
+    test = library.build("lb+membar.ctas")
+    runs = max(iterations(), 8000)
+
+    def investigate():
+        outcome = {}
+        for chip_name, paper_rate in SEC6_LB_MEMBAR_CTAS.items():
+            profile = chip(chip_name)
+            model = SorensenOperationalModel(profile)
+            histogram = run_iterations(test, profile, runs, seed=9)
+            observed = sum(count for state, count in histogram.items()
+                           if test.condition.holds(state))
+            outcome[chip_name] = {
+                "observed_per_100k": observed * 100000.0 / runs,
+                "paper_per_100k": paper_rate,
+                "sorensen_forbids": not model.allows_condition(test),
+                "scope_blind_witnesses": model.observes_condition(
+                    test, runs=min(runs, 3000), seed=9),
+            }
+        return outcome
+
+    outcome = benchmark.pedantic(investigate, rounds=1, iterations=1)
+    rows = [[chip_name,
+             "%.0f" % data["observed_per_100k"],
+             data["paper_per_100k"],
+             "forbids" if data["sorensen_forbids"] else "allows",
+             "yes" if data["scope_blind_witnesses"] else "no"]
+            for chip_name, data in outcome.items()]
+    ptx_allows = ptx_model().allows_condition(test)
+    rows.append(["(PTX model)", "-", "-",
+                 "allows" if ptx_allows else "forbids", "-"])
+    report("sec6_operational", "sec 6: lb+membar.ctas (inter-CTA)\n"
+           + format_table(["chip", "sim/100k", "paper/100k",
+                           "Sorensen model", "scope-blind machine sees it"],
+                          rows))
+    for chip_name, data in outcome.items():
+        assert data["sorensen_forbids"], chip_name
+        assert not data["scope_blind_witnesses"], chip_name
+    assert outcome["Titan"]["observed_per_100k"] > 0
+    assert ptx_allows

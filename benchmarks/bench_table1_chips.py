@@ -1,0 +1,37 @@
+"""Table 1 — the chip inventory, as simulator profiles."""
+
+from repro._util import format_table
+from repro.sim.chip import CHIPS
+
+from _common import report
+
+#: Table 1, verbatim.
+TABLE1 = [
+    ("Nvidia", "Tesla", "GeForce GTX 280", "GTX280", 2008),
+    ("Nvidia", "Fermi", "GeForce GTX 540m", "GTX5", 2011),
+    ("Nvidia", "Fermi", "Tesla C2075", "TesC", 2011),
+    ("Nvidia", "Kepler", "GeForce GTX 660", "GTX6", 2012),
+    ("Nvidia", "Kepler", "GeForce GTX Titan", "Titan", 2013),
+    ("Nvidia", "Maxwell", "GeForce GTX 750", "GTX7", 2014),
+    ("AMD", "TeraScale 2", "Radeon HD 6570", "HD6570", 2011),
+    ("AMD", "GCN 1.0", "Radeon HD 7970", "HD7970", 2012),
+]
+
+
+def test_table1_chip_registry(benchmark):
+    def verify():
+        for vendor, architecture, name, short, year in TABLE1:
+            profile = CHIPS[short]
+            assert profile.vendor == vendor
+            assert profile.architecture == architecture
+            assert profile.name == name
+            assert profile.year == year
+        return len(TABLE1)
+
+    count = benchmark(verify)
+    rows = [[short, vendor, architecture, name, year,
+             "weak" if CHIPS[short].is_weak else "strong"]
+            for vendor, architecture, name, short, year in TABLE1]
+    report("table1_chips", "table 1: tested chips\n" + format_table(
+        ["short", "vendor", "architecture", "chip", "year", "profile"], rows))
+    assert count == 8

@@ -1,0 +1,51 @@
+"""Table 3 — the idiom glossary: every figure's test carries the idiom
+the paper assigns it, and diy recognises the idioms from cycles."""
+
+from repro._util import format_table
+from repro.diy import Cycle, classify, fre, po, rfe
+from repro.litmus import library
+
+from _common import report
+
+#: Table 3 rows: idiom -> (description, the figures it appears in).
+TABLE3 = {
+    "coRR": ("coherence of read-read pairs", ["coRR", "coRR-L2-L1"]),
+    "mp": ("message passing (viz. handshake)", ["mp-L1", "mp-volatile",
+                                                "dlb-mp", "cas-sl",
+                                                "sl-future", "mp"]),
+    "lb": ("load buffering", ["dlb-lb", "lb"]),
+    "sb": ("store buffering", ["sb", "SB-fig12"]),
+}
+
+
+def test_table3_idiom_glossary(benchmark):
+    def classify_library():
+        assignments = {}
+        for idiom, (_, test_names) in TABLE3.items():
+            for name in test_names:
+                assignments[name] = library.build(name).idiom
+        return assignments
+
+    assignments = benchmark(classify_library)
+    rows = []
+    for idiom, (description, test_names) in TABLE3.items():
+        rows.append([idiom, description, ", ".join(test_names)])
+        for name in test_names:
+            assert assignments[name] == idiom, (name, assignments[name])
+    report("table3_idioms", "table 3: glossary of idioms\n"
+           + format_table(["name", "description", "tests"], rows))
+
+
+def test_table3_diy_recognises_idioms(benchmark):
+    cycles = {
+        "mp": Cycle([po("W", "W"), rfe(), po("R", "R"), fre()]),
+        "sb": Cycle([po("W", "R"), fre(), po("W", "R"), fre()]),
+        "lb": Cycle([po("R", "W"), rfe(), po("R", "W"), rfe()]),
+        "coRR": Cycle([rfe(), po("R", "R", same_loc=True), fre()]),
+    }
+
+    def classify_all():
+        return {idiom: classify(cycle) for idiom, cycle in cycles.items()}
+
+    names = benchmark(classify_all)
+    assert names == {idiom: idiom for idiom in cycles}

@@ -1,0 +1,33 @@
+"""Table 4 — compilers and drivers: the toolchain configuration data,
+exposed for reproducibility tooling (the SASS pipeline keys off the CUDA
+version recorded here)."""
+
+from repro._util import format_table
+from repro.compiler import assemble, optcheck
+from repro.data.paper import TABLE4_TOOLCHAINS
+from repro.litmus import library
+
+from _common import report
+
+
+def test_table4_toolchains(benchmark):
+    def verify():
+        # Every Nvidia SDK version in Table 4 must drive the assembler.
+        test = library.build("coRR")
+        for chip, info in TABLE4_TOOLCHAINS.items():
+            if chip.startswith("HD"):
+                continue
+            for program in test.threads:
+                assemble(program, "-O3", cuda_version=info["sdk"])
+        return len(TABLE4_TOOLCHAINS)
+
+    count = benchmark(verify)
+    rows = [[chip, info["sdk"], info["driver"], info["options"]]
+            for chip, info in TABLE4_TOOLCHAINS.items()]
+    report("table4_toolchains", "table 4: compilers and drivers used\n"
+           + format_table(["chip", "SDK", "driver", "options"], rows))
+    assert count == 7
+    # The CUDA 5.5 machines (GTX5, TesC) are the ones exposed to the
+    # volatile-reordering compiler bug; 6.0 machines are not (Sec. 4.4).
+    assert TABLE4_TOOLCHAINS["GTX5"]["sdk"] == "5.5"
+    assert TABLE4_TOOLCHAINS["Titan"]["sdk"] == "6.0"

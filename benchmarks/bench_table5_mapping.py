@@ -1,0 +1,51 @@
+"""Table 5 — the CUDA-to-PTX mapping, validated by lowering each CUDA
+construct and checking the produced PTX opcode."""
+
+from repro._util import format_table
+from repro.compiler import (AtomicCas, AtomicExchange, AtomicIncrement, Cond,
+                            Kernel, Load, Store, TABLE5, Threadfence, While,
+                            compile_kernel)
+
+from _common import report
+
+_CASES = [
+    ("atomicCAS", Kernel([AtomicCas("v", "m", 0, 1)]), "atom.cas"),
+    ("atomicExch", Kernel([AtomicExchange("v", "m", 0)]), "atom.exch"),
+    ("__threadfence", Kernel([Threadfence()]), "membar.gl"),
+    ("__threadfence_block", Kernel([Threadfence(block=True)]), "membar.cta"),
+    ("atomicAdd(...,1)", Kernel([AtomicIncrement("v", "c")]), "atom.inc"),
+    ("store to global int", Kernel([Store("x", 1)]), "st.cg"),
+    ("load from global int", Kernel([Load("v", "x")]), "ld.cg"),
+    ("store to volatile int", Kernel([Store("x", 1, volatile=True)]),
+     "st.volatile"),
+    ("load from volatile int", Kernel([Load("v", "x", volatile=True)]),
+     "ld.volatile"),
+    ("control flow (while, if)",
+     Kernel([Load("v", "x"),
+             While(Cond("v", "ne", 0), body=(Load("v", "x"),))]),
+     "jumps & predicated instructions"),
+]
+
+
+def test_table5_mapping(benchmark):
+    def lower_all():
+        produced = {}
+        for cuda_construct, kernel, _ in _CASES:
+            program = compile_kernel(kernel, 0)
+            text = "\n".join(str(i) for i in program)
+            produced[cuda_construct] = text
+        return produced
+
+    produced = benchmark(lower_all)
+    rows = []
+    for cuda_construct, _, expected_ptx in _CASES:
+        text = produced[cuda_construct]
+        if expected_ptx == "jumps & predicated instructions":
+            ok = "bra" in text and "@p" in text
+        else:
+            ok = expected_ptx in text
+        assert ok, (cuda_construct, text)
+        assert TABLE5[cuda_construct] == expected_ptx
+        rows.append([cuda_construct, expected_ptx, "ok"])
+    report("table5_mapping", "table 5: CUDA to PTX mapping (CUDA 5.5)\n"
+           + format_table(["CUDA", "PTX", ""], rows))

@@ -1,0 +1,2 @@
+"""Benchmark package marker: puts this directory on sys.path so the
+bench modules can import their shared ``_common`` helpers."""

@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Regenerate EXPERIMENTS.md from the benchmark report tables.
+
+Run ``pytest benchmarks/ --benchmark-only`` first (it writes the
+paper-vs-measured tables into ``benchmarks/_report/``), then::
+
+    python benchmarks/make_experiments.py
+"""
+
+import os
+import textwrap
+
+REPORT = os.path.join(os.path.dirname(__file__), "_report")
+TARGET = os.path.join(os.path.dirname(__file__), os.pardir, "EXPERIMENTS.md")
+
+INTRO = """# EXPERIMENTS — paper vs. measured
+
+Every table and figure of the paper's evaluation, regenerated on the
+simulated chips by `pytest benchmarks/ --benchmark-only`.  Each cell
+shows the measured obs/100k next to the paper's published count.  The
+tables below are from a default-scale run (fewer iterations than the
+paper's 100k, so small counts carry sampling noise; `REPRO_ITERS=100000`
+reproduces the paper's scale).
+
+Reading guide:
+
+* **shape** (which cells are zero vs non-zero; which fences kill which
+  behaviours at which scope) is the reproduction target and matches the
+  paper everywhere, including the n/a cells caused by AMD compiler bugs;
+* **magnitudes** are calibrated (see `repro/sim/chip.py`): most cells are
+  within ~1.5x of the paper, the known exception being `sl-future`
+  (over-reported ~5-10x, discussed at the end).
+"""
+
+SECTIONS = [
+    ("Table 1 — the chips", "table1_chips", ""),
+    ("Fig. 1 — coRR (read-read coherence)", "fig01_coRR",
+     "Weak on Fermi/Kepler at ~10k/100k, absent on Maxwell and AMD — the "
+     "load-load hazard switch in the chip profiles."),
+    ("Fig. 3 — mp-L1 fence sweep", "fig03_mp_L1",
+     "The Tesla C2075 stays weak under every fence scope (the paper's "
+     "headline Fermi finding); membar.cta leaks inter-CTA on Kepler "
+     "(Titan 1696/100k in the paper), and membar.gl restores order "
+     "everywhere but TesC."),
+    ("Fig. 4 — coRR-L2-L1 fence sweep", "fig04_coRR_L2_L1",
+     "The L2-then-L1 refill path: GTX5 ignores membar.cta for this "
+     "pattern but honours membar.gl; TesC honours nothing; Kepler is "
+     "essentially clean."),
+    ("Fig. 5 — mp-volatile", "fig05_mp_volatile",
+     "Contrary to the PTX manual, .volatile does not restore SC in shared "
+     "memory on Fermi/Kepler; Maxwell orders volatiles."),
+    ("Figs. 6-7 — dlb-mp (deque loses a pushed task)", "fig07_dlb_mp",
+     "Rare on hardware (4-65/100k); the fenced variant is silent on all "
+     "chips.  The same bug is reproduced at the application level in "
+     "repro.apps.deque (see examples/work_stealing.py)."),
+    ("Fig. 8 — dlb-lb (steal reads a later push)", "fig08_dlb_lb",
+     "HD6570 is n/a exactly as in the paper: compiling the test for "
+     "Evergreen reorders the load past the CAS (a miscompilation), which "
+     "bench_fig08 verifies separately."),
+    ("Figs. 2/9 — cas-sl (CUDA-by-Example spin lock)", "fig09_cas_sl",
+     "The lock from Nvidia's own book admits stale reads in its critical "
+     "section on Fermi/Kepler and both AMD chips; the (+) fences of the "
+     "erratum silence it."),
+    ("Figs. 10-11 — sl-future (He-Yu lock reads future values)",
+     "fig11_sl_future",
+     "Shape reproduced (weak on TesC/GTX6/Titan, silent on GTX5/GTX7 and "
+     "after the fix).  Known calibration gap: measured rates are ~5-10x "
+     "the paper's — see the discussion at the end."),
+    ("Fig. 12 — the litmus format", "fig12_format", ""),
+    ("Fig. 13 — manufactured dependencies", "fig13_dependencies",
+     "ptxas -O3 folds the xor chain (scheme a) and keeps the "
+     "and-high-bit chain (scheme b), as the paper requires."),
+    ("Fig. 14 — an execution of mp and its rmo-cta cycle",
+     "fig14_executions", ""),
+    ("Figs. 15-16 — the PTX model", "fig15_16_model",
+     "Every allowed/forbidden verdict the paper states or implies for the "
+     "library tests, reproduced by the .cat interpreter; note "
+     "lb+membar.ctas is Allowed (scoped fences!) while unscoped RMO "
+     "forbids it."),
+    ("Table 2 — the ten issues", "table2_summary", ""),
+    ("Table 3 — idiom glossary", "table3_idioms", ""),
+    ("Table 4 — toolchains", "table4_toolchains",
+     "The SDK versions key the SASS pipeline's behaviour: the CUDA 5.5 "
+     "machines are exposed to the volatile-reorder bug."),
+    ("Table 5 — CUDA to PTX mapping", "table5_mapping", ""),
+    ("Table 6 — incantation combinations", "table6_incantations",
+     "Column key (derived in DESIGN.md): col = 1 + 8*stress + 4*bankconf + "
+     "2*sync + 1*random.  The paper's row per (chip, idiom) doubles as the "
+     "efficacy calibration of the harness, so the shape here is partly by "
+     "construction; the structural findings (nothing without incantations "
+     "on Nvidia, col 5 empty, AMD weak unaided) are genuine machine "
+     "behaviour."),
+    ("Sec. 4.4 — optcheck", "sec44_optcheck", ""),
+    ("Sec. 5.4 — model validation (soundness)", "sec54_soundness",
+     "Every final state observed on any simulated chip is allowed by the "
+     "PTX model, over a diy-generated family plus the paper's tests — the "
+     "reproduction of the paper's 10930-test validation.  Family size "
+     "scales with REPRO_FAMILY / REPRO_SOUNDNESS_RUNS."),
+    ("Sec. 6 — the Sorensen operational model is unsound",
+     "sec6_operational",
+     "lb+membar.ctas: forbidden by the scope-blind model, observed on the "
+     "simulated Titan (paper: 586/100k) — and allowed by the paper's PTX "
+     "model."),
+]
+
+OUTRO = """## Known deviations
+
+* **sl-future magnitude** (Fig. 11): the simulator drives both dlb-lb
+  and sl-future with the same store-passes-older-load relaxation
+  (`w_pass_r`).  The paper's hardware shows dlb-lb at 750-2292/100k but
+  sl-future at only 41-99/100k — the lock-handoff race is evidently much
+  rarer on silicon than in our scheduler.  We calibrate `w_pass_r`
+  between the two, leaving sl-future ~5-10x high.  Shape (who is weak,
+  what fixes it) is unaffected.
+* **Tiny-count cells** (paper values of 2-65/100k) are statistically
+  invisible at CI-scale iteration counts and show as 0; they reappear at
+  `REPRO_ITERS=100000`.
+* **Table 6 magnitudes** are partly by construction: the paper's Table 6
+  rows are used as the incantation-efficacy calibration (normalised per
+  row).  The zero/non-zero structure, however, falls out of the machine:
+  a zero-efficacy column means no relaxation intents, and the simulator
+  then genuinely cannot reorder.
+* The simulator treats *mixed* scope trees (some pairs intra-CTA, some
+  inter) conservatively: fences act at full strength, which preserves
+  model-soundness but may under-report weakness for 3+-thread tests
+  with mixed placements.
+"""
+
+
+def main():
+    parts = [INTRO]
+    missing = []
+    for title, name, commentary in SECTIONS:
+        path = os.path.join(REPORT, name + ".txt")
+        if not os.path.exists(path):
+            missing.append(name)
+            continue
+        with open(path) as handle:
+            body = handle.read().rstrip()
+        parts.append("## %s\n" % title)
+        if commentary:
+            parts.append(textwrap.fill(commentary, 74) + "\n")
+        parts.append("```\n%s\n```\n" % body)
+    parts.append(OUTRO)
+    with open(TARGET, "w") as handle:
+        handle.write("\n".join(parts))
+    if missing:
+        print("warning: missing report tables: %s" % ", ".join(missing))
+    print("wrote %s" % os.path.abspath(TARGET))
+
+
+if __name__ == "__main__":
+    main()

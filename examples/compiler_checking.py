@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Guarding litmus tests against the compiler (Secs. 4.4-4.5).
+
+A litmus result is only meaningful if the compiled code still *is* the
+test.  This example shows the three compiler hazards the paper documents
+and the defences against them:
+
+1. the CUDA 5.5 assembler reordering volatile loads — caught by optcheck;
+2. ``ptxas -O3`` deleting the classic xor false-dependency — avoided by
+   the and-with-high-bit scheme of Fig. 13(b);
+3. the AMD OpenCL backends removing fences (GCN 1.0) and reordering a
+   load past a CAS (TeraScale 2).
+"""
+
+from repro.compiler import (FENCE_REMOVED, LOAD_CAS_REORDERED, assemble,
+                            compile_opencl_thread, cuobjdump,
+                            dependent_load_pair, optcheck,
+                            sass_address_dependency_intact)
+from repro.errors import OptcheckViolation
+from repro.litmus import library
+from repro.ptx import Addr, Ld, Loc, Reg
+from repro.ptx.program import ThreadProgram
+from repro.ptx.types import Scope
+
+
+def main():
+    # 1. optcheck vs the CUDA 5.5 volatile-load reordering.
+    two_volatile_loads = ThreadProgram(0, [
+        Ld(Reg("r1"), Addr(Loc("x")), volatile=True),
+        Ld(Reg("r2"), Addr(Loc("x")), volatile=True),
+    ])
+    caught = 0
+    for seed in range(20):
+        try:
+            optcheck(two_volatile_loads, cuda_version="5.5", seed=seed)
+        except OptcheckViolation:
+            caught += 1
+    print("optcheck vs CUDA 5.5: caught the volatile reorder in %d/20 "
+          "schedules (CUDA 6.0: 0/20)" % caught)
+    for seed in range(20):
+        optcheck(two_volatile_loads, cuda_version="6.0", seed=seed)
+
+    # 2. Manufactured dependencies under -O3 (Fig. 13).
+    print()
+    for scheme in ("xor", "and"):
+        instructions, _ = dependent_load_pair("x", "y", scheme=scheme)
+        sass = assemble(ThreadProgram(0, instructions), "-O3")
+        intact = sass_address_dependency_intact(sass)
+        print("Fig. 13(%s) %s scheme: dependency %s after -O3"
+              % ("a" if scheme == "xor" else "b", scheme,
+                 "intact" if intact else "OPTIMISED AWAY"))
+    print()
+    print("disassembly of the surviving chain:")
+    instructions, _ = dependent_load_pair("x", "y", scheme="and")
+    print(cuobjdump(assemble(ThreadProgram(0, instructions), "-O3")))
+
+    # 3. The AMD backends.
+    print()
+    fenced_mp = library.mp(fence0=Scope.GL, fence1=Scope.GL)
+    gcn = compile_opencl_thread(fenced_mp.threads[1], "GCN 1.0")
+    print("GCN 1.0 compiles the fenced mp reader to:")
+    print(gcn.isa_text)
+    assert FENCE_REMOVED in gcn.transformations
+    print("-> the fence between the loads is gone: fenced mp stays weak "
+          "on the HD 7970 (Sec. 3.1.2)")
+
+    print()
+    dlb = library.build("dlb-lb")
+    evergreen = compile_opencl_thread(dlb.threads[1], "TeraScale 2")
+    assert LOAD_CAS_REORDERED in evergreen.transformations
+    print("TeraScale 2 reorders dlb-lb's load past the CAS: %s"
+          % evergreen.transformations)
+    print("-> the HD 6570 column of Fig. 8 is therefore n/a")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Exploring the axiomatic PTX model (Sec. 5) herd-style.
+
+Enumerate the candidate executions of a litmus test, dump the Fig. 14
+execution graph of the weak candidate, see which model check kills it (or
+does not), and generate a fresh family of tests with diy to compare the
+PTX model against SC, TSO and plain RMO.
+"""
+
+from repro.diy import default_pool, generate_tests
+from repro.litmus import library
+from repro.model.enumerate import enumerate_executions
+from repro.model.models import ptx_model, rmo_model, sc_model, tso_model
+from repro.ptx.types import Scope
+
+
+def main():
+    ptx = ptx_model()
+
+    # 1. Fig. 14: the intra-CTA mp with membar.cta / membar.gl fences.
+    test = library.build("mp-fig14")
+    print("candidate executions of %s:" % test.name)
+    for execution in enumerate_executions(test):
+        weak = test.condition.holds(execution.final_state)
+        allowed = ptx.allows(execution)
+        print("  final %-30s %s%s"
+              % (execution.final_state,
+                 "allowed" if allowed else "FORBIDDEN",
+                 "   <- the weak candidate" if weak else ""))
+        if weak:
+            print()
+            print(execution.pretty())
+            for failure in ptx.failed_checks(execution):
+                print("  killed by: %s (cycle of %d events)"
+                      % (failure.name, len(failure.cycle)))
+            print()
+
+    # 2. The same cycle inter-CTA: membar.cta no longer helps — the
+    #    cta-constraint only applies within a CTA (Sec. 5.3).
+    inter = library.mp(fence0=Scope.CTA, fence1=Scope.CTA,
+                       placement="inter-cta")
+    print("inter-CTA mp+membar.ctas: %s by the PTX model"
+          % ("Allowed" if ptx.allows_condition(inter) else "Forbidden"))
+
+    # 3. Model comparison over a diy-generated family.
+    print()
+    print("diy family: PTX vs SC vs TSO vs unscoped RMO")
+    models = [sc_model(), tso_model(), rmo_model(), ptx]
+    tests = generate_tests(default_pool(fences=(Scope.GL,)), max_length=4,
+                           max_tests=60)
+    counts = {model.name: 0 for model in models}
+    for test in tests:
+        for model in models:
+            if model.allows_condition(test):
+                counts[model.name] += 1
+    for model in models:
+        print("  %-4s allows the weak outcome of %2d / %d generated tests"
+              % (model.name, counts[model.name], len(tests)))
+    print("(weak-to-strong: sc <= tso <= rmo <= ptx)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Small shared helpers: fixed-width integer arithmetic and formatting."""
+
+MASK32 = 0xFFFFFFFF
+MASK64 = 0xFFFFFFFFFFFFFFFF
+HIGH_BIT32 = 0x80000000
+
+
+def wrap32(value):
+    """Wrap ``value`` to an unsigned 32-bit integer (two's complement)."""
+    return value & MASK32
+
+
+def wrap64(value):
+    """Wrap ``value`` to an unsigned 64-bit integer (two's complement)."""
+    return value & MASK64
+
+
+def to_signed32(value):
+    """Interpret the low 32 bits of ``value`` as a signed integer."""
+    value &= MASK32
+    return value - (1 << 32) if value & HIGH_BIT32 else value
+
+
+def format_table(headers, rows, *, sep="  "):
+    """Render ``rows`` (sequences of cells) under ``headers`` as plain text.
+
+    Column widths adapt to content; all cells are stringified.  Used by the
+    benchmark harness to print paper-style observation tables.
+    """
+    table = [[str(cell) for cell in row] for row in rows]
+    header_cells = [str(cell) for cell in headers]
+    widths = [len(cell) for cell in header_cells]
+    for row in table:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+    lines = [sep.join(cell.ljust(widths[i]) for i, cell in enumerate(header_cells)).rstrip()]
+    lines.append(sep.join("-" * width for width in widths))
+    for row in table:
+        lines.append(sep.join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+    return "\n".join(lines)

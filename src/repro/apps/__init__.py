@@ -1,0 +1,14 @@
+"""Published GPU applications the paper studies, on the simulator."""
+
+from .deque import lb_scenario, mp_scenario, pop_then_push_kernel, push_kernel, steal_kernel
+from .runtime import Grid, LaunchResult, launch
+from .spinlock import (cuda_by_example_lock, dot_product, he_yu_lock,
+                       isolation_test, stuart_owens_lock)
+
+__all__ = [
+    "lb_scenario", "mp_scenario", "pop_then_push_kernel", "push_kernel",
+    "steal_kernel",
+    "Grid", "LaunchResult", "launch",
+    "cuda_by_example_lock", "dot_product", "he_yu_lock", "isolation_test",
+    "stuart_owens_lock",
+]

@@ -1,0 +1,121 @@
+"""The Cederman-Tsigas work-stealing deque (Sec. 3.2.1, Fig. 6).
+
+The GPU Computing Gems implementation assumes no weak memory behaviour:
+it uses no fences.  The paper distils two bugs, both of which lose a
+task:
+
+* **message passing** (Fig. 7): a steal sees the incremented ``tail`` but
+  reads a *stale* task from the ``tasks`` array;
+* **load buffering** (Fig. 8): a steal reads the task pushed by a *later*
+  pop-then-push, while the pop's CAS reads the steal's CAS.
+
+This module implements the deque operations as CUDA-eDSL kernels (one
+deque slot — the distilled scenarios touch a single index) in published
+and fixed (fenced) variants, plus scenario drivers that count lost
+tasks over many launches.
+"""
+
+from ..compiler.cuda import (AddTo, AtomicCas, AtomicExchange, Cond, If,
+                             Kernel, Load, Store, Threadfence)
+from .runtime import Grid
+
+#: Memory locations: one task slot, the two volatile indices of Fig. 6.
+TASK, HEAD, TAIL = "task0", "head", "tail"
+
+
+def push_kernel(task_value, fenced):
+    """``push(task)`` (Fig. 6 lines 2-5): write the task, bump ``tail``.
+
+    The fix (line 4, ``(+)``): a ``__threadfence()`` between the task
+    write and the ``tail`` increment.
+    """
+    statements = [Store(TASK, task_value)]
+    if fenced:
+        statements.append(Threadfence())
+    statements.extend([
+        Load("t", TAIL, volatile=True),
+        AddTo("t", "t", 1),
+        Store(TAIL, "t", volatile=True),
+    ])
+    return Kernel(statements)
+
+
+def steal_kernel(fenced):
+    """``steal()`` (Fig. 6 lines 6-14): read ``tail``; if work is
+    available read the task and claim it with a CAS on ``head``.
+
+    The published code reads the task with no fence on either side; the
+    fix adds fences before and after the task read (lines 9 and 11).
+    The stolen task value is reported in ``stolen`` and the steal's
+    success in ``claimed``.
+    """
+    statements = [Load("old", TAIL, volatile=True)]
+    body = []
+    if fenced:
+        body.append(Threadfence())
+    body.append(Load("task", TASK))
+    if fenced:
+        body.append(Threadfence())
+    body.extend([
+        AtomicCas("claimed", HEAD, 0, 1),
+        Store("stolen", "task"),
+        Store("claimed_out", "claimed"),
+    ])
+    statements.append(If(Cond("old", "ne", 0), body=tuple(body)))
+    return Kernel(statements)
+
+
+def pop_then_push_kernel(task_value, fenced):
+    """The pop-returns-empty-then-push sequence of Fig. 8's left thread
+    (Fig. 6 lines 15-25 followed by a push to the same slot).
+
+    The pop's CAS on ``head`` observes whether a steal got there first;
+    the fix (line 21, ``(+)``) fences between the CAS and the later push
+    (and the reset of ``head`` uses ``atomicExch``, line 23).
+    """
+    statements = [AtomicCas("r0", HEAD, 0, 1)]
+    if fenced:
+        statements.append(Threadfence())
+    statements.extend([
+        Store("popped_out", "r0"),
+        Store(TASK, task_value),
+    ])
+    if fenced:
+        statements.append(AtomicExchange("reset", HEAD, 0))
+    return Kernel(statements)
+
+
+def mp_scenario(chip, fenced, runs=300, seed=0, intensity=1.0):
+    """Fig. 7's scenario: T0 pushes task 1, T1 steals.
+
+    A *lost task* is a steal that saw the new ``tail`` (tail=1) but read
+    the stale task slot (stolen=0).  Returns ``(lost, runs)``.
+    """
+    grid = Grid([push_kernel(1, fenced), steal_kernel(fenced)], chip,
+                init_mem={TASK: 0, HEAD: 0, TAIL: 0,
+                          "stolen": -1, "claimed_out": -1},
+                intensity=intensity)
+    lost = 0
+    for result in grid.launch_many(runs, seed=seed):
+        if result[TAIL] == 1 and result["stolen"] == 0:
+            lost += 1
+    return lost, runs
+
+
+def lb_scenario(chip, fenced, runs=300, seed=0, intensity=1.0):
+    """Fig. 8's scenario: T0 pops (CAS) then pushes task 1; T1 steals.
+
+    The lost-task signature: T0's CAS read the steal's claim (``r0=1``,
+    so the pop returned FAILED) *and* the steal read the later push
+    (``stolen=1``) — the deque lost a task.  Returns ``(lost, runs)``.
+    """
+    grid = Grid([pop_then_push_kernel(1, fenced), steal_kernel(fenced)], chip,
+                init_mem={TASK: 0, HEAD: 0, TAIL: 1,
+                          "stolen": -1, "claimed_out": -1,
+                          "popped_out": -1},
+                intensity=intensity)
+    lost = 0
+    for result in grid.launch_many(runs, seed=seed):
+        if result["popped_out"] == 1 and result["stolen"] == 1:
+            lost += 1
+    return lost, runs

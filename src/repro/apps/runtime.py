@@ -1,0 +1,77 @@
+"""A mini CUDA-like runtime: launch eDSL kernels on the simulator.
+
+The paper's application studies (the spin locks of Figs. 2 and 10, the
+work-stealing deque of Fig. 6) are CUDA programs.  This runtime lowers
+:class:`~repro.compiler.cuda.Kernel` bodies through the Table 5 mapping
+and executes them as a grid on a simulated chip, returning the final
+memory image — the GPU-side of ``cudaMemcpy`` back to the host.
+"""
+
+import random
+from dataclasses import dataclass
+
+from ..compiler.cuda import compile_kernel
+from ..hierarchy import MemoryMap, ScopeTree
+from ..litmus.condition import Condition, MemEq
+from ..litmus.test import LitmusTest
+from ..sim.chip import CHIPS, ChipProfile
+from ..sim.machine import GpuMachine
+
+
+@dataclass
+class LaunchResult:
+    """Final state of one kernel launch."""
+
+    memory: dict  # location name -> final value
+    iterations: int = 1
+
+    def __getitem__(self, location):
+        return self.memory[location]
+
+
+def _as_chip(chip):
+    return chip if isinstance(chip, ChipProfile) else CHIPS[chip]
+
+
+class Grid:
+    """A compiled grid: one kernel per thread, ready to launch."""
+
+    def __init__(self, kernels, chip, init_mem, placement="inter-cta",
+                 shared=(), intensity=1.0):
+        self.chip = _as_chip(chip)
+        programs = tuple(compile_kernel(kernel, tid)
+                         for tid, kernel in enumerate(kernels))
+        names = [program.name for program in programs]
+        locations = sorted(init_mem)
+        if not locations:
+            raise ValueError("a launch needs at least one memory location")
+        # The condition is a placeholder: applications read final memory,
+        # not litmus conditions.
+        condition = Condition("exists", MemEq(locations[0],
+                                              init_mem[locations[0]]))
+        self.test = LitmusTest(
+            name="kernel-launch", threads=programs,
+            scope_tree=ScopeTree.for_threads(names, placement),
+            memory_map=MemoryMap({name: "shared" for name in shared}),
+            init_mem=dict(init_mem), condition=condition)
+        self.machine = GpuMachine(self.test, self.chip, intensity=intensity)
+
+    def launch(self, seed=0):
+        """Run the grid once; returns a :class:`LaunchResult`."""
+        state = self.machine.run_once(random.Random(seed))
+        return LaunchResult(memory=state.mem_dict())
+
+    def launch_many(self, runs, seed=0):
+        """Run the grid ``runs`` times; yields LaunchResults."""
+        rng = random.Random(seed)
+        for _ in range(runs):
+            state = self.machine.run_once(rng)
+            yield LaunchResult(memory=state.mem_dict())
+
+
+def launch(kernels, chip, init_mem, placement="inter-cta", shared=(),
+           seed=0, intensity=1.0):
+    """One-shot convenience wrapper around :class:`Grid`."""
+    grid = Grid(kernels, chip, init_mem, placement=placement, shared=shared,
+                intensity=intensity)
+    return grid.launch(seed=seed)

@@ -1,0 +1,129 @@
+"""The published GPU spin locks the paper studies (Sec. 3.2.2-3.2.3).
+
+Three locks, each in its published (buggy) and fixed form:
+
+* :func:`cuda_by_example_lock` — Fig. 2, from Nvidia's *CUDA by Example*
+  App. 1: CAS acquire, exchange release, **no fences**.  Nvidia published
+  an erratum after the paper reported the bug.
+* :func:`stuart_owens_lock` — the exchange-based lock of Stuart & Owens,
+  who chose ``atomicExch`` *instead of* a fence "because the atomic queue
+  has predictable behavior".
+* :func:`he_yu_lock` — Fig. 10, from He & Yu's GPU transaction engine:
+  the release is a plain store, and the trailing ``__threadfence`` sits
+  *after* the release where it cannot help.
+
+Each lock is a pair (acquire statements, release statements) to splice
+into a kernel around a critical section.
+"""
+
+from ..compiler.cuda import (AddTo, AtomicCas, AtomicExchange, Cond, If,
+                             Kernel, Load, Store, Threadfence, While,
+                             do_while_cas_spin)
+from .runtime import Grid
+
+MUTEX = "mutex"
+
+
+def cuda_by_example_lock(fenced):
+    """Fig. 2: ``lock()``/``unlock()`` of CUDA by Example (App. 1).
+
+    ``fenced=True`` adds the two ``__threadfence()`` calls marked ``(+)``
+    in the paper — the fix Nvidia's erratum now requires.
+    """
+    acquire = [do_while_cas_spin(MUTEX)]
+    if fenced:
+        acquire.append(Threadfence())
+    release = []
+    if fenced:
+        release.append(Threadfence())
+    release.append(AtomicExchange("old", MUTEX, 0))
+    return acquire, release
+
+
+def stuart_owens_lock(fenced):
+    """Stuart-Owens: acquire and release via unconditional exchange."""
+    acquire = [While(Cond("got", "ne", 0),
+                     body=(AtomicExchange("got", MUTEX, 1),))]
+    if fenced:
+        acquire.append(Threadfence())
+    release = []
+    if fenced:
+        release.append(Threadfence())
+    release.append(AtomicExchange("old", MUTEX, 0))
+    return acquire, release
+
+
+def he_yu_lock(fixed):
+    """Fig. 10: the He-Yu transaction lock.
+
+    The published version releases with a plain volatile store and fences
+    *after* the release (useless).  The fix: fence at entry and exit,
+    release via ``atomicExch`` (PTX annuls atomic guarantees when plain
+    stores touch the same location, Sec. 3.2.3).
+    """
+    acquire = [do_while_cas_spin(MUTEX, var="lockValue")]
+    if fixed:
+        acquire.append(Threadfence())
+    release = []
+    if fixed:
+        release.append(Threadfence())
+        release.append(AtomicExchange("old", MUTEX, 0))
+    else:
+        release.append(Store(MUTEX, 0))
+        release.append(Threadfence())  # the misplaced fence of Fig. 10
+    return acquire, release
+
+
+def _accumulate_kernel(lock, local_value):
+    """One dot-product CTA: add a local partial sum into the global sum
+    under the lock (CUDA by Example App. 1.2)."""
+    acquire, release = lock
+    body = [
+        Load("temp", "sum"),
+        AddTo("temp", "temp", local_value),
+        Store("sum", "temp"),
+    ]
+    return Kernel(list(acquire) + body + list(release))
+
+
+def dot_product(chip, lock_builder, fenced, locals_=(5, 7), runs=200, seed=0,
+                intensity=1.0):
+    """The paper's dot-product client: each CTA adds its partial sum to a
+    global total under the lock.
+
+    Returns ``(wrong_results, runs)``: how many launches produced a final
+    sum different from ``sum(locals_)`` — the "incorrect results" the
+    broken locks permit (Sec. 3.2.2).
+    """
+    lock = lock_builder(fenced)
+    kernels = [_accumulate_kernel(lock, value) for value in locals_]
+    grid = Grid(kernels, chip, init_mem={"sum": 0, MUTEX: 0},
+                intensity=intensity)
+    expected = sum(locals_)
+    wrong = 0
+    for result in grid.launch_many(runs, seed=seed):
+        if result["sum"] != expected:
+            wrong += 1
+    return wrong, runs
+
+
+def isolation_test(chip, fixed, runs=200, seed=0, intensity=1.0):
+    """The He-Yu isolation scenario (Fig. 11 distilled back into CUDA).
+
+    T0 holds the lock, reads ``x`` inside its critical section, releases.
+    T1 acquires and writes ``x`` in the *next* critical section.  Under
+    the buggy lock T0 can read T1's *future* value — an isolation
+    violation.  Returns ``(violations, runs)``.
+    """
+    acquire, release = he_yu_lock(fixed)
+    reader = Kernel([Load("r0", "x")] + list(release) + [Store("out", "r0")])
+    writer = Kernel(
+        [AtomicCas("got", MUTEX, 0, 1),
+         If(Cond("got", "eq", 0), body=(Store("x", 1),))])
+    grid = Grid([reader, writer], chip,
+                init_mem={"x": 0, MUTEX: 1, "out": 0}, intensity=intensity)
+    violations = 0
+    for result in grid.launch_many(runs, seed=seed):
+        if result["out"] == 1:
+            violations += 1
+    return violations, runs

@@ -1,0 +1,115 @@
+"""Command-line interface: ``repro-litmus``.
+
+Subcommands::
+
+    repro-litmus run TEST --chip Titan [--iterations N] [--seed S]
+        Run a litmus test (library name or .litmus file) on a simulated
+        chip under the paper's best incantations; print the histogram.
+
+    repro-litmus model TEST [--model ptx]
+        Enumerate candidate executions and print the model's verdict.
+
+    repro-litmus list
+        List the library tests, chips and models.
+
+    repro-litmus generate --length 4 [--max N]
+        Generate litmus tests with diy and print them.
+"""
+
+import argparse
+import os
+import sys
+
+from .diy import default_pool, generate_tests
+from .harness import run_paper_config
+from .litmus import library, parse_litmus, write_litmus
+from .model.models import MODELS, load_model
+from .sim.chip import CHIPS
+
+
+def _load_test(spec):
+    if os.path.exists(spec):
+        with open(spec) as handle:
+            return parse_litmus(handle.read())
+    if spec in library.PAPER_TESTS:
+        return library.build(spec)
+    raise SystemExit("unknown test %r (not a file, not a library test; "
+                     "see `repro-litmus list`)" % spec)
+
+
+def _cmd_run(args):
+    test = _load_test(args.test)
+    result = run_paper_config(test, args.chip, iterations=args.iterations,
+                              seed=args.seed)
+    print(result.histogram.pretty(test.condition))
+    print(result.summary())
+    return 0
+
+
+def _cmd_model(args):
+    test = _load_test(args.test)
+    model = load_model(args.model)
+    allowed = model.allowed_outcomes(test)
+    verdict = model.allows_condition(test)
+    print(write_litmus(test))
+    print("%d allowed final states under %s:" % (len(allowed), model.name))
+    for state in sorted(allowed, key=str):
+        print("  %s" % state)
+    print("condition %s: %s" % (test.condition,
+                                "Allowed" if verdict else "Forbidden"))
+    return 0
+
+
+def _cmd_list(args):
+    print("library tests:")
+    for name in sorted(library.PAPER_TESTS):
+        print("  %s" % name)
+    print("chips: %s" % ", ".join(sorted(CHIPS)))
+    print("models: %s" % ", ".join(sorted(MODELS)))
+    return 0
+
+
+def _cmd_generate(args):
+    tests = generate_tests(default_pool(), max_length=args.length,
+                           max_tests=args.max)
+    for test in tests:
+        print(write_litmus(test))
+    print("// %d tests" % len(tests), file=sys.stderr)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-litmus",
+        description="GPU litmus testing on simulated chips (ASPLOS'15 repro)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a test on a simulated chip")
+    run.add_argument("test")
+    run.add_argument("--chip", default="Titan", choices=sorted(CHIPS))
+    run.add_argument("--iterations", type=int, default=None)
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    model = sub.add_parser("model", help="model-check a test")
+    model.add_argument("test")
+    model.add_argument("--model", default="ptx", choices=sorted(MODELS))
+    model.set_defaults(func=_cmd_model)
+
+    lst = sub.add_parser("list", help="list tests, chips and models")
+    lst.set_defaults(func=_cmd_list)
+
+    gen = sub.add_parser("generate", help="generate tests with diy")
+    gen.add_argument("--length", type=int, default=4)
+    gen.add_argument("--max", type=int, default=20)
+    gen.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

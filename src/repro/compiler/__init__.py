@@ -1,0 +1,29 @@
+"""Compilation tooling: Table 5 lowering, SASS pipeline, optcheck, AMD."""
+
+from .amd import (AmdCompileResult, ARCHITECTURES, FENCE_REMOVED,
+                  LOAD_CAS_REORDERED, LOADS_COMBINED, compile_opencl_thread,
+                  effective_litmus)
+from .cuda import (AddTo, AtomicCas, AtomicExchange, AtomicIncrement, Cond,
+                   If, Kernel, Load, Store, TABLE5, Threadfence, While,
+                   compile_kernel, do_while_cas_spin)
+from .deps import (HIGH_BIT, and_dependency_chain, dependent_load_pair,
+                   sass_address_dependency_intact, xor_dependency_chain)
+from .flags import DLCM_FLAG, DSCM_FLAG, apply_cache_flags
+from .optcheck import (KIND_CODES, MAGIC, SpecEntry, check_sass, decode,
+                       embed_specification, encode, optcheck)
+from .sass import SassInstr, SassProgram, assemble, cuobjdump
+
+__all__ = [
+    "AmdCompileResult", "ARCHITECTURES", "FENCE_REMOVED",
+    "LOAD_CAS_REORDERED", "LOADS_COMBINED", "compile_opencl_thread",
+    "effective_litmus",
+    "AddTo", "AtomicCas", "AtomicExchange", "AtomicIncrement", "Cond", "If",
+    "Kernel", "Load", "Store", "TABLE5", "Threadfence", "While",
+    "compile_kernel", "do_while_cas_spin",
+    "HIGH_BIT", "and_dependency_chain", "dependent_load_pair",
+    "sass_address_dependency_intact", "xor_dependency_chain",
+    "DLCM_FLAG", "DSCM_FLAG", "apply_cache_flags",
+    "KIND_CODES", "MAGIC", "SpecEntry", "check_sass", "decode",
+    "embed_specification", "encode", "optcheck",
+    "SassInstr", "SassProgram", "assemble", "cuobjdump",
+]

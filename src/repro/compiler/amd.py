@@ -1,0 +1,180 @@
+"""The AMD OpenCL compilation path and its documented miscompilations.
+
+The paper cannot hand-write AMD ISA (no public assemblers), so its AMD
+tests are OpenCL kernels compiled by the AMD OpenCL compiler into
+Evergreen (TeraScale 2) or Southern Islands (GCN 1.0) code — and the
+compiler itself turned out to be part of the story (Table 2):
+
+* **GCN 1.0 / Southern Islands**: the compiler *removes the fence between
+  two loads* (Sec. 3.1.2), so fenced mp stays weak on the HD 7970;
+* **TeraScale 2 / Evergreen**: the compiler *reorders a load past a
+  following CAS* (Sec. 3.2.1) — a miscompilation that invalidates the
+  dlb-lb test on the HD 6570 (reported as "n/a" in Fig. 8);
+* both backends *combine repeated loads from one location into a single
+  load* (Sec. 4.4), which would mask coRR; marking the location volatile
+  suppresses this.
+
+This module models those compilers at the PTX-as-portable-IR level: an
+OpenCL kernel is represented by the same instruction list as a PTX
+thread (with every ``membar`` read as ``mem_fence(CLK_GLOBAL_MEM_FENCE)``
+— OpenCL 1.2 fences carry no scope), the "compiler" applies the
+documented transformations, and the result can be inspected (the paper's
+"we checked the generated ISA files by hand") or run on the simulated
+AMD chips via :func:`effective_litmus`.
+"""
+
+from dataclasses import dataclass, field
+
+from ..errors import CompileError
+from ..litmus.test import LitmusTest
+from ..ptx.instructions import (AtomCas, AtomExch, AtomInc, Ld, Membar, Mov,
+                                St)
+from ..ptx.program import ThreadProgram
+
+#: Architectures and their ISA names (Table 1 / Sec. 2.3).
+ARCHITECTURES = {
+    "TeraScale 2": "Evergreen",
+    "GCN 1.0": "Southern Islands",
+}
+
+#: Transformation tags reported by the compilers.
+FENCE_REMOVED = "fence-removed-between-loads"
+LOAD_CAS_REORDERED = "load-cas-reordered"
+LOADS_COMBINED = "repeated-loads-combined"
+
+
+@dataclass
+class AmdCompileResult:
+    """Output of compiling one thread for an AMD architecture."""
+
+    architecture: str
+    instructions: tuple
+    isa_text: str
+    transformations: list = field(default_factory=list)
+
+    @property
+    def miscompiled(self):
+        """True when a semantics-changing transformation fired."""
+        return LOAD_CAS_REORDERED in self.transformations
+
+
+def _combine_repeated_loads(instructions, transformations):
+    """Adjacent loads from one location merge into one (both backends).
+
+    Volatile loads are exempt — this is the paper's documented way to
+    suppress the optimisation.
+    """
+    result = []
+    for instruction in instructions:
+        previous = result[-1] if result else None
+        if (isinstance(instruction, Ld) and isinstance(previous, Ld)
+                and not instruction.volatile and not previous.volatile
+                and instruction.addr == previous.addr
+                and instruction.guard is None and previous.guard is None):
+            result.append(Mov(instruction.dst, previous.dst,
+                              typ=instruction.typ))
+            transformations.append(LOADS_COMBINED)
+            continue
+        result.append(instruction)
+    return result
+
+
+def _remove_fences_between_loads(instructions, transformations):
+    """Southern Islands: a fence flanked by loads is dropped."""
+    result = []
+    for index, instruction in enumerate(instructions):
+        if isinstance(instruction, Membar):
+            before = instructions[index - 1] if index else None
+            after = (instructions[index + 1]
+                     if index + 1 < len(instructions) else None)
+            if isinstance(before, Ld) and isinstance(after, Ld):
+                transformations.append(FENCE_REMOVED)
+                continue
+        result.append(instruction)
+    return result
+
+
+def _reorder_load_past_cas(instructions, transformations):
+    """TeraScale 2: a load followed by a CAS is emitted CAS-first.
+
+    The paper regards this as a miscompilation: "it invalidates code that
+    uses a CAS to synchronise between threads".
+    """
+    result = list(instructions)
+    index = 0
+    while index + 1 < len(result):
+        first, second = result[index], result[index + 1]
+        if (isinstance(first, Ld) and isinstance(second, AtomCas)
+                and first.guard is None and second.guard is None
+                and first.addr != second.addr):
+            result[index], result[index + 1] = second, first
+            transformations.append(LOAD_CAS_REORDERED)
+            index += 2
+            continue
+        index += 1
+    return result
+
+
+_EVERGREEN_MNEMONICS = {
+    Ld: "VFETCH", St: "MEM_RAT_CACHELESS STORE_RAW",
+    AtomCas: "MEM_RAT ATOMIC_CMPXCHG_INT", AtomExch: "MEM_RAT ATOMIC_XCHG_INT",
+    AtomInc: "MEM_RAT ATOMIC_INC", Membar: "FENCE_MEM", Mov: "MOV",
+}
+_SI_MNEMONICS = {
+    Ld: "BUFFER_LOAD_DWORD", St: "BUFFER_STORE_DWORD",
+    AtomCas: "BUFFER_ATOMIC_CMPSWAP", AtomExch: "BUFFER_ATOMIC_SWAP",
+    AtomInc: "BUFFER_ATOMIC_ADD", Membar: "S_WAITCNT vmcnt(0)", Mov: "V_MOV_B32",
+}
+
+
+def _isa_text(architecture, instructions):
+    table = (_EVERGREEN_MNEMONICS if architecture == "TeraScale 2"
+             else _SI_MNEMONICS)
+    lines = []
+    for instruction in instructions:
+        mnemonic = table.get(type(instruction), "; %s" % instruction)
+        lines.append("  %s  ; from: %s" % (mnemonic, instruction))
+    return "\n".join(lines)
+
+
+def compile_opencl_thread(program, architecture):
+    """Compile one OpenCL thread for an AMD architecture."""
+    if architecture not in ARCHITECTURES:
+        raise CompileError("unknown AMD architecture %r (known: %s)"
+                           % (architecture, ", ".join(ARCHITECTURES)))
+    transformations = []
+    instructions = list(program.instructions)
+    instructions = _combine_repeated_loads(instructions, transformations)
+    if architecture == "GCN 1.0":
+        instructions = _remove_fences_between_loads(instructions,
+                                                    transformations)
+    else:
+        instructions = _reorder_load_past_cas(instructions, transformations)
+    return AmdCompileResult(
+        architecture=architecture, instructions=tuple(instructions),
+        isa_text=_isa_text(architecture, instructions),
+        transformations=transformations)
+
+
+def effective_litmus(test, architecture):
+    """What actually runs on the AMD chip: the test *after* compilation.
+
+    Returns ``(effective test, transformations, valid)``.  ``valid`` is
+    False when a miscompilation (the TeraScale 2 load/CAS reorder)
+    invalidates the test — the paper's "n/a" entries.
+    """
+    threads, transformations = [], []
+    for program in test.threads:
+        compiled = compile_opencl_thread(program, architecture)
+        transformations.extend(compiled.transformations)
+        threads.append(ThreadProgram(
+            tid=program.tid, instructions=compiled.instructions,
+            name=program.name, reg_types=dict(program.reg_types)))
+    effective = LitmusTest(
+        name=test.name + "@" + ARCHITECTURES[architecture],
+        threads=tuple(threads), condition=test.condition,
+        scope_tree=test.scope_tree, memory_map=test.memory_map,
+        init_mem=dict(test.init_mem), reg_init=dict(test.reg_init),
+        description=test.description, idiom=test.idiom)
+    valid = LOAD_CAS_REORDERED not in transformations
+    return effective, transformations, valid

@@ -1,0 +1,99 @@
+"""Manufacturing dependencies that survive optimisation (Sec. 4.5, Fig. 13).
+
+Litmus tests probe whether dependencies order memory accesses.  A *false*
+dependency must have no effect on computed values yet survive the
+assembler's optimiser:
+
+* the classic CPU scheme (Fig. 13a) xors a value with itself — ``ptxas``
+  at ``-O3`` knows ``x ^ x = 0`` and deletes the chain;
+* the paper's scheme (Fig. 13b) ands the loaded value with
+  ``0x80000000`` — also always 0 in a litmus test (stores write small
+  positive values), but proving it requires an inter-thread analysis the
+  assembler does not perform, so the chain survives.
+"""
+
+import re
+
+from ..ptx.instructions import Add, And, Cvt, Ld, Xor
+from ..ptx.operands import Addr, Imm, Loc, Reg
+from ..ptx.types import CacheOp, TypeSpec
+from .._util import HIGH_BIT32
+
+#: The constant of Fig. 13(b): just the high bit set.
+HIGH_BIT = HIGH_BIT32
+
+
+def xor_dependency_chain(source_reg, base_reg, target_reg,
+                         scratch=("rx1", "rx2")):
+    """Fig. 13(a): an address-dependency chain ``ptxas -O3`` optimises
+    away (``xor r, src, src`` is always zero)."""
+    zero, wide = scratch
+    return [
+        Xor(Reg(zero), Reg(source_reg), Reg(source_reg), typ=TypeSpec.B32),
+        Cvt(Reg(wide), Reg(zero)),
+        Add(Reg(target_reg), Reg(base_reg), Reg(wide), typ=TypeSpec.U64),
+    ]
+
+
+def and_dependency_chain(source_reg, base_reg, target_reg,
+                         scratch=("ra1", "ra2")):
+    """Fig. 13(b): the and-with-high-bit chain that survives ``-O3``."""
+    zero, wide = scratch
+    return [
+        And(Reg(zero), Reg(source_reg), Imm(HIGH_BIT), typ=TypeSpec.B32),
+        Cvt(Reg(wide), Reg(zero)),
+        Add(Reg(target_reg), Reg(base_reg), Reg(wide), typ=TypeSpec.U64),
+    ]
+
+
+def dependent_load_pair(location_a, location_b, scheme="and"):
+    """The full Fig. 13 snippet: load ``a``, manufacture a dependency,
+    load ``b`` through the dependent address register.
+
+    Returns (instructions, reg_init) where reg_init binds the base
+    register to ``location_b``'s address.
+    """
+    chain_builder = (and_dependency_chain if scheme == "and"
+                     else xor_dependency_chain)
+    instructions = [Ld(Reg("r1"), Addr(Loc(location_a)), cop=CacheOp.CG)]
+    instructions.extend(chain_builder("r1", "r0", "r4"))
+    instructions.append(Ld(Reg("r5"), Addr(Reg("r4")), cop=CacheOp.CG))
+    return instructions, {"r0": Loc(location_b)}
+
+
+_BRACKET_RE = re.compile(r"\[(\w+)(?:\+\d+)?\]")
+
+
+def sass_address_dependency_intact(sass_program):
+    """Static dataflow over SASS: does the *last* load's address register
+    still depend on the *first* load's destination?
+
+    This is how one verifies, on the disassembled code, that the
+    manufactured dependency survived (or, for the xor scheme, that it was
+    folded away).
+    """
+    tainted = set()
+    first_load_seen = False
+    for instruction in sass_program:
+        opcode = instruction.opcode
+        operands = [op.rstrip(",") for op in map(str, instruction.operands)]
+        if opcode.startswith("LDG") or opcode == "LDV":
+            register, address = operands[0], operands[1]
+            match = _BRACKET_RE.match(address)
+            base = match.group(1) if match else None
+            if first_load_seen:
+                return base in tainted
+            first_load_seen = True
+            tainted.add(register)
+            continue
+        if not operands:
+            continue
+        destination, sources = operands[0], operands[1:]
+        if opcode == "MOV32I":
+            tainted.discard(destination)  # constant: kills the taint
+        elif opcode in ("MOV", "I2I", "IADD", "LOP.AND", "LOP.XOR"):
+            if any(source in tainted for source in sources):
+                tainted.add(destination)
+            else:
+                tainted.discard(destination)
+    return False

@@ -1,0 +1,55 @@
+"""The paper's experimental fix for Fermi's L1 (Sec. 3.1.2).
+
+No fence restores ordering for ``.ca`` (L1-targeting) loads on the Tesla
+C2075, so the paper "experimentally fixes this issue by setting cache
+operators to .cg (using the CUDA compiler flags ``-Xptxas -dlcm=cg``
+``-Xptxas -dscm=cg``) and using membar.gl fences" — i.e. compile every
+load and store to target the L2.
+
+:func:`apply_cache_flags` performs that rewriting on a litmus test (or a
+single thread program), mirroring what the compiler flags do.
+"""
+
+from dataclasses import replace
+
+from ..litmus.test import LitmusTest
+from ..ptx.instructions import Ld, St
+from ..ptx.program import ThreadProgram
+from ..ptx.types import CacheOp
+
+#: The flag spellings from the paper.
+DLCM_FLAG = "-Xptxas -dlcm=cg"
+DSCM_FLAG = "-Xptxas -dscm=cg"
+
+
+def _rewrite_instruction(instruction):
+    if isinstance(instruction, Ld) and not instruction.volatile:
+        if instruction.effective_cop is not CacheOp.CG:
+            return replace(instruction, cop=CacheOp.CG)
+    if isinstance(instruction, St) and not instruction.volatile:
+        if instruction.effective_cop is not CacheOp.CG:
+            return replace(instruction, cop=CacheOp.CG)
+    return instruction
+
+
+def apply_cache_flags(target):
+    """Rewrite all non-volatile loads/stores to the ``.cg`` operator.
+
+    Accepts a :class:`~repro.ptx.program.ThreadProgram` or a
+    :class:`~repro.litmus.test.LitmusTest`; returns the rewritten copy.
+    """
+    if isinstance(target, ThreadProgram):
+        return ThreadProgram(
+            tid=target.tid,
+            instructions=tuple(_rewrite_instruction(i) for i in target),
+            name=target.name, reg_types=dict(target.reg_types))
+    if isinstance(target, LitmusTest):
+        return LitmusTest(
+            name=target.name + "+dlcm=cg",
+            threads=tuple(apply_cache_flags(t) for t in target.threads),
+            condition=target.condition, scope_tree=target.scope_tree,
+            memory_map=target.memory_map, init_mem=dict(target.init_mem),
+            reg_init=dict(target.reg_init), description=target.description,
+            idiom=target.idiom)
+    raise TypeError("expected a ThreadProgram or LitmusTest, got %r"
+                    % (target,))

@@ -1,0 +1,192 @@
+"""optcheck: verify that compiled SASS matches the litmus test (Sec. 4.4).
+
+The tool embeds a specification into the PTX of a litmus test — one
+``xor`` instruction per memory access, whose integer literal encodes the
+register used, the kind of instruction, and its position in the order of
+memory accesses — then checks the disassembled SASS against it:
+
+    xor.b32 r2, rb, 0x07f3a001
+                     \\______/
+                      constant encodes (kind, position); the register
+                      operand names the access's register
+
+Because every access in a generated litmus test uses a distinct register,
+the correspondence between accesses and ``xor`` markers is one-to-one.
+optcheck catches both *reorderings* (the CUDA 5.5 volatile-load swap) and
+*removals* of memory accesses.
+"""
+
+import re
+from dataclasses import dataclass
+
+from ..errors import OptcheckViolation
+from ..ptx.instructions import (AtomAdd, AtomCas, AtomExch, AtomInc, Ld, St,
+                                Xor)
+from ..ptx.operands import Imm, Reg
+from ..ptx.program import ThreadProgram
+from ..ptx.types import TypeSpec
+from .sass import assemble, cuobjdump
+
+#: High bits distinguishing specification xors from programme xors.
+MAGIC = 0x07F3A000
+_MAGIC_MASK = 0xFFFFF000
+_KIND_SHIFT = 6
+_POSITION_MASK = 0x3F
+
+#: Instruction-kind codes (e.g. "00 for a load with cache operator .cg").
+KIND_CODES = {
+    "ld.cg": 0, "ld.ca": 1, "ld.volatile": 2,
+    "st": 3, "st.volatile": 4,
+    "atom.cas": 5, "atom.exch": 6, "atom.add": 7,
+}
+
+_SASS_KINDS = {
+    "LDG.CG": "ld.cg", "LDG.CA": "ld.ca", "LDV": "ld.volatile",
+    "STG": "st", "STV": "st.volatile",
+}
+
+
+def _kind_of_ptx(instruction):
+    if isinstance(instruction, Ld):
+        if instruction.volatile:
+            return "ld.volatile"
+        return "ld.%s" % instruction.effective_cop.value
+    if isinstance(instruction, St):
+        return "st.volatile" if instruction.volatile else "st"
+    if isinstance(instruction, AtomCas):
+        return "atom.cas"
+    if isinstance(instruction, AtomExch):
+        return "atom.exch"
+    if isinstance(instruction, (AtomInc, AtomAdd)):
+        return "atom.add"
+    return None
+
+
+def _register_of(instruction):
+    """The distinguishing register of an access (loads: destination;
+    stores: the source register when there is one)."""
+    if isinstance(instruction, Ld):
+        return instruction.dst.name
+    if isinstance(instruction, St):
+        return instruction.src.name if isinstance(instruction.src, Reg) else "rz"
+    return instruction.dst.name  # atomics
+
+
+@dataclass(frozen=True)
+class SpecEntry:
+    """One decoded specification marker."""
+
+    position: int
+    kind: str
+    register: str
+
+
+def encode(kind, position):
+    return MAGIC | (KIND_CODES[kind] << _KIND_SHIFT) | position
+
+
+def decode(value):
+    if (value & _MAGIC_MASK) != MAGIC:
+        return None
+    kind_code = (value >> _KIND_SHIFT) & 0xF
+    for kind, code in KIND_CODES.items():
+        if code == kind_code:
+            return kind, value & _POSITION_MASK
+    return None
+
+
+def embed_specification(program):
+    """Append the specification xors to a thread program."""
+    spec = []
+    position = 0
+    for instruction in program.instructions:
+        kind = _kind_of_ptx(instruction)
+        if kind is None:
+            continue
+        spec.append(Xor(Reg("rspec%d" % position),
+                        Reg(_register_of(instruction)),
+                        Imm(encode(kind, position)), typ=TypeSpec.B32))
+        position += 1
+    return ThreadProgram(tid=program.tid,
+                         instructions=program.instructions + tuple(spec),
+                         name=program.name, reg_types=dict(program.reg_types))
+
+
+_XOR_RE = re.compile(r"LOP\.XOR (\S+), (\S+), (0x[0-9a-f]+)")
+_ACCESS_RE = re.compile(
+    r"(LDG\.\w+|LDV|STG|STV|ATOM) ([^;]*)")
+
+
+def _parse_spec(dump):
+    entries = []
+    for match in _XOR_RE.finditer(dump):
+        value = int(match.group(3), 16)
+        decoded = decode(value)
+        if decoded is None:
+            continue
+        kind, position = decoded
+        entries.append(SpecEntry(position=position, kind=kind,
+                                 register=match.group(2).rstrip(",")))
+    return sorted(entries, key=lambda entry: entry.position)
+
+
+def _parse_accesses(dump):
+    accesses = []
+    for match in _ACCESS_RE.finditer(dump):
+        opcode, rest = match.group(1), match.group(2)
+        operands = [part.strip() for part in rest.split(",")]
+        if opcode == "ATOM":
+            sub = operands[0]
+            kind = {"CAS": "atom.cas", "EXCH": "atom.exch",
+                    "ADD": "atom.add"}[sub]
+            register = operands[1]
+        elif opcode.startswith("LD"):
+            kind = _SASS_KINDS[opcode]
+            register = operands[0]
+        else:
+            kind = _SASS_KINDS[opcode]
+            source = operands[1] if len(operands) > 1 else "rz"
+            register = source if source.startswith("r") else "rz"
+        accesses.append((kind, register))
+    return accesses
+
+
+def check_sass(dump):
+    """Check a cuobjdump listing against its embedded specification.
+
+    Raises :class:`~repro.errors.OptcheckViolation` when the memory
+    accesses of the SASS do not match the specification's order, kinds or
+    registers — i.e. when the assembler reordered or removed accesses.
+    """
+    spec = _parse_spec(dump)
+    if not spec:
+        raise OptcheckViolation("no specification markers found in SASS")
+    accesses = _parse_accesses(dump)
+    if len(accesses) != len(spec):
+        raise OptcheckViolation(
+            "SASS has %d memory accesses but the specification lists %d"
+            % (len(accesses), len(spec)))
+    for entry, (kind, register) in zip(spec, accesses):
+        if kind != entry.kind:
+            raise OptcheckViolation(
+                "access %d: expected %s, SASS has %s"
+                % (entry.position, entry.kind, kind))
+        if entry.register != "rz" and register != entry.register:
+            raise OptcheckViolation(
+                "access %d (%s): expected register %s, SASS uses %s"
+                % (entry.position, kind, entry.register, register))
+    return True
+
+
+def optcheck(program, opt_level="-O3", cuda_version="6.0", seed=0):
+    """The full Sec. 4.4 pipeline for one thread.
+
+    Embed the specification, assemble with ``ptxas``, disassemble with
+    ``cuobjdump``, and check.  Returns the SASS program when the check
+    passes; raises :class:`OptcheckViolation` otherwise.
+    """
+    instrumented = embed_specification(program)
+    sass = assemble(instrumented, opt_level=opt_level,
+                    cuda_version=cuda_version, seed=seed)
+    check_sass(cuobjdump(sass))
+    return sass

@@ -1,0 +1,221 @@
+"""A SASS-like target ISA and a ``ptxas``-style assembler (Sec. 4.4).
+
+Nvidia's real SASS is undocumented; the paper works around it by
+disassembling binaries with ``cuobjdump`` and checking them against a
+specification.  To exercise that workflow we model:
+
+* a **SASS instruction set** (``LDG``, ``STG``, ``ATOM``, ``MEMBAR``,
+  ``MOV32I``, ``IADD``, ``LOP.AND``, ``LOP.XOR``, ``ISETP``, ``BRA``,
+  ``NOP``) with a textual form that :func:`cuobjdump` prints;
+* an assembler with two optimisation levels:
+
+  - ``-O0`` keeps every PTX operation but *separates adjacent memory
+    accesses with scheduling filler* ("instructions that were adjacent in
+    the PTX code are separated by several instructions in the SASS
+    code") — undesirable for litmus testing;
+  - ``-O3`` drops the filler and runs peephole optimisations, including
+    the **xor-false-dependency elimination** that destroys Fig. 13(a)
+    dependency chains, and — for CUDA release 5.5 — the documented bug of
+    **reordering volatile loads to the same address** (observed while
+    testing coRR on Maxwell; fixed in CUDA 6.0).
+"""
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import CompileError
+from ..ptx.instructions import (Add, And, AtomAdd, AtomCas, AtomExch,
+                                AtomInc, Bra, Cvt, Label, Ld, Membar, Mov,
+                                Setp, St, Xor)
+from ..ptx.operands import Addr, Imm, Loc, Reg
+
+
+@dataclass(frozen=True)
+class SassInstr:
+    """One SASS instruction: opcode plus textual operands.
+
+    ``source`` records the index of the PTX instruction this SASS
+    instruction implements (None for filler), which optcheck uses to map
+    accesses back to the litmus test.
+    """
+
+    opcode: str
+    operands: tuple = ()
+    source: int = None
+
+    @property
+    def is_memory_access(self):
+        return self.opcode.startswith(("LDG", "STG", "LDV", "STV", "ATOM"))
+
+    def __str__(self):
+        if not self.operands:
+            return self.opcode
+        return "%s %s" % (self.opcode, ", ".join(str(op) for op in self.operands))
+
+
+@dataclass
+class SassProgram:
+    """The SASS for one thread."""
+
+    instructions: list = field(default_factory=list)
+    name: str = "T?"
+
+    def memory_accesses(self):
+        return [i for i in self.instructions if i.is_memory_access]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __len__(self):
+        return len(self.instructions)
+
+
+def _addr_text(addr):
+    base = addr.base.name if isinstance(addr.base, (Loc, Reg)) else str(addr.base)
+    return "[%s+%d]" % (base, addr.offset) if addr.offset else "[%s]" % base
+
+
+def _operand_text(operand):
+    if isinstance(operand, Imm):
+        return hex(operand.value) if operand.value > 255 else str(operand.value)
+    if isinstance(operand, Addr):
+        return _addr_text(operand)
+    return str(operand)
+
+
+def _translate(instruction, index):
+    """One PTX instruction -> one or more SASS instructions."""
+    if isinstance(instruction, Ld):
+        opcode = "LDV" if instruction.volatile else "LDG"
+        suffix = "" if instruction.volatile else ".%s" % instruction.effective_cop.value.upper()
+        return [SassInstr(opcode + suffix,
+                          (str(instruction.dst), _addr_text(instruction.addr)),
+                          source=index)]
+    if isinstance(instruction, St):
+        opcode = "STV" if instruction.volatile else "STG"
+        return [SassInstr(opcode,
+                          (_addr_text(instruction.addr), _operand_text(instruction.src)),
+                          source=index)]
+    if isinstance(instruction, AtomCas):
+        return [SassInstr("ATOM", ("CAS", str(instruction.dst),
+                                   _addr_text(instruction.addr),
+                                   _operand_text(instruction.cmp),
+                                   _operand_text(instruction.new)), source=index)]
+    if isinstance(instruction, AtomExch):
+        return [SassInstr("ATOM", ("EXCH", str(instruction.dst),
+                                   _addr_text(instruction.addr),
+                                   _operand_text(instruction.src)), source=index)]
+    if isinstance(instruction, (AtomInc, AtomAdd)):
+        return [SassInstr("ATOM", ("ADD", str(instruction.dst),
+                                   _addr_text(instruction.addr)), source=index)]
+    if isinstance(instruction, Membar):
+        return [SassInstr("MEMBAR", (instruction.scope.value.upper(),), source=index)]
+    if isinstance(instruction, Mov):
+        return [SassInstr("MOV32I", (str(instruction.dst),
+                                     _operand_text(instruction.src)), source=index)]
+    if isinstance(instruction, Add):
+        return [SassInstr("IADD", (str(instruction.dst), _operand_text(instruction.a),
+                                   _operand_text(instruction.b)), source=index)]
+    if isinstance(instruction, And):
+        return [SassInstr("LOP.AND", (str(instruction.dst), _operand_text(instruction.a),
+                                      _operand_text(instruction.b)), source=index)]
+    if isinstance(instruction, Xor):
+        return [SassInstr("LOP.XOR", (str(instruction.dst), _operand_text(instruction.a),
+                                      _operand_text(instruction.b)), source=index)]
+    if isinstance(instruction, Cvt):
+        return [SassInstr("I2I", (str(instruction.dst), str(instruction.src)),
+                          source=index)]
+    if isinstance(instruction, Setp):
+        return [SassInstr("ISETP.%s" % instruction.cmp.upper(),
+                          (str(instruction.dst), _operand_text(instruction.a),
+                           _operand_text(instruction.b)), source=index)]
+    if isinstance(instruction, Bra):
+        return [SassInstr("BRA", (instruction.target,), source=index)]
+    if isinstance(instruction, Label):
+        return [SassInstr("LABEL", (instruction.name,), source=index)]
+    raise CompileError("cannot translate %r to SASS" % (instruction,))
+
+
+def _xor_false_dep_elimination(sass):
+    """Peephole: ``LOP.XOR r, a, a`` is always zero — fold it.
+
+    This is the optimisation that destroys the Fig. 13(a) dependency
+    scheme: once the xor folds to a constant, the subsequent adds fold
+    too and the manufactured address dependency vanishes.
+    """
+    known_zero = set()
+    optimised = []
+    for instr in sass:
+        if (instr.opcode == "LOP.XOR" and len(instr.operands) == 3
+                and instr.operands[1] == instr.operands[2]):
+            known_zero.add(instr.operands[0])
+            optimised.append(SassInstr("MOV32I", (instr.operands[0], "0"),
+                                       source=instr.source))
+            continue
+        if (instr.opcode in ("IADD", "I2I") and len(instr.operands) >= 2
+                and any(op in known_zero for op in instr.operands[1:])):
+            remaining = [op for op in instr.operands[1:] if op not in known_zero]
+            if len(remaining) == 1:
+                # x + 0 = x: the instruction becomes a register copy; the
+                # dependency on the zero register is gone.
+                optimised.append(SassInstr("MOV", (instr.operands[0], remaining[0]),
+                                           source=instr.source))
+                continue
+            if not remaining:
+                known_zero.add(instr.operands[0])
+                optimised.append(SassInstr("MOV32I", (instr.operands[0], "0"),
+                                           source=instr.source))
+                continue
+        if instr.operands and instr.operands[0] in known_zero:
+            known_zero.discard(instr.operands[0])
+        optimised.append(instr)
+    return optimised
+
+
+def _cuda55_volatile_reorder(sass, rng):
+    """The CUDA 5.5 bug (Sec. 4.4 / Table 2 bottom): adjacent volatile
+    loads from the same address are occasionally swapped."""
+    result = list(sass)
+    for i in range(len(result) - 1):
+        a, b = result[i], result[i + 1]
+        if (a.opcode == "LDV" and b.opcode == "LDV"
+                and a.operands[1] == b.operands[1] and rng.random() < 0.5):
+            result[i], result[i + 1] = b, a
+    return result
+
+
+_FILLER = [
+    SassInstr("NOP"), SassInstr("MOV", ("RZ", "RZ")),
+    SassInstr("IADD", ("R255", "R255", "0")), SassInstr("NOP"),
+]
+
+
+def assemble(program, opt_level="-O3", cuda_version="6.0", seed=0):
+    """Assemble a PTX :class:`~repro.ptx.program.ThreadProgram` to SASS.
+
+    ``opt_level`` is ``-O0`` or ``-O3``; ``cuda_version`` selects compiler
+    behaviour (``"5.5"`` reproduces the volatile-reorder bug).
+    """
+    if opt_level not in ("-O0", "-O3"):
+        raise CompileError("ptxas supports -O0 and -O3 here")
+    rng = random.Random(seed)
+    sass = []
+    for index, instruction in enumerate(program.instructions):
+        translated = _translate(instruction, index)
+        sass.extend(translated)
+        if opt_level == "-O0":
+            # Unoptimised schedules interleave address math and fills.
+            sass.extend(_FILLER[: 2 + rng.randrange(3)])
+    if opt_level == "-O3":
+        sass = _xor_false_dep_elimination(sass)
+        if cuda_version == "5.5":
+            sass = _cuda55_volatile_reorder(sass, rng)
+    return SassProgram(instructions=sass, name=program.name)
+
+
+def cuobjdump(sass_program):
+    """Disassemble: the textual dump optcheck parses (à la cuobjdump)."""
+    lines = ["\t.text.%s:" % sass_program.name]
+    lines.extend("\t/*%04x*/  %s ;" % (8 * i, instr)
+                 for i, instr in enumerate(sass_program))
+    return "\n".join(lines)

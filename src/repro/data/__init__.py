@@ -1,0 +1,5 @@
+"""Published data from the paper, for paper-vs-measured comparisons."""
+
+from . import paper
+
+__all__ = ["paper"]

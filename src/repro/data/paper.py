@@ -1,0 +1,96 @@
+"""The paper's published observation counts, verbatim.
+
+Every figure's obs/100k table and Table 6 are transcribed here so the
+benchmarks can print paper-vs-measured comparisons (EXPERIMENTS.md).
+``None`` marks the paper's "n/a" cells (tests invalidated by AMD
+compiler issues, Sec. 3.2.1/3.2.3).
+"""
+
+#: Chip column order used by the figures.
+FIGURE_CHIPS = ["GTX5", "TesC", "GTX6", "Titan", "GTX7", "HD6570", "HD7970"]
+NVIDIA_CHIPS = ["GTX5", "TesC", "GTX6", "Titan", "GTX7"]
+
+#: Fig. 1 — coRR, intra-CTA, obs/100k.
+FIG1_CORR = {"GTX5": 11642, "TesC": 8879, "GTX6": 9599, "Titan": 9787,
+             "GTX7": 0, "HD6570": 0, "HD7970": 0}
+
+#: Fig. 3 — mp-L1 fence sweep (Nvidia only), rows keyed by fence.
+FIG3_MP_L1 = {
+    "no-op": {"GTX5": 4979, "TesC": 10581, "GTX6": 3635, "Titan": 6011, "GTX7": 3},
+    "membar.cta": {"GTX5": 0, "TesC": 308, "GTX6": 14, "Titan": 1696, "GTX7": 0},
+    "membar.gl": {"GTX5": 0, "TesC": 187, "GTX6": 0, "Titan": 0, "GTX7": 0},
+    "membar.sys": {"GTX5": 0, "TesC": 162, "GTX6": 0, "Titan": 0, "GTX7": 0},
+}
+
+#: Fig. 4 — coRR-L2-L1 fence sweep (Nvidia only).
+FIG4_CORR_L2_L1 = {
+    "no-op": {"GTX5": 2556, "TesC": 2982, "GTX6": 2, "Titan": 141, "GTX7": 0},
+    "membar.cta": {"GTX5": 1934, "TesC": 2180, "GTX6": 0, "Titan": 0, "GTX7": 0},
+    "membar.gl": {"GTX5": 0, "TesC": 1496, "GTX6": 0, "Titan": 0, "GTX7": 0},
+    "membar.sys": {"GTX5": 0, "TesC": 1428, "GTX6": 0, "Titan": 0, "GTX7": 0},
+}
+
+#: Fig. 5 — mp-volatile, intra-CTA shared memory (Nvidia only).
+FIG5_MP_VOLATILE = {"GTX5": 6301, "TesC": 4977, "GTX6": 2753, "Titan": 2188,
+                    "GTX7": 0}
+
+#: Fig. 7 — dlb-mp (deque message passing), inter-CTA.
+FIG7_DLB_MP = {"GTX5": 0, "TesC": 4, "GTX6": 36, "Titan": 65, "GTX7": 0,
+               "HD6570": 0, "HD7970": 0}
+
+#: Fig. 8 — dlb-lb (deque load buffering); HD6570 n/a: the TeraScale 2
+#: OpenCL compiler reorders the load and the CAS (a miscompilation).
+FIG8_DLB_LB = {"GTX5": 0, "TesC": 750, "GTX6": 399, "Titan": 2292, "GTX7": 0,
+               "HD6570": None, "HD7970": 13591}
+
+#: Fig. 9 — cas-sl (CUDA-by-Example spin lock).
+FIG9_CAS_SL = {"GTX5": 0, "TesC": 47, "GTX6": 43, "Titan": 512, "GTX7": 0,
+               "HD6570": 508, "HD7970": 748}
+
+#: Fig. 11 — sl-future (He-Yu spin lock); AMD n/a: automatic fence
+#: placement by the OpenCL compiler could not be avoided (Sec. 3.2).
+FIG11_SL_FUTURE = {"GTX5": 0, "TesC": 99, "GTX6": 41, "Titan": 58, "GTX7": 0,
+                   "HD6570": None, "HD7970": None}
+
+#: AMD OpenCL classic-mp observations quoted in Sec. 3.1.2 (no fences /
+#: with global fences).  On GCN 1.0 the fence between loads is removed by
+#: the compiler, so the weak behaviour persists.
+SEC312_AMD_MP = {
+    "HD6570": {"no-fence": 9327, "fenced": 0},
+    "HD7970": {"no-fence": 2956, "fenced": 2956},
+}
+
+#: Sec. 6 — lb+membar.ctas: forbidden by the operational model of
+#: Sorensen et al. but observed on hardware.
+SEC6_LB_MEMBAR_CTAS = {"Titan": 586, "GTX6": 19}
+
+#: Table 6 lives in repro.harness.incantations.TABLE6 (it doubles as the
+#: efficacy calibration); re-exported here for the benchmarks.
+from ..harness.incantations import TABLE6  # noqa: E402,F401
+
+#: Table 4 — compilers and drivers used (Nvidia CUDA SDK / AMD APP SDK).
+TABLE4_TOOLCHAINS = {
+    "GTX5": {"sdk": "5.5", "driver": "331.20", "options": "sm_21"},
+    "TesC": {"sdk": "5.5", "driver": "334.16", "options": "sm_20"},
+    "GTX6": {"sdk": "5.0", "driver": "331.67", "options": "sm_30"},
+    "Titan": {"sdk": "6.0", "driver": "331.62", "options": "sm_35"},
+    "GTX7": {"sdk": "6.0", "driver": "331.62", "options": "sm_50"},
+    "HD6570": {"sdk": "2.9", "driver": "14.4", "options": "default"},
+    "HD7970": {"sdk": "2.9", "driver": "14.4", "options": "default"},
+}
+
+#: Sec. 5.4 — the model validation corpus size.
+SEC54_TEST_COUNT = 10930
+
+#: Map of figure id -> (library test configurations, paper data) used by
+#: the benchmark index.
+FIGURE_INDEX = {
+    "fig1": ("coRR", FIG1_CORR),
+    "fig3": ("mp-L1", FIG3_MP_L1),
+    "fig4": ("coRR-L2-L1", FIG4_CORR_L2_L1),
+    "fig5": ("mp-volatile", FIG5_MP_VOLATILE),
+    "fig7": ("dlb-mp", FIG7_DLB_MP),
+    "fig8": ("dlb-lb", FIG8_DLB_LB),
+    "fig9": ("cas-sl", FIG9_CAS_SL),
+    "fig11": ("sl-future", FIG11_SL_FUTURE),
+}

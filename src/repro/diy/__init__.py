@@ -1,0 +1,15 @@
+"""diy for GPUs: systematic litmus-test generation from relaxation cycles."""
+
+from .cycles import Cycle, cycles_up_to, enumerate_cycles, try_cycle
+from .edges import (DIFF_CTA, Edge, SAME_CTA, coe, default_pool, dp, fenced,
+                    fre, parse_edge, po, rfe)
+from .generate import cycle_to_test, generate_tests
+from .naming import classify, idiom_of
+
+__all__ = [
+    "Cycle", "cycles_up_to", "enumerate_cycles", "try_cycle",
+    "DIFF_CTA", "Edge", "SAME_CTA", "coe", "default_pool", "dp", "fenced",
+    "fre", "parse_edge", "po", "rfe",
+    "cycle_to_test", "generate_tests",
+    "classify", "idiom_of",
+]

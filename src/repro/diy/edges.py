@@ -1,0 +1,166 @@
+"""Relaxation edges for systematic test generation (Sec. 4.1).
+
+The diy tool generates litmus tests from *cycles* of edges, each edge
+being a candidate relaxation: program order between two accesses
+(``PodWW``, ``PosRR``, ...), a dependency (``DpAddrdR``, ...), a fence
+(``FencedWW.gl``, ...), or a communication step between threads
+(``Rfe``, ``Fre``, ``Coe``).  The paper's GPU extension adds *scope
+annotations* to communication edges (same CTA vs different CTAs) and
+*region annotations* to locations; both are carried here.
+
+Edge naming follows diy: ``Po``/``Dp``/``Fenced`` edges are *internal*
+(same thread), ``Rfe``/``Fre``/``Coe`` are *external* (thread-changing,
+and always same-location since ``rf``/``co``/``fr`` relate accesses to
+one location).  The ``d``/``s`` letter says whether the edge changes
+location (different) or not (same); direction letters give the source
+and target access kinds.
+"""
+
+from dataclasses import dataclass
+
+from ..errors import GenerationError
+from ..ptx.types import Scope
+
+#: Scope annotation values for external edges.
+SAME_CTA = "cta"
+DIFF_CTA = "dev"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One candidate relaxation.
+
+    ``kind``: "Po", "Dp", "Fenced", "Rfe", "Fre", "Coe".
+    ``src``/``dst``: access directions "R"/"W" at the edge's endpoints.
+    ``same_loc``: whether both endpoints target the same location.
+    ``same_thread``: internal (True) vs external (False).
+    ``dep``: for Dp edges, "addr"/"data"/"ctrl".
+    ``fence``: for Fenced edges, the :class:`~repro.ptx.types.Scope`.
+    ``scope``: for external edges, ``SAME_CTA`` or ``DIFF_CTA``.
+    """
+
+    kind: str
+    src: str
+    dst: str
+    same_loc: bool
+    same_thread: bool
+    dep: str = None
+    fence: Scope = None
+    scope: str = DIFF_CTA
+
+    def __post_init__(self):
+        if self.src not in ("R", "W") or self.dst not in ("R", "W"):
+            raise GenerationError("edge directions must be R or W")
+        if self.kind == "Dp" and self.dep not in ("addr", "data", "ctrl"):
+            raise GenerationError("Dp edge needs dep in addr/data/ctrl")
+        if self.kind == "Dp" and self.src != "R":
+            raise GenerationError("dependencies originate at reads")
+        if self.kind == "Fenced" and self.fence is None:
+            raise GenerationError("Fenced edge needs a fence scope")
+        if self.kind in ("Rfe", "Fre", "Coe") and self.same_thread:
+            raise GenerationError("communication edges are external")
+        if self.kind in ("Rfe", "Fre", "Coe") and not self.same_loc:
+            raise GenerationError("communication edges are same-location")
+
+    @property
+    def name(self):
+        """Canonical diy-style edge name."""
+        loc_letter = "s" if self.same_loc else "d"
+        dirs = self.src + self.dst
+        if self.kind == "Po":
+            return "Po%s%s" % (loc_letter, dirs)
+        if self.kind == "Dp":
+            return "Dp%s%s%s" % (self.dep.capitalize(), loc_letter, self.dst)
+        if self.kind == "Fenced":
+            return "Fenced%s%s.%s" % (loc_letter, dirs, self.fence.value)
+        suffix = "" if self.scope == DIFF_CTA else "-cta"
+        return self.kind + suffix
+
+    def __str__(self):
+        return self.name
+
+
+# -- constructors ------------------------------------------------------------
+
+def po(src, dst, same_loc=False):
+    """Program-order edge, e.g. ``po("W", "W")`` = PodWW."""
+    return Edge("Po", src, dst, same_loc=same_loc, same_thread=True)
+
+
+def dp(dep, dst, same_loc=False):
+    """Dependency edge from a read, e.g. ``dp("addr", "R")`` = DpAddrdR."""
+    return Edge("Dp", "R", dst, same_loc=same_loc, same_thread=True, dep=dep)
+
+
+def fenced(scope, src, dst, same_loc=False):
+    """Fence edge, e.g. ``fenced(Scope.GL, "W", "W")``."""
+    return Edge("Fenced", src, dst, same_loc=same_loc, same_thread=True,
+                fence=scope)
+
+
+def rfe(scope=DIFF_CTA):
+    """External read-from: a write observed by a read in another thread."""
+    return Edge("Rfe", "W", "R", same_loc=True, same_thread=False, scope=scope)
+
+
+def fre(scope=DIFF_CTA):
+    """External from-read: a read overwritten by another thread's write."""
+    return Edge("Fre", "R", "W", same_loc=True, same_thread=False, scope=scope)
+
+
+def coe(scope=DIFF_CTA):
+    """External coherence: two writes to one location, ordered."""
+    return Edge("Coe", "W", "W", same_loc=True, same_thread=False, scope=scope)
+
+
+#: The default edge pool used for family generation: every program-order
+#: shape, every dependency, every fence scope, and the three external
+#: communication edges at both GPU scopes.
+def default_pool(scopes=(DIFF_CTA, SAME_CTA), fences=tuple(Scope)):
+    pool = []
+    for src in "WR":
+        for dst in "WR":
+            pool.append(po(src, dst))
+    pool.append(po("R", "R", same_loc=True))   # PosRR: the coRR ingredient
+    pool.append(po("W", "W", same_loc=True))   # PosWW: coherence pairs
+    for dep in ("addr", "data", "ctrl"):
+        targets = ("R", "W") if dep != "data" else ("W",)
+        for dst in targets:
+            pool.append(dp(dep, dst))
+    for scope in fences:
+        for src in "WR":
+            for dst in "WR":
+                pool.append(fenced(scope, src, dst))
+    for scope in scopes:
+        pool.extend([rfe(scope), fre(scope), coe(scope)])
+    return pool
+
+
+def parse_edge(text):
+    """Parse a diy-style edge name (inverse of :attr:`Edge.name`)."""
+    text = text.strip()
+    scope = DIFF_CTA
+    if text.endswith("-cta"):
+        scope, text = SAME_CTA, text[:-len("-cta")]
+    if text == "Rfe":
+        return rfe(scope)
+    if text == "Fre":
+        return fre(scope)
+    if text in ("Coe", "Wse"):
+        return coe(scope)
+    if text.startswith("Po") and len(text) == 5:
+        loc, src, dst = text[2], text[3], text[4]
+        return po(src, dst, same_loc=(loc == "s"))
+    if text.startswith("Dp"):
+        for dep in ("Addr", "Data", "Ctrl"):
+            prefix = "Dp" + dep
+            if text.startswith(prefix):
+                loc, dst = text[len(prefix)], text[len(prefix) + 1]
+                return dp(dep.lower(), dst, same_loc=(loc == "s"))
+    if text.startswith("Fenced"):
+        rest = text[len("Fenced"):]
+        if "." in rest:
+            dirs, scope_name = rest.split(".", 1)
+            loc, src, dst = dirs[0], dirs[1], dirs[2]
+            return fenced(Scope(scope_name), src, dst, same_loc=(loc == "s"))
+    raise GenerationError("cannot parse edge name %r" % text)

@@ -1,0 +1,83 @@
+"""Classic idiom names for generated cycles (Table 3 of the paper).
+
+diy names tests after the litmus idiom their cycle realises: ``mp``
+(message passing), ``sb`` (store buffering), ``lb`` (load buffering),
+``coRR`` (read-read coherence), and so on.  Cycles without a classic name
+get their canonical edge string.
+"""
+
+#: Canonical (rotation-minimal) edge tuples for the classic idioms.  Scope
+#: annotations are stripped before matching, so ``mp`` inter-CTA and
+#: intra-CTA both classify as ``mp``.
+_CLASSICS = {
+    ("Fre", "PodWW", "Rfe", "PodRR"): "mp",
+    ("Fre", "PodWR", "Fre", "PodWR"): "sb",
+    ("PodRW", "Rfe", "PodRW", "Rfe"): "lb",
+    ("Fre", "Rfe", "PosRR"): "coRR",
+    ("Coe", "PosWW"): "coWW",
+    ("Fre", "PosWR"): "coWR",
+    ("PosRW", "Rfe"): "coRW1",
+    ("Coe", "PodWW", "Coe", "PodWW"): "2+2w",
+    ("Coe", "PodWR", "Fre", "PodWW"): "r",
+    ("Coe", "PodWW", "Rfe", "PodRW"): "s",
+}
+
+#: Dependency/fence edge prefixes treated as decorated program order when
+#: matching the classics: ``mp+membar.gl+addr`` etc.
+_DECORATIONS = {"Dp": "Po", "Fenced": "Po"}
+
+
+def _strip(edge_name):
+    """Reduce an edge name to its bare program-order/communication shape."""
+    if edge_name.endswith("-cta"):
+        edge_name = edge_name[:-len("-cta")]
+    if edge_name.startswith("Fenced"):
+        body = edge_name[len("Fenced"):].split(".")[0]
+        return "Po" + body
+    if edge_name.startswith("Dp"):
+        # DpAddrdR -> PodR? — direction of the source is always R.
+        loc_and_dst = edge_name[len("DpAddr"):]
+        return "Po" + loc_and_dst[0] + "R" + loc_and_dst[1]
+    return edge_name
+
+
+def _decorations(cycle):
+    """Collect the fence/dependency decorations of a cycle, in edge order."""
+    found = []
+    for edge in cycle.edges:
+        if edge.kind == "Fenced":
+            found.append("membar.%s" % edge.fence.value)
+        elif edge.kind == "Dp":
+            found.append(edge.dep)
+    return found
+
+
+def classify(cycle):
+    """Name a cycle: classic idiom (possibly decorated) or edge string.
+
+    Examples: ``mp``, ``mp+membar.gl+addr``, ``sb`` — falling back to the
+    canonical edge listing for cycles outside the classic table.
+    """
+    stripped = sorted(
+        tuple(_strip(name) for name in rotation)
+        for rotation in _rotations([edge.name for edge in cycle.edges]))
+    base = None
+    for rotation in stripped:
+        if rotation in _CLASSICS:
+            base = _CLASSICS[rotation]
+            break
+    if base is None:
+        return "+".join(cycle.canonical())
+    decorations = _decorations(cycle)
+    if decorations:
+        return base + "+" + "+".join(decorations)
+    return base
+
+
+def _rotations(names):
+    return [names[i:] + names[:i] for i in range(len(names))]
+
+
+def idiom_of(cycle):
+    """The bare idiom (Table 3 glossary entry) of a cycle."""
+    return classify(cycle).split("+")[0]

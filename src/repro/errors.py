@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PtxSyntaxError(ReproError):
+    """Raised when PTX assembly text cannot be parsed."""
+
+    def __init__(self, message, line=None, text=None):
+        self.line = line
+        self.text = text
+        location = "" if line is None else " (line %d)" % line
+        snippet = "" if text is None else ": %r" % text
+        super().__init__(message + location + snippet)
+
+
+class LitmusSyntaxError(ReproError):
+    """Raised when a litmus test file cannot be parsed."""
+
+
+class ScopeTreeError(ReproError):
+    """Raised for malformed scope trees or unknown thread placements."""
+
+
+class CatSyntaxError(ReproError):
+    """Raised when a .cat model file cannot be parsed."""
+
+
+class CatEvalError(ReproError):
+    """Raised when evaluating a .cat model fails (e.g. unknown relation)."""
+
+
+class EnumerationError(ReproError):
+    """Raised when candidate-execution enumeration fails."""
+
+
+class SimulationError(ReproError):
+    """Raised when the GPU simulator encounters an invalid state."""
+
+
+class FuelExhausted(SimulationError):
+    """Raised when a simulated thread runs out of execution fuel.
+
+    Spin loops in litmus tests and applications are bounded by a fuel
+    budget; exhausting it usually signals livelock (e.g. a lock that is
+    never released).
+    """
+
+
+class CompileError(ReproError):
+    """Raised by the CUDA/OpenCL/SASS compilation pipelines."""
+
+
+class OptcheckViolation(ReproError):
+    """Raised when optcheck finds SASS inconsistent with its specification."""
+
+
+class GenerationError(ReproError):
+    """Raised when diy cannot build a litmus test from a cycle."""

@@ -1,0 +1,56 @@
+"""Outcome histograms: what the litmus tool prints after 100k runs."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Histogram:
+    """A multiset of final states observed over many runs."""
+
+    counts: dict = field(default_factory=dict)
+
+    def add(self, state, count=1):
+        self.counts[state] = self.counts.get(state, 0) + count
+
+    @property
+    def total(self):
+        return sum(self.counts.values())
+
+    def __len__(self):
+        return len(self.counts)
+
+    def __iter__(self):
+        return iter(sorted(self.counts.items(), key=lambda kv: -kv[1]))
+
+    def observations(self, condition):
+        """How many runs satisfied the final condition's expression."""
+        return sum(count for state, count in self.counts.items()
+                   if condition.holds(state))
+
+    def witnesses(self, condition):
+        """The distinct final states satisfying the condition."""
+        return [state for state in self.counts if condition.holds(state)]
+
+    def per_100k(self, condition):
+        """Observation count normalised to the paper's 100k executions."""
+        if self.total == 0:
+            return 0.0
+        return self.observations(condition) * 100000.0 / self.total
+
+    def merged(self, other):
+        result = Histogram(dict(self.counts))
+        for state, count in other.counts.items():
+            result.add(state, count)
+        return result
+
+    def pretty(self, condition=None):
+        lines = ["Histogram (%d states, %d runs)" % (len(self), self.total)]
+        for state, count in self:
+            marker = ""
+            if condition is not None and condition.holds(state):
+                marker = "  *witness*"
+            lines.append("%8d : %s%s" % (count, state, marker))
+        if condition is not None:
+            lines.append("Observation %d/%d for %s"
+                         % (self.observations(condition), self.total, condition))
+        return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Incantations: the testing heuristics of Sec. 4.3 and their efficacy.
+
+The paper's four incantations — memory stress, general bank conflicts,
+thread synchronisation, thread randomisation — are workloads and layout
+choices that provoke weak behaviours.  Table 6 measures every one of the
+16 combinations on the GTX Titan and Radeon HD 7970 for four idioms.
+
+In the simulator, incantations act through an *efficacy multiplier* on
+the chip's relaxation-intent probabilities (plus thread randomisation's
+structural effect of shuffling CTA placement).  The multiplier tables
+below are the paper's Table 6 rows, normalised per row; the column key
+(recovered from the prose of Sec. 4.3, see DESIGN.md) is::
+
+    column = 1 + 8*memory_stress + 4*bank_conflicts + 2*thread_sync
+               + 1*thread_randomisation
+
+so column 1 is "no incantations" and column 12 is stress+sync+random —
+the combination the text singles out for inter-CTA tests.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Incantations:
+    """One combination of the four incantations."""
+
+    memory_stress: bool = False
+    bank_conflicts: bool = False
+    thread_sync: bool = False
+    thread_rand: bool = False
+
+    @property
+    def column(self):
+        """Table 6 column number (1-16) of this combination."""
+        return (1 + 8 * self.memory_stress + 4 * self.bank_conflicts
+                + 2 * self.thread_sync + 1 * self.thread_rand)
+
+    @staticmethod
+    def from_column(column):
+        if not 1 <= column <= 16:
+            raise ValueError("Table 6 columns are 1..16")
+        bits = column - 1
+        return Incantations(memory_stress=bool(bits & 8),
+                            bank_conflicts=bool(bits & 4),
+                            thread_sync=bool(bits & 2),
+                            thread_rand=bool(bits & 1))
+
+    @staticmethod
+    def none():
+        return Incantations()
+
+    @staticmethod
+    def all():
+        return Incantations(True, True, True, True)
+
+    def __str__(self):
+        parts = [name for name, on in [
+            ("stress", self.memory_stress), ("bank-conflicts", self.bank_conflicts),
+            ("sync", self.thread_sync), ("random", self.thread_rand)] if on]
+        return "+".join(parts) if parts else "none"
+
+
+#: All 16 combinations in Table 6 column order.
+ALL_COMBINATIONS = [Incantations.from_column(c) for c in range(1, 17)]
+
+#: Table 6 rows, verbatim (obs / 100k, columns 1..16).
+TABLE6 = {
+    ("Nvidia", "coRR"): [0, 0, 0, 0, 0, 1235, 0, 9774,
+                         161, 118, 847, 362, 632, 3384, 3993, 9985],
+    ("Nvidia", "lb"): [0, 0, 0, 0, 0, 0, 0, 0,
+                       181, 1067, 1555, 2247, 4, 37, 83, 486],
+    ("Nvidia", "mp"): [0, 0, 0, 0, 0, 621, 0, 2921,
+                       315, 1128, 2372, 4347, 7, 94, 442, 2888],
+    ("Nvidia", "sb"): [0, 0, 0, 0, 0, 0, 0, 0,
+                       462, 1403, 3308, 6673, 3, 50, 88, 749],
+    ("AMD", "coRR"): [0] * 16,
+    ("AMD", "lb"): [10959, 8979, 31895, 29092, 13510, 12729, 29779, 26737,
+                    5094, 9360, 37624, 38664, 5321, 10054, 32796, 34196],
+    ("AMD", "mp"): [212, 31, 243, 158, 277, 46, 318, 247,
+                    473, 217, 1289, 563, 611, 339, 2542, 1628],
+    ("AMD", "sb"): [0, 0, 0, 0, 2, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+}
+
+
+def _normalised(row):
+    peak = max(row)
+    if peak == 0:
+        return [1.0] * len(row)  # idiom never observed: multiplier is moot
+    return [value / peak for value in row]
+
+
+_EFFICACY = {key: _normalised(row) for key, row in TABLE6.items()}
+
+#: Idioms not measured in Table 6 follow the mp profile (the
+#: message-passing shape underlies most of the paper's distilled tests).
+_DEFAULT_IDIOM = "mp"
+
+
+def efficacy(vendor, idiom, incantations):
+    """Multiplier in [0, 1] for the chip's relaxation probabilities."""
+    table = _EFFICACY.get((vendor, idiom))
+    if table is None:
+        table = _EFFICACY.get((vendor, _DEFAULT_IDIOM))
+    if table is None:
+        raise KeyError("no efficacy table for vendor %r" % vendor)
+    return table[incantations.column - 1]
+
+
+def best_for(vendor, idiom):
+    """The most effective incantation combination for this vendor/idiom —
+    what the paper uses when reporting its per-figure observation counts
+    ("using the most effective incantations", Sec. 3)."""
+    table = _EFFICACY.get((vendor, idiom)) or _EFFICACY[(vendor, _DEFAULT_IDIOM)]
+    column = max(range(16), key=lambda i: table[i]) + 1
+    return Incantations.from_column(column)

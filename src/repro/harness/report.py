@@ -1,0 +1,38 @@
+"""Paper-style observation tables for figure reproduction."""
+
+from .._util import format_table
+
+
+def figure_table(title, rows, chips, results, paper=None):
+    """Render an obs/100k table like the bottom of Figs. 1-11.
+
+    ``rows`` is a list of (row label, test name) pairs; ``results`` maps
+    ``(test name, chip short)`` to RunResult; ``paper`` optionally maps
+    the same keys to the paper's published counts, rendered alongside as
+    ``sim (paper N)``.
+    """
+    headers = ["obs/100k"] + list(chips)
+    body = []
+    for label, test_name in rows:
+        row = [label]
+        for chip in chips:
+            result = results.get((test_name, chip))
+            if result is None:
+                row.append("n/a")
+                continue
+            cell = "%.0f" % result.per_100k
+            if paper is not None and (test_name, chip) in paper:
+                cell += " (paper %s)" % paper[(test_name, chip)]
+            row.append(cell)
+        body.append(row)
+    return "%s\n%s" % (title, format_table(headers, body))
+
+
+def comparison_line(name, chip, measured, published):
+    """One EXPERIMENTS.md-style comparison line."""
+    if published == "n/a":
+        return "%-24s %-8s measured %8.0f   paper n/a" % (name, chip, measured)
+    agree = (measured > 0) == (published > 0)
+    verdict = "shape-ok" if agree else "SHAPE-MISMATCH"
+    return ("%-24s %-8s measured %8.0f   paper %8d   %s"
+            % (name, chip, measured, published, verdict))

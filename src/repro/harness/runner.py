@@ -1,0 +1,110 @@
+"""The litmus runner: execute a test many times on a simulated chip.
+
+This is the reproduction of the paper's testing tool (Sec. 4.2): given a
+litmus test it produces a histogram of all observed outcomes and the
+observation count of the final condition, under a chosen combination of
+incantations.  ``run_paper_config`` mirrors the paper's reporting: 100k
+executions (scaled by ``REPRO_ITERS`` for CI-sized runs) under the most
+effective incantations.
+"""
+
+import os
+import random
+from dataclasses import dataclass
+
+from ..sim.chip import CHIPS, ChipProfile
+from ..sim.machine import GpuMachine
+from .histogram import Histogram
+from .incantations import Incantations, best_for, efficacy
+
+#: The paper's iteration count per test.
+PAPER_ITERATIONS = 100000
+
+
+def default_iterations(fallback=10000):
+    """Iteration count for benchmarks: ``REPRO_ITERS`` env or ``fallback``."""
+    value = os.environ.get("REPRO_ITERS")
+    if not value:
+        return fallback
+    return max(int(value), 1)
+
+
+@dataclass
+class RunResult:
+    """Outcome of running one litmus test on one chip."""
+
+    test: object
+    chip: ChipProfile
+    incantations: Incantations
+    histogram: Histogram
+    iterations: int
+
+    @property
+    def observations(self):
+        return self.histogram.observations(self.test.condition)
+
+    @property
+    def per_100k(self):
+        return self.histogram.per_100k(self.test.condition)
+
+    @property
+    def observed_weak(self):
+        return self.observations > 0
+
+    def summary(self):
+        return ("%s on %s [%s]: %d/%d weak (%.0f per 100k)"
+                % (self.test.name, self.chip.short, self.incantations,
+                   self.observations, self.iterations, self.per_100k))
+
+
+def _resolve_chip(chip):
+    if isinstance(chip, ChipProfile):
+        return chip
+    return CHIPS[chip]
+
+
+def run_litmus(test, chip, incantations=None, iterations=None, seed=0):
+    """Run ``test`` on ``chip`` under ``incantations``.
+
+    ``incantations=None`` means the bare Sec. 4.2 setup (no incantations
+    enabled) — which, as the paper reports, rarely witnesses anything on
+    Nvidia chips.
+    """
+    chip = _resolve_chip(chip)
+    incantations = incantations or Incantations.none()
+    iterations = iterations or default_iterations()
+    intensity = efficacy(chip.vendor, test.idiom or "mp", incantations)
+    machine = GpuMachine(test, chip, intensity=intensity,
+                         shuffle_placement=incantations.thread_rand)
+    rng = random.Random(seed)
+    histogram = Histogram()
+    for _ in range(iterations):
+        histogram.add(machine.run_once(rng))
+    return RunResult(test=test, chip=chip, incantations=incantations,
+                     histogram=histogram, iterations=iterations)
+
+
+def run_paper_config(test, chip, iterations=None, seed=0):
+    """Run with the most effective incantations — the configuration whose
+    observation counts the paper's figures report."""
+    chip = _resolve_chip(chip)
+    incantations = best_for(chip.vendor, test.idiom or "mp")
+    return run_litmus(test, chip, incantations=incantations,
+                      iterations=iterations, seed=seed)
+
+
+def run_matrix(tests, chips, iterations=None, seed=0, paper_config=True):
+    """Run a family of tests across chips.
+
+    Returns ``{(test name, chip short): RunResult}``.  Used by the
+    figure-reproduction benchmarks.
+    """
+    results = {}
+    for test in tests:
+        for chip in chips:
+            if paper_config:
+                result = run_paper_config(test, chip, iterations, seed)
+            else:
+                result = run_litmus(test, chip, iterations=iterations, seed=seed)
+            results[(test.name, _resolve_chip(chip).short)] = result
+    return results

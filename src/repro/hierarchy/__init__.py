@@ -1,0 +1,6 @@
+"""GPU execution and memory hierarchy: scope trees and memory maps."""
+
+from .memorymap import MemoryMap
+from .scopetree import Placement, ScopeTree
+
+__all__ = ["MemoryMap", "Placement", "ScopeTree"]

@@ -1,0 +1,53 @@
+"""Memory maps: which memory region each litmus location lives in.
+
+Fig. 12 line 11 of the paper: ``x: shared, y: global``.  Locations default
+to global memory when unmapped.
+"""
+
+from dataclasses import dataclass, field
+
+from ..errors import LitmusSyntaxError
+from ..ptx.types import MemorySpace
+
+
+@dataclass(frozen=True)
+class MemoryMap:
+    """An immutable mapping from location names to memory spaces."""
+
+    spaces: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        clean = {}
+        for name, space in self.spaces.items():
+            if isinstance(space, str):
+                try:
+                    space = MemorySpace(space)
+                except ValueError:
+                    raise LitmusSyntaxError("unknown memory space %r for %r" % (space, name))
+            clean[name] = space
+        object.__setattr__(self, "spaces", clean)
+
+    @staticmethod
+    def parse(text):
+        """Parse ``"x: shared, y: global"`` into a :class:`MemoryMap`."""
+        spaces = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if ":" not in part:
+                raise LitmusSyntaxError("malformed memory map entry %r" % part)
+            name, space = (piece.strip() for piece in part.split(":", 1))
+            spaces[name] = space
+        return MemoryMap(spaces)
+
+    def space_of(self, name):
+        """The memory space of ``name`` (global when unmapped)."""
+        return self.spaces.get(name, MemorySpace.GLOBAL)
+
+    def all_global(self):
+        return all(space is MemorySpace.GLOBAL for space in self.spaces.values())
+
+    def __str__(self):
+        return ", ".join("%s: %s" % (name, space)
+                         for name, space in sorted(self.spaces.items()))

@@ -1,0 +1,208 @@
+"""Scope trees: thread placement in the GPU execution hierarchy.
+
+A litmus test specifies where its threads sit in the grid/CTA/warp
+hierarchy (Sec. 2.1, Fig. 12 line 10), e.g.::
+
+    ScopeTree(grid (cta (warp T0) (warp T1)))          # intra-CTA
+    ScopeTree(grid (cta (warp T0)) (cta (warp T1)))    # inter-CTA
+
+The tree drives both the axiomatic model's scope relations (``cta``,
+``gl``, ``sys``) and the simulator's assignment of threads to SMs.
+"""
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import ScopeTreeError
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Position of one thread: indices of its CTA and warp (within CTA)."""
+
+    cta: int
+    warp: int
+
+
+@dataclass(frozen=True)
+class ScopeTree:
+    """An immutable scope tree over named threads.
+
+    ``ctas`` is a tuple of CTAs; each CTA is a tuple of warps; each warp is
+    a tuple of thread names.  Each thread name must appear exactly once.
+    """
+
+    ctas: tuple
+    _placements: dict = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        ctas = tuple(tuple(tuple(warp) for warp in cta) for cta in self.ctas)
+        object.__setattr__(self, "ctas", ctas)
+        placements = {}
+        for cta_index, cta in enumerate(ctas):
+            if not cta:
+                raise ScopeTreeError("empty CTA in scope tree")
+            for warp_index, warp in enumerate(cta):
+                if not warp:
+                    raise ScopeTreeError("empty warp in scope tree")
+                for name in warp:
+                    if name in placements:
+                        raise ScopeTreeError("thread %r placed twice" % name)
+                    placements[name] = Placement(cta_index, warp_index)
+        if not placements:
+            raise ScopeTreeError("scope tree has no threads")
+        object.__setattr__(self, "_placements", placements)
+
+    # -- construction helpers -------------------------------------------
+
+    @staticmethod
+    def intra_warp(names):
+        """All threads in one warp of one CTA."""
+        return ScopeTree(((tuple(names),),))
+
+    @staticmethod
+    def intra_cta(names):
+        """All threads in the same CTA but different warps (the paper's
+        ``intra-CTA`` configuration, Sec. 2.1)."""
+        return ScopeTree((tuple((name,) for name in names),))
+
+    @staticmethod
+    def inter_cta(names):
+        """Each thread in its own CTA (the paper's ``inter-CTA``)."""
+        return ScopeTree(tuple((((name,),)) for name in names))
+
+    @staticmethod
+    def for_threads(names, config):
+        """Build a tree for ``names`` from a config string:
+        ``"intra-warp"``, ``"intra-cta"`` or ``"inter-cta"``."""
+        builders = {
+            "intra-warp": ScopeTree.intra_warp,
+            "intra-cta": ScopeTree.intra_cta,
+            "inter-cta": ScopeTree.inter_cta,
+        }
+        if config not in builders:
+            raise ScopeTreeError("unknown scope configuration %r" % config)
+        return builders[config](names)
+
+    # -- parsing ----------------------------------------------------------
+
+    @staticmethod
+    def parse(text):
+        """Parse the Fig. 12 syntax: ``(grid (cta (warp T0) (warp T1)))``.
+
+        The leading ``ScopeTree`` keyword and outer parentheses are both
+        optional; ``block``/``work-group`` are accepted for ``cta`` and
+        ``wavefront`` for ``warp``.
+        """
+        tokens = re.findall(r"\(|\)|[^\s()]+", text)
+        if tokens and tokens[0] == "ScopeTree":
+            tokens = tokens[1:]
+        tree, rest = _parse_node(tokens)
+        if rest:
+            raise ScopeTreeError("trailing tokens in scope tree: %r" % rest)
+        return tree
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def threads(self):
+        """Thread names in placement order (CTA-major, then warp)."""
+        return [name for cta in self.ctas for warp in cta for name in warp]
+
+    def placement(self, name):
+        try:
+            return self._placements[name]
+        except KeyError:
+            raise ScopeTreeError("unknown thread %r" % name)
+
+    def same_warp(self, a, b):
+        pa, pb = self.placement(a), self.placement(b)
+        return pa.cta == pb.cta and pa.warp == pb.warp
+
+    def same_cta(self, a, b):
+        return self.placement(a).cta == self.placement(b).cta
+
+    def same_grid(self, a, b):
+        self.placement(a), self.placement(b)  # validate both names
+        return True
+
+    @property
+    def n_ctas(self):
+        return len(self.ctas)
+
+    def classify(self):
+        """Describe the configuration: ``intra-warp``, ``intra-cta``,
+        ``inter-cta`` or ``mixed``."""
+        names = self.threads
+        pairs = [(a, b) for i, a in enumerate(names) for b in names[i + 1:]]
+        if not pairs:
+            return "single"
+        if all(self.same_warp(a, b) for a, b in pairs):
+            return "intra-warp"
+        if all(self.same_cta(a, b) for a, b in pairs):
+            return "intra-cta"
+        if all(not self.same_cta(a, b) for a, b in pairs):
+            return "inter-cta"
+        return "mixed"
+
+    def __str__(self):
+        ctas = " ".join(
+            "(cta %s)" % " ".join("(warp %s)" % " ".join(warp) for warp in cta)
+            for cta in self.ctas)
+        return "(grid %s)" % ctas
+
+
+_CTA_WORDS = {"cta", "block", "work-group", "workgroup"}
+_WARP_WORDS = {"warp", "wavefront"}
+
+
+def _parse_node(tokens):
+    if not tokens:
+        raise ScopeTreeError("unexpected end of scope tree")
+    if tokens[0] != "(":
+        raise ScopeTreeError("expected '(' in scope tree, got %r" % tokens[0])
+    if len(tokens) < 2:
+        raise ScopeTreeError("truncated scope tree")
+    keyword, rest = tokens[1], tokens[2:]
+    if keyword == "grid" or keyword == "ndrange":
+        ctas = []
+        while rest and rest[0] == "(":
+            cta, rest = _parse_cta(rest)
+            ctas.append(cta)
+        rest = _expect_close(rest)
+        return ScopeTree(tuple(ctas)), rest
+    if keyword in _CTA_WORDS:
+        # A bare CTA node: wrap in a single grid.
+        cta, rest = _parse_cta(tokens)
+        return ScopeTree((cta,)), rest
+    raise ScopeTreeError("expected grid/cta node, got %r" % keyword)
+
+
+def _parse_cta(tokens):
+    keyword, rest = tokens[1], tokens[2:]
+    if keyword not in _CTA_WORDS:
+        raise ScopeTreeError("expected cta node, got %r" % keyword)
+    warps = []
+    while rest and rest[0] == "(":
+        warp, rest = _parse_warp(rest)
+        warps.append(warp)
+    rest = _expect_close(rest)
+    return tuple(warps), rest
+
+
+def _parse_warp(tokens):
+    keyword, rest = tokens[1], tokens[2:]
+    if keyword not in _WARP_WORDS:
+        raise ScopeTreeError("expected warp node, got %r" % keyword)
+    names = []
+    while rest and rest[0] not in ("(", ")"):
+        names.append(rest[0])
+        rest = rest[1:]
+    rest = _expect_close(rest)
+    return tuple(names), rest
+
+
+def _expect_close(tokens):
+    if not tokens or tokens[0] != ")":
+        raise ScopeTreeError("expected ')' in scope tree")
+    return tokens[1:]

@@ -1,0 +1,153 @@
+"""Multi-thread litmus shapes beyond the paper's figures.
+
+The paper's validation corpus (10930 diy-generated tests, Sec. 5.4)
+covers far more shapes than the figures show.  This module adds the
+classic three- and four-thread idioms, parameterised by placement and
+fences, for use in validation benchmarks and model exploration:
+
+* **wrc** — write-to-read causality: T0 writes ``x``; T1 sees it and
+  writes ``y``; T2 sees ``y`` but reads stale ``x``.
+* **isa2** — a three-thread message-passing chain through two flags.
+* **iriw** — independent reads of independent writes: two writers, two
+  readers that disagree on the order of the writes.
+* **rwc** — read-to-write causality.
+
+Scoped placements make these interesting on GPUs: e.g. WRC with T0/T1
+in one CTA and T2 in another probes whether intra-CTA causality is
+visible across the chip.
+"""
+
+from ..hierarchy import ScopeTree
+from ..ptx.instructions import Guard, Ld, Membar, Setp, St
+from ..ptx.operands import Addr, Imm, Loc, Reg
+from ..ptx.program import ThreadProgram
+from ..ptx.types import CacheOp
+from .condition import And, Condition, RegEq
+from .test import LitmusTest
+
+
+def _thread(tid, instructions):
+    return ThreadProgram(tid=tid, instructions=tuple(instructions))
+
+
+def _exists(*atoms):
+    expr = atoms[0]
+    for atom in atoms[1:]:
+        expr = And(expr, atom)
+    return Condition("exists", expr)
+
+
+def _maybe(instructions, fence):
+    if fence is not None:
+        instructions.append(Membar(fence))
+    return instructions
+
+
+def _tree(groups):
+    """Build a scope tree from CTA groups of thread names."""
+    return ScopeTree(tuple(tuple((name,) for name in group)
+                           for group in groups))
+
+
+def wrc(fence1=None, fence2=None, groups=(("T0", "T1"), ("T2",))):
+    """Write-to-read causality.
+
+    T0: ``st x=1``.  T1: ``ld x; [fence1]; st y=1``.  T2: ``ld y;
+    [fence2]; ld x``.  Weak outcome: T1 saw ``x``, T2 saw ``y`` but not
+    ``x`` (``1:r0=1 /\\ 2:r1=1 /\\ 2:r2=0``).
+    """
+    t0 = _thread(0, [St(Addr(Loc("x")), Imm(1), cop=CacheOp.CG)])
+    t1_body = _maybe([Ld(Reg("r0"), Addr(Loc("x")), cop=CacheOp.CG)], fence1)
+    t1_body.append(St(Addr(Loc("y")), Imm(1), cop=CacheOp.CG))
+    t2_body = _maybe([Ld(Reg("r1"), Addr(Loc("y")), cop=CacheOp.CG)], fence2)
+    t2_body.append(Ld(Reg("r2"), Addr(Loc("x")), cop=CacheOp.CG))
+    return LitmusTest(
+        name="wrc", threads=(t0, _thread(1, t1_body), _thread(2, t2_body)),
+        scope_tree=_tree(groups),
+        condition=_exists(RegEq(1, "r0", 1), RegEq(2, "r1", 1),
+                          RegEq(2, "r2", 0)),
+        description="write-to-read causality", idiom="mp")
+
+
+def isa2(fence0=None, fence1=None, fence2=None,
+         groups=(("T0",), ("T1",), ("T2",))):
+    """ISA2: a message-passing chain through two flags.
+
+    T0: ``st x=1; [f0]; st y=1``.  T1: ``ld y; [f1]; st z=1``.
+    T2: ``ld z; [f2]; ld x``.  Weak: the chain is observed but ``x`` is
+    stale at the end.
+    """
+    t0_body = _maybe([St(Addr(Loc("x")), Imm(1), cop=CacheOp.CG)], fence0)
+    t0_body.append(St(Addr(Loc("y")), Imm(1), cop=CacheOp.CG))
+    t1_body = _maybe([Ld(Reg("r0"), Addr(Loc("y")), cop=CacheOp.CG)], fence1)
+    t1_body.append(St(Addr(Loc("z")), Imm(1), cop=CacheOp.CG))
+    t2_body = _maybe([Ld(Reg("r1"), Addr(Loc("z")), cop=CacheOp.CG)], fence2)
+    t2_body.append(Ld(Reg("r2"), Addr(Loc("x")), cop=CacheOp.CG))
+    return LitmusTest(
+        name="isa2",
+        threads=(_thread(0, t0_body), _thread(1, t1_body), _thread(2, t2_body)),
+        scope_tree=_tree(groups),
+        condition=_exists(RegEq(1, "r0", 1), RegEq(2, "r1", 1),
+                          RegEq(2, "r2", 0)),
+        description="three-thread message-passing chain", idiom="mp")
+
+
+def iriw(fence1=None, fence3=None,
+         groups=(("T0",), ("T1",), ("T2",), ("T3",))):
+    """Independent reads of independent writes.
+
+    T0: ``st x=1``.  T2: ``st y=1``.  T1 reads ``x`` then ``y``; T3
+    reads ``y`` then ``x``.  Weak: the readers disagree about the order
+    of the two writes (both see the other location still 0).
+    """
+    t0 = _thread(0, [St(Addr(Loc("x")), Imm(1), cop=CacheOp.CG)])
+    t2 = _thread(2, [St(Addr(Loc("y")), Imm(1), cop=CacheOp.CG)])
+    t1_body = _maybe([Ld(Reg("r0"), Addr(Loc("x")), cop=CacheOp.CG)], fence1)
+    t1_body.append(Ld(Reg("r1"), Addr(Loc("y")), cop=CacheOp.CG))
+    t3_body = _maybe([Ld(Reg("r2"), Addr(Loc("y")), cop=CacheOp.CG)], fence3)
+    t3_body.append(Ld(Reg("r3"), Addr(Loc("x")), cop=CacheOp.CG))
+    return LitmusTest(
+        name="iriw",
+        threads=(t0, _thread(1, t1_body), t2, _thread(3, t3_body)),
+        scope_tree=_tree(groups),
+        condition=_exists(RegEq(1, "r0", 1), RegEq(1, "r1", 0),
+                          RegEq(3, "r2", 1), RegEq(3, "r3", 0)),
+        description="independent reads of independent writes", idiom="iriw")
+
+
+def rwc(fence1=None, fence2=None, groups=(("T0",), ("T1",), ("T2",))):
+    """Read-to-write causality.
+
+    T0: ``st x=1``.  T1: ``ld x; [f1]; ld y``.  T2: ``st y=1; [f2];
+    ld... `` — the classic RWC has T2 store ``y`` then read ``x``.
+    Weak: T1 sees ``x`` but not ``y``; T2's read of ``x`` is stale.
+    """
+    t0 = _thread(0, [St(Addr(Loc("x")), Imm(1), cop=CacheOp.CG)])
+    t1_body = _maybe([Ld(Reg("r0"), Addr(Loc("x")), cop=CacheOp.CG)], fence1)
+    t1_body.append(Ld(Reg("r1"), Addr(Loc("y")), cop=CacheOp.CG))
+    t2_body = _maybe([St(Addr(Loc("y")), Imm(1), cop=CacheOp.CG)], fence2)
+    t2_body.append(Ld(Reg("r2"), Addr(Loc("x")), cop=CacheOp.CG))
+    return LitmusTest(
+        name="rwc",
+        threads=(t0, _thread(1, t1_body), _thread(2, t2_body)),
+        scope_tree=_tree(groups),
+        condition=_exists(RegEq(1, "r0", 1), RegEq(1, "r1", 0),
+                          RegEq(2, "r2", 0)),
+        description="read-to-write causality", idiom="sb")
+
+
+#: Named configurations for the validation benchmarks.
+EXTENDED_TESTS = {
+    "wrc": wrc,
+    "wrc+cta-writersame": lambda: wrc(groups=(("T0", "T1"), ("T2",))),
+    "wrc+all-inter": lambda: wrc(groups=(("T0",), ("T1",), ("T2",))),
+    "isa2": isa2,
+    "iriw": iriw,
+    "iriw+readers-together": lambda: iriw(groups=(("T0",), ("T1", "T3"),
+                                                  ("T2",))),
+    "rwc": rwc,
+}
+
+
+def build_extended(name):
+    return EXTENDED_TESTS[name]()

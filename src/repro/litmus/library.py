@@ -1,0 +1,477 @@
+"""The litmus tests of the paper, as programmatic builders.
+
+Every figure's test is reproduced here with its exact instruction
+sequence, placement, memory map, initial values and final condition:
+
+========  ======================================  =======================
+Paper     Test                                    Builder
+========  ======================================  =======================
+Fig. 1    coRR                                    :func:`corr`
+Fig. 3    mp-L1 (fence in {none,cta,gl,sys})      :func:`mp_l1`
+Fig. 4    coRR-L2-L1 (fence sweep)                :func:`corr_l2_l1`
+Fig. 5    mp-volatile                             :func:`mp_volatile`
+Fig. 7    dlb-mp (deque message passing)          :func:`dlb_mp`
+Fig. 8    dlb-lb (deque load buffering)           :func:`dlb_lb`
+Fig. 9    cas-sl (CUDA-by-Example spin lock)      :func:`cas_sl`
+Fig. 11   sl-future (He-Yu spin lock)             :func:`sl_future`
+Fig. 12   sb (store buffering, mixed regions)     :func:`sb`
+Fig. 14   mp (message passing)                    :func:`mp`
+Sec. 6    lb / lb+membar.ctas                     :func:`lb`
+========  ======================================  =======================
+
+Builders take keyword options (fence scope, placement, fixes applied) and
+return :class:`~repro.litmus.test.LitmusTest` instances.  The
+``PAPER_TESTS`` registry maps canonical names to zero-argument thunks for
+the exact configurations whose observation counts the paper reports.
+"""
+
+from ..hierarchy import MemoryMap, ScopeTree
+from ..ptx.instructions import (Add, AtomCas, AtomExch, Guard, Ld, Membar,
+                                Mov, Setp, St)
+from ..ptx.operands import Addr, Imm, Loc, Reg
+from ..ptx.program import ThreadProgram
+from ..ptx.types import CacheOp, Scope
+from .condition import And, Condition, RegEq
+from .test import LitmusTest
+
+
+def _thread(tid, instructions):
+    return ThreadProgram(tid=tid, instructions=tuple(instructions))
+
+
+def _exists(*atoms):
+    expr = atoms[0]
+    for atom in atoms[1:]:
+        expr = And(expr, atom)
+    return Condition("exists", expr)
+
+
+def _scope_tree(placement, names):
+    return ScopeTree.for_threads(names, placement)
+
+
+def _fence_name(fence):
+    return "no-op" if fence is None else "membar.%s" % fence.value
+
+
+def _maybe_fence(instructions, fence, guard=None):
+    if fence is not None:
+        instructions.append(Membar(fence, guard=guard))
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 — coRR: coherence of read-read pairs.
+# ---------------------------------------------------------------------------
+
+def corr(placement="intra-cta", cop=CacheOp.CG):
+    """Fig. 1: read-read coherence violation test.
+
+    T0 stores 1 to ``x``; T1 loads ``x`` twice.  The weak outcome has the
+    first load seeing the new value and the second the stale one
+    (``r1=1 /\\ r2=0``) — allowed by SPARC RMO, observed on Fermi/Kepler.
+    """
+    t0 = _thread(0, [St(Addr(Loc("x")), Imm(1), cop=CacheOp.CG)])
+    t1 = _thread(1, [
+        Ld(Reg("r1"), Addr(Loc("x")), cop=cop),
+        Ld(Reg("r2"), Addr(Loc("x")), cop=cop),
+    ])
+    return LitmusTest(
+        name="coRR", threads=(t0, t1),
+        scope_tree=_scope_tree(placement, ["T0", "T1"]),
+        condition=_exists(RegEq(1, "r1", 1), RegEq(1, "r2", 0)),
+        description="PTX test for coherent reads (Fig. 1)", idiom="coRR")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — mp-L1: message passing with loads targeting the L1.
+# ---------------------------------------------------------------------------
+
+def mp_l1(fence=None, placement="inter-cta"):
+    """Fig. 3: mp with ``.ca`` (L1) loads and ``.cg`` stores, inter-CTA.
+
+    The stores bear ``.cg`` because PTX has no L1-targeting store
+    operator.  On the Tesla C2075 the weak outcome survives every fence.
+    """
+    t0_body = [St(Addr(Loc("x")), Imm(1), cop=CacheOp.CG)]
+    _maybe_fence(t0_body, fence)
+    t0_body.append(St(Addr(Loc("y")), Imm(1), cop=CacheOp.CG))
+    t1_body = [Ld(Reg("r1"), Addr(Loc("y")), cop=CacheOp.CA)]
+    _maybe_fence(t1_body, fence)
+    t1_body.append(Ld(Reg("r2"), Addr(Loc("x")), cop=CacheOp.CA))
+    suffix = "" if fence is None else "+%ss" % _fence_name(fence)
+    return LitmusTest(
+        name="mp-L1" + suffix, threads=(_thread(0, t0_body), _thread(1, t1_body)),
+        scope_tree=_scope_tree(placement, ["T0", "T1"]),
+        condition=_exists(RegEq(1, "r1", 1), RegEq(1, "r2", 0)),
+        description="PTX mp with L1 cache operators (Fig. 3), fence=%s"
+                    % _fence_name(fence),
+        idiom="mp")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — coRR-L2-L1: coRR mixing cache operators.
+# ---------------------------------------------------------------------------
+
+def corr_l2_l1(fence=None, placement="intra-cta"):
+    """Fig. 4: read ``x`` from L2 (``.cg``) then from L1 (``.ca``).
+
+    Tests whether an L2 load evicts the matching stale L1 line as the PTX
+    manual suggests; on Fermi no fence makes the second load reliable.
+    """
+    t0 = _thread(0, [St(Addr(Loc("x")), Imm(1), cop=CacheOp.CG)])
+    t1_body = [Ld(Reg("r1"), Addr(Loc("x")), cop=CacheOp.CG)]
+    _maybe_fence(t1_body, fence)
+    t1_body.append(Ld(Reg("r2"), Addr(Loc("x")), cop=CacheOp.CA))
+    suffix = "" if fence is None else "+%s" % _fence_name(fence)
+    return LitmusTest(
+        name="coRR-L2-L1" + suffix, threads=(t0, _thread(1, t1_body)),
+        scope_tree=_scope_tree(placement, ["T0", "T1"]),
+        condition=_exists(RegEq(1, "r1", 1), RegEq(1, "r2", 0)),
+        description="PTX coRR mixing cache operators (Fig. 4), fence=%s"
+                    % _fence_name(fence),
+        idiom="coRR")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — mp-volatile: volatile accesses in shared memory.
+# ---------------------------------------------------------------------------
+
+def mp_volatile(placement="intra-cta"):
+    """Fig. 5: mp where every access is ``.volatile`` and the locations
+    are in shared memory.  Contrary to the PTX manual, ``.volatile`` does
+    not restore SC on Fermi/Kepler."""
+    t0 = _thread(0, [
+        St(Addr(Loc("x")), Imm(1), volatile=True),
+        St(Addr(Loc("y")), Imm(1), volatile=True),
+    ])
+    t1 = _thread(1, [
+        Ld(Reg("r1"), Addr(Loc("y")), volatile=True),
+        Ld(Reg("r2"), Addr(Loc("x")), volatile=True),
+    ])
+    return LitmusTest(
+        name="mp-volatile", threads=(t0, t1),
+        scope_tree=_scope_tree(placement, ["T0", "T1"]),
+        memory_map=MemoryMap({"x": "shared", "y": "shared"}),
+        condition=_exists(RegEq(1, "r1", 1), RegEq(1, "r2", 0)),
+        description="PTX mp with volatiles (Fig. 5)", idiom="mp")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — dlb-mp: the Cederman-Tsigas deque loses a pushed task.
+# ---------------------------------------------------------------------------
+
+def dlb_mp(fences=False, placement="inter-cta"):
+    """Fig. 7: mp distilled from the work-stealing deque (Fig. 6).
+
+    ``d`` models the ``tasks`` array slot and ``t`` the volatile ``tail``
+    index.  T0 pushes (write task, increment tail); T1 steals (read tail,
+    conditionally read task).  Weak outcome: the steal sees the new tail
+    but a stale task (``r0=1 /\\ r1=0``).  ``fences=True`` adds the
+    ``membar.gl`` fences marked ``(+)`` in the paper.
+    """
+    t0_body = [St(Addr(Loc("d")), Imm(1), cop=CacheOp.CG)]
+    if fences:
+        t0_body.append(Membar(Scope.GL))
+    t0_body.extend([
+        Ld(Reg("r2"), Addr(Loc("t")), volatile=True),
+        Add(Reg("r2"), Reg("r2"), Imm(1)),
+        St(Addr(Loc("t")), Reg("r2"), volatile=True),
+    ])
+    guard = Guard("p4", negated=True)
+    t1_body = [
+        Ld(Reg("r0"), Addr(Loc("t")), volatile=True),
+        Setp("eq", Reg("p4"), Reg("r0"), Imm(0)),
+    ]
+    if fences:
+        t1_body.append(Membar(Scope.GL, guard=guard))
+    t1_body.append(Ld(Reg("r1"), Addr(Loc("d")), cop=CacheOp.CG, guard=guard))
+    suffix = "+membar.gls" if fences else ""
+    return LitmusTest(
+        name="dlb-mp" + suffix, threads=(_thread(0, t0_body), _thread(1, t1_body)),
+        scope_tree=_scope_tree(placement, ["T0", "T1"]),
+        condition=_exists(RegEq(1, "r0", 1), RegEq(1, "r1", 0)),
+        description="PTX mp from load-balancing (Fig. 7), fences=%s" % fences,
+        idiom="mp")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — dlb-lb: the deque steal reads a later pop's push.
+# ---------------------------------------------------------------------------
+
+def dlb_lb(fences=False, placement="inter-cta"):
+    """Fig. 8: load buffering distilled from the work-stealing deque.
+
+    T0 pops (CAS on ``h``) then pushes a new task (store to ``t``); T1
+    steals: reads the task then CASes ``h``.  Weak outcome: T1's steal
+    reads the *later* push and T0's CAS reads T1's CAS
+    (``0:r0=1 /\\ 1:r1=1``), so the deque loses a task.
+    """
+    t0_body = [AtomCas(Reg("r0"), Addr(Loc("h")), Imm(0), Imm(1))]
+    if fences:
+        t0_body.append(Membar(Scope.GL))
+    t0_body.extend([
+        Mov(Reg("r2"), Imm(1)),
+        St(Addr(Loc("t")), Reg("r2"), cop=CacheOp.CG),
+    ])
+    t1_body = [Ld(Reg("r1"), Addr(Loc("t")), cop=CacheOp.CG)]
+    if fences:
+        t1_body.append(Membar(Scope.GL))
+    t1_body.append(AtomCas(Reg("r3"), Addr(Loc("h")), Imm(0), Imm(1)))
+    suffix = "+membar.gls" if fences else ""
+    return LitmusTest(
+        name="dlb-lb" + suffix, threads=(_thread(0, t0_body), _thread(1, t1_body)),
+        scope_tree=_scope_tree(placement, ["T0", "T1"]),
+        condition=_exists(RegEq(0, "r0", 1), RegEq(1, "r1", 1)),
+        description="PTX lb from load-balancing (Fig. 8), fences=%s" % fences,
+        idiom="lb")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — cas-sl: the CUDA-by-Example spin lock reads stale values.
+# ---------------------------------------------------------------------------
+
+def cas_sl(fences=False, placement="inter-cta"):
+    """Fig. 9: spin lock using compare-and-swap (CUDA by Example, Fig. 2).
+
+    ``m`` is the mutex (initially locked, ``m=1``); ``x`` is critical-
+    section data.  T0 writes ``x`` and releases with ``atom.exch``; T1
+    acquires with ``atom.cas`` and, if acquired, loads ``x``.  Weak
+    outcome: lock acquired yet a stale ``x`` read
+    (``1:r1=0 /\\ 1:r3=0``).
+    """
+    t0_body = [St(Addr(Loc("x")), Imm(1), cop=CacheOp.CG)]
+    if fences:
+        t0_body.append(Membar(Scope.GL))
+    t0_body.append(AtomExch(Reg("r0"), Addr(Loc("m")), Imm(0)))
+    guard = Guard("p2")
+    t1_body = [
+        AtomCas(Reg("r1"), Addr(Loc("m")), Imm(0), Imm(1)),
+        Setp("eq", Reg("p2"), Reg("r1"), Imm(0)),
+    ]
+    if fences:
+        t1_body.append(Membar(Scope.GL, guard=guard))
+    t1_body.append(Ld(Reg("r3"), Addr(Loc("x")), cop=CacheOp.CG, guard=guard))
+    suffix = "+membar.gls" if fences else ""
+    return LitmusTest(
+        name="cas-sl" + suffix, threads=(_thread(0, t0_body), _thread(1, t1_body)),
+        scope_tree=_scope_tree(placement, ["T0", "T1"]),
+        init_mem={"x": 0, "m": 1},
+        condition=_exists(RegEq(1, "r1", 0), RegEq(1, "r3", 0)),
+        description="PTX compare-and-swap spin lock (Fig. 9), fences=%s" % fences,
+        idiom="mp")
+
+
+def exch_sl(fences=False, placement="inter-cta"):
+    """The Stuart-Owens variant of cas-sl (Table 2 row ``exch-sl``): the
+    release uses an unconditional atomic exchange on both sides and the
+    acquire is an exchange rather than a CAS."""
+    t0_body = [St(Addr(Loc("x")), Imm(1), cop=CacheOp.CG)]
+    if fences:
+        t0_body.append(Membar(Scope.GL))
+    t0_body.append(AtomExch(Reg("r0"), Addr(Loc("m")), Imm(0)))
+    guard = Guard("p2")
+    t1_body = [
+        AtomExch(Reg("r1"), Addr(Loc("m")), Imm(1)),
+        Setp("eq", Reg("p2"), Reg("r1"), Imm(0)),
+    ]
+    if fences:
+        t1_body.append(Membar(Scope.GL, guard=guard))
+    t1_body.append(Ld(Reg("r3"), Addr(Loc("x")), cop=CacheOp.CG, guard=guard))
+    suffix = "+membar.gls" if fences else ""
+    return LitmusTest(
+        name="exch-sl" + suffix, threads=(_thread(0, t0_body), _thread(1, t1_body)),
+        scope_tree=_scope_tree(placement, ["T0", "T1"]),
+        init_mem={"x": 0, "m": 1},
+        condition=_exists(RegEq(1, "r1", 0), RegEq(1, "r3", 0)),
+        description="Stuart-Owens exchange spin lock (Table 2), fences=%s" % fences,
+        idiom="mp")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — sl-future: the He-Yu lock reads values from the future.
+# ---------------------------------------------------------------------------
+
+def sl_future(fixed=False, placement="inter-cta"):
+    """Fig. 11: spin-lock future-value test distilled from He-Yu (Fig. 10).
+
+    T0 is inside a critical section: it reads ``x`` then releases ``m``.
+    T1 acquires ``m`` and, if successful, writes ``x`` in the next
+    critical section.  Weak outcome: T0's read sees T1's *future* write
+    (``0:r0=1 /\\ 1:r2=0``), violating isolation.
+
+    ``fixed=False`` reproduces the original code: a plain store release
+    followed by a trailing ``membar.gl`` (which cannot help).
+    ``fixed=True`` applies the paper's fix: fence before release, release
+    via ``atom.exch``, and a fence after the acquire.
+    """
+    t0_body = [Ld(Reg("r0"), Addr(Loc("x")), cop=CacheOp.CG)]
+    if fixed:
+        t0_body.append(Membar(Scope.GL))
+        t0_body.append(AtomExch(Reg("r1"), Addr(Loc("m")), Imm(0)))
+    else:
+        t0_body.append(St(Addr(Loc("m")), Imm(0), cop=CacheOp.CG))
+        t0_body.append(Membar(Scope.GL))
+    guard = Guard("p")
+    t1_body = [
+        AtomCas(Reg("r2"), Addr(Loc("m")), Imm(0), Imm(1)),
+        Setp("eq", Reg("p"), Reg("r2"), Imm(0)),
+        Mov(Reg("r3"), Imm(1), guard=guard),
+    ]
+    if fixed:
+        t1_body.append(Membar(Scope.GL, guard=guard))
+    t1_body.append(St(Addr(Loc("x")), Imm(1), cop=CacheOp.CG, guard=guard))
+    suffix = "+fixed" if fixed else ""
+    return LitmusTest(
+        name="sl-future" + suffix, threads=(_thread(0, t0_body), _thread(1, t1_body)),
+        scope_tree=_scope_tree(placement, ["T0", "T1"]),
+        init_mem={"x": 0, "m": 1},
+        condition=_exists(RegEq(0, "r0", 1), RegEq(1, "r2", 0)),
+        description="PTX spin lock future value test (Fig. 11), fixed=%s" % fixed,
+        idiom="mp")
+
+
+# ---------------------------------------------------------------------------
+# Classic idioms: sb, mp, lb (Figs. 12, 14; Table 6; Sec. 6).
+# ---------------------------------------------------------------------------
+
+def sb(placement="inter-cta", memory_map=None, fence=None):
+    """Fig. 12: store buffering.  Each thread stores to one location and
+    loads the other; the weak outcome has both loads seeing the initial
+    state (``0:r2=0 /\\ 1:r2=0``)."""
+    def side(tid, mine, other):
+        body = [
+            Mov(Reg("r0"), Imm(1)),
+            St(Addr(Loc(mine)), Reg("r0"), cop=CacheOp.CG),
+        ]
+        _maybe_fence(body, fence)
+        body.append(Ld(Reg("r2"), Addr(Loc(other)), cop=CacheOp.CG))
+        return _thread(tid, body)
+
+    suffix = "" if fence is None else "+%ss" % _fence_name(fence)
+    return LitmusTest(
+        name="sb" + suffix, threads=(side(0, "x", "y"), side(1, "y", "x")),
+        scope_tree=_scope_tree(placement, ["T0", "T1"]),
+        memory_map=memory_map or MemoryMap(),
+        condition=_exists(RegEq(0, "r2", 0), RegEq(1, "r2", 0)),
+        description="Store buffering (Fig. 12)", idiom="sb")
+
+
+def sb_fig12():
+    """The exact Fig. 12 configuration: intra-CTA, ``x`` shared and ``y``
+    global, registers bound through ``.b64`` address registers."""
+    test = sb(placement="intra-cta",
+              memory_map=MemoryMap({"x": "shared", "y": "global"}))
+    return LitmusTest(
+        name="SB", threads=test.threads, scope_tree=test.scope_tree,
+        memory_map=test.memory_map, condition=test.condition,
+        description="GPU PTX litmus test sb (Fig. 12)", idiom="sb")
+
+
+def mp(fence0=None, fence1=None, placement="inter-cta", cop=CacheOp.CG,
+       memory_map=None):
+    """Message passing (Figs. 3 and 14).  T0 writes data then flag; T1
+    reads flag then data.  Weak outcome: flag seen, stale data
+    (``1:r1=1 /\\ 1:r2=0``).  ``fence0``/``fence1`` insert ``membar``
+    fences on the writer/reader sides."""
+    t0_body = [St(Addr(Loc("x")), Imm(1), cop=CacheOp.CG)]
+    _maybe_fence(t0_body, fence0)
+    t0_body.append(St(Addr(Loc("y")), Imm(1), cop=CacheOp.CG))
+    t1_body = [Ld(Reg("r1"), Addr(Loc("y")), cop=cop)]
+    _maybe_fence(t1_body, fence1)
+    t1_body.append(Ld(Reg("r2"), Addr(Loc("x")), cop=cop))
+    if fence0 is None and fence1 is None:
+        suffix = ""
+    elif fence0 == fence1:
+        suffix = "+%ss" % _fence_name(fence0)
+    else:
+        suffix = "+%s+%s" % (_fence_name(fence0), _fence_name(fence1))
+    return LitmusTest(
+        name="mp" + suffix, threads=(_thread(0, t0_body), _thread(1, t1_body)),
+        scope_tree=_scope_tree(placement, ["T0", "T1"]),
+        memory_map=memory_map or MemoryMap(),
+        condition=_exists(RegEq(1, "r1", 1), RegEq(1, "r2", 0)),
+        description="Message passing, fences=(%s, %s)"
+                    % (_fence_name(fence0), _fence_name(fence1)),
+        idiom="mp")
+
+
+def mp_fig14():
+    """The Fig. 14 execution example: intra-CTA mp with a ``membar.cta``
+    between the writes and a ``membar.gl`` between the reads."""
+    test = mp(fence0=Scope.CTA, fence1=Scope.GL, placement="intra-cta")
+    return LitmusTest(
+        name="mp-fig14", threads=test.threads, scope_tree=test.scope_tree,
+        condition=test.condition,
+        description="mp execution of Fig. 14 (membar.cta / membar.gl)",
+        idiom="mp")
+
+
+def lb(fence=None, placement="inter-cta"):
+    """Load buffering: each thread loads one location then stores to the
+    other; weak outcome has both loads seeing the other's store
+    (``0:r1=1 /\\ 1:r2=1``).  ``lb(fence=Scope.CTA)`` is the
+    ``lb+membar.ctas`` test of Sec. 6, observed on GTX Titan and GTX 660
+    but forbidden by the operational model of Sorensen et al."""
+    t0_body = [Ld(Reg("r1"), Addr(Loc("x")), cop=CacheOp.CG)]
+    _maybe_fence(t0_body, fence)
+    t0_body.append(St(Addr(Loc("y")), Imm(1), cop=CacheOp.CG))
+    t1_body = [Ld(Reg("r2"), Addr(Loc("y")), cop=CacheOp.CG)]
+    _maybe_fence(t1_body, fence)
+    t1_body.append(St(Addr(Loc("x")), Imm(1), cop=CacheOp.CG))
+    suffix = "" if fence is None else "+%ss" % _fence_name(fence)
+    return LitmusTest(
+        name="lb" + suffix, threads=(_thread(0, t0_body), _thread(1, t1_body)),
+        scope_tree=_scope_tree(placement, ["T0", "T1"]),
+        condition=_exists(RegEq(0, "r1", 1), RegEq(1, "r2", 1)),
+        description="Load buffering, fence=%s" % _fence_name(fence), idiom="lb")
+
+
+# ---------------------------------------------------------------------------
+# Registry of the paper's reported configurations.
+# ---------------------------------------------------------------------------
+
+#: name -> zero-argument builder for each configuration whose observation
+#: counts the paper reports.
+PAPER_TESTS = {
+    "coRR": corr,
+    "mp-L1": mp_l1,
+    "mp-L1+membar.ctas": lambda: mp_l1(fence=Scope.CTA),
+    "mp-L1+membar.gls": lambda: mp_l1(fence=Scope.GL),
+    "mp-L1+membar.syss": lambda: mp_l1(fence=Scope.SYS),
+    "coRR-L2-L1": corr_l2_l1,
+    "coRR-L2-L1+membar.cta": lambda: corr_l2_l1(fence=Scope.CTA),
+    "coRR-L2-L1+membar.gl": lambda: corr_l2_l1(fence=Scope.GL),
+    "coRR-L2-L1+membar.sys": lambda: corr_l2_l1(fence=Scope.SYS),
+    "mp-volatile": mp_volatile,
+    "dlb-mp": dlb_mp,
+    "dlb-mp+membar.gls": lambda: dlb_mp(fences=True),
+    "dlb-lb": dlb_lb,
+    "dlb-lb+membar.gls": lambda: dlb_lb(fences=True),
+    "cas-sl": cas_sl,
+    "cas-sl+membar.gls": lambda: cas_sl(fences=True),
+    "exch-sl": exch_sl,
+    "sl-future": sl_future,
+    "sl-future+fixed": lambda: sl_future(fixed=True),
+    "sb": sb,
+    "SB-fig12": sb_fig12,
+    "mp": mp,
+    "mp-fig14": mp_fig14,
+    "mp+membar.gls": lambda: mp(fence0=Scope.GL, fence1=Scope.GL),
+    "lb": lb,
+    "lb+membar.ctas": lambda: lb(fence=Scope.CTA),
+    "lb+membar.gls": lambda: lb(fence=Scope.GL),
+}
+
+
+def build(name):
+    """Instantiate a registered paper test by name."""
+    try:
+        return PAPER_TESTS[name]()
+    except KeyError:
+        raise KeyError("unknown paper test %r; known: %s"
+                       % (name, ", ".join(sorted(PAPER_TESTS))))
+
+
+def all_paper_tests():
+    """Instantiate every registered configuration (name -> LitmusTest)."""
+    return {name: builder() for name, builder in PAPER_TESTS.items()}

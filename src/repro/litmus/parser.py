@@ -1,0 +1,195 @@
+"""Parser for the GPU litmus text format (Fig. 12 of the paper).
+
+The format::
+
+    GPU_PTX SB
+    { 0:.reg .s32 r0;  0:.reg .b64 r1 = x;  ...  y = 1; }
+    T0               | T1               ;
+    mov.s32 r0, 1    | mov.s32 r0, 1    ;
+    st.cg.s32 [r1],r0 | st.cg.s32 [r1],r0 ;
+    ScopeTree (grid (cta (warp T0) (warp T1)))
+    x: shared, y: global
+    exists (0:r2=0 /\\ 1:r2=0)
+
+The init block declares typed registers per thread (optionally bound to a
+location's address or an immediate) and initial memory values.  The scope
+tree and memory map lines are optional; threads default to intra-CTA
+placement and locations to global memory.
+"""
+
+import re
+
+from ..errors import LitmusSyntaxError, PtxSyntaxError
+from ..hierarchy import MemoryMap, ScopeTree
+from ..ptx.operands import Imm, Loc
+from ..ptx.parser import parse_instruction
+from ..ptx.program import ThreadProgram
+from ..ptx.types import TypeSpec
+from .condition import parse_condition
+from .test import LitmusTest
+
+_REG_DECL_RE = re.compile(
+    r"^(\d+):\s*\.reg\s+\.(\w+)\s+([A-Za-z_%]\w*)\s*(?:=\s*([A-Za-z_]\w*|-?\d+))?$")
+_MEM_INIT_RE = re.compile(
+    r"^(?:(global|shared)\s+)?([A-Za-z_]\w*)\s*=\s*(-?\d+)$")
+_THREAD_NAME_RE = re.compile(r"^T(\d+)$")
+
+
+def parse_litmus(text):
+    """Parse litmus text into a :class:`~repro.litmus.test.LitmusTest`."""
+    lines = _significant_lines(text)
+    if not lines:
+        raise LitmusSyntaxError("empty litmus file")
+
+    header = lines.pop(0).split(None, 1)
+    if len(header) != 2:
+        raise LitmusSyntaxError("expected 'ARCH NAME' header")
+    arch, name = header
+    description = ""
+    if lines and lines[0].startswith('"'):
+        description = lines.pop(0).strip('"')
+
+    init_entries, lines = _collect_init_block(lines)
+    reg_types, reg_init, init_mem, space_hints = _parse_init_entries(init_entries)
+
+    program_rows, lines = _collect_program_rows(lines)
+    threads = _build_threads(program_rows, reg_types, reg_init)
+
+    scope_tree, memory_map, condition = None, MemoryMap(space_hints), None
+    for line in lines:
+        if line.startswith("ScopeTree") or line.lstrip("(").startswith("grid"):
+            scope_tree = ScopeTree.parse(line[len("ScopeTree"):] if
+                                         line.startswith("ScopeTree") else line)
+        elif line.startswith(("exists", "forall", "final:", "~exists")):
+            negated = line.startswith("~")
+            condition = parse_condition(line.lstrip("~"))
+            if negated:
+                from .condition import Condition, Not
+                condition = Condition(condition.quantifier, Not(condition.expr))
+        elif ":" in line:
+            extra = MemoryMap.parse(line)
+            merged = dict(memory_map.spaces)
+            merged.update(extra.spaces)
+            memory_map = MemoryMap(merged)
+        else:
+            raise LitmusSyntaxError("unrecognised litmus line %r" % line)
+
+    if condition is None:
+        raise LitmusSyntaxError("litmus test %r has no final condition" % name)
+    if scope_tree is None:
+        scope_tree = ScopeTree.intra_cta([program.name for program in threads])
+    return LitmusTest(name=name, arch=arch, threads=tuple(threads),
+                      scope_tree=scope_tree, memory_map=memory_map,
+                      init_mem=init_mem, reg_init=reg_init,
+                      condition=condition, description=description)
+
+
+def _significant_lines(text):
+    lines = []
+    for raw in text.splitlines():
+        line = raw.split("//")[0].rstrip()
+        if line.strip():
+            lines.append(line.strip())
+    return lines
+
+
+def _collect_init_block(lines):
+    """Pull the ``{ ... }`` init block off the front of ``lines``."""
+    if not lines or not lines[0].startswith("{"):
+        return [], lines
+    block, rest = [], []
+    depth, closed = 0, False
+    for index, line in enumerate(lines):
+        if closed:
+            rest = lines[index:]
+            break
+        depth += line.count("{") - line.count("}")
+        block.append(line.strip("{}").strip())
+        if depth == 0:
+            closed = True
+    if not closed:
+        raise LitmusSyntaxError("unterminated init block")
+    entries = []
+    for chunk in block:
+        entries.extend(entry.strip() for entry in chunk.split(";") if entry.strip())
+    return entries, rest
+
+
+def _parse_init_entries(entries):
+    reg_types, reg_init, init_mem, space_hints = {}, {}, {}, {}
+    for entry in entries:
+        declaration = _REG_DECL_RE.match(entry)
+        if declaration:
+            tid = int(declaration.group(1))
+            type_name, reg_name, binding = declaration.group(2, 3, 4)
+            try:
+                typ = TypeSpec(type_name)
+            except ValueError:
+                raise LitmusSyntaxError("unknown register type %r" % type_name)
+            reg_types.setdefault(tid, {})[reg_name] = typ
+            if binding is not None:
+                if re.match(r"^-?\d+$", binding):
+                    reg_init[(tid, reg_name)] = Imm(int(binding))
+                else:
+                    reg_init[(tid, reg_name)] = Loc(binding)
+            continue
+        memory = _MEM_INIT_RE.match(entry)
+        if memory:
+            space, location, value = memory.group(1, 2, 3)
+            init_mem[location] = int(value)
+            if space:
+                space_hints[location] = space
+            continue
+        raise LitmusSyntaxError("unrecognised init entry %r" % entry)
+    return reg_types, reg_init, init_mem, space_hints
+
+
+def _collect_program_rows(lines):
+    """Collect the ``|``-separated program table; returns (rows, rest)."""
+    rows, rest = [], []
+    in_table = False
+    for index, line in enumerate(lines):
+        is_row = line.endswith(";") and (
+            "|" in line or in_table
+            or _THREAD_NAME_RE.match(line.rstrip(";").strip()))
+        if is_row:
+            in_table = True
+            rows.append([cell.strip() for cell in line.rstrip(";").split("|")])
+        elif in_table:
+            rest = lines[index:]
+            break
+        else:
+            raise LitmusSyntaxError("expected program table, got %r" % line)
+    if not rows:
+        raise LitmusSyntaxError("litmus test has no program table")
+    return rows, rest
+
+
+def _build_threads(rows, reg_types, reg_init):
+    header = rows[0]
+    names = []
+    for cell in header:
+        match = _THREAD_NAME_RE.match(cell)
+        if not match:
+            raise LitmusSyntaxError("bad thread header cell %r" % cell)
+        names.append(cell)
+    if names != ["T%d" % i for i in range(len(names))]:
+        raise LitmusSyntaxError("thread headers must be T0..Tn in order")
+
+    threads = []
+    for tid, name in enumerate(names):
+        types = reg_types.get(tid, {})
+        known = set(types) | {reg for (owner, reg) in reg_init if owner == tid}
+        instructions = []
+        for row in rows[1:]:
+            cell = row[tid] if tid < len(row) else ""
+            if not cell:
+                continue
+            try:
+                instructions.append(parse_instruction(cell, registers=known or None))
+            except PtxSyntaxError as exc:
+                raise LitmusSyntaxError("in %s: %s" % (name, exc))
+            known |= instructions[-1].defs()
+        threads.append(ThreadProgram(tid=tid, instructions=tuple(instructions),
+                                     name=name, reg_types=types))
+    return threads

@@ -1,0 +1,14 @@
+"""Axiomatic framework: events, relations, executions, cat models."""
+
+from .dot import to_dot, weak_witness_dot
+from .enumerate import allowed_final_states, enumerate_executions
+from .events import Event, FENCE, READ, WRITE
+from .execution import CandidateExecution
+from .relation import Relation
+
+__all__ = [
+    "to_dot", "weak_witness_dot",
+    "allowed_final_states", "enumerate_executions",
+    "Event", "FENCE", "READ", "WRITE",
+    "CandidateExecution", "Relation",
+]

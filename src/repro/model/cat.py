@@ -1,0 +1,422 @@
+"""An interpreter for the ``.cat`` modelling language (Sec. 5.2.2).
+
+The paper expresses its PTX model in the ``.cat`` format of Alglave et
+al.'s *herd* tool: a small language for declaring derived relations and
+acyclicity/emptiness checks over candidate executions.  This module
+implements the fragment the paper uses, plus the closure and sequencing
+operators needed for the comparison models (SC, TSO, plain RMO):
+
+* ``let name = expr`` and single-parameter functions
+  ``let name(param) = expr`` (Fig. 15 line 7: ``rmo(fence)``);
+* union ``|``, intersection ``&``, difference ``\\``, sequence ``;``;
+* postfix ``+`` (transitive closure), ``?`` (reflexive closure),
+  ``^-1`` (inverse);
+* endpoint filters ``WW(r)``, ``WR(r)``, ``RW(r)``, ``RR(r)`` (and the
+  ``M`` wildcards);
+* checks ``acyclic``/``irreflexive``/``empty`` with ``as name``;
+* ``(* ... *)`` and ``//`` comments.
+
+Primitive relation names (``rf``, ``co``, ``fr``, ``po``, ``po-loc``,
+``addr``, ``data``, ``ctrl``, ``membar.cta`` …, ``cta``, ``gl``, ``sys``,
+``rmw`` …) resolve through
+:meth:`repro.model.execution.CandidateExecution.relation`.
+"""
+
+import re
+from dataclasses import dataclass
+
+from ..errors import CatEvalError, CatSyntaxError
+from .relation import Relation
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"\(\*.*?\*\)"),
+    ("LINECOMMENT", r"//[^\n]*"),
+    ("INVERSE", r"\^-1"),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_.\-]*"),
+    ("ZERO", r"0"),
+    ("EQUALS", r"="),
+    ("LPAR", r"\("),
+    ("RPAR", r"\)"),
+    ("UNION", r"\|"),
+    ("INTER", r"&"),
+    ("DIFF", r"\\"),
+    ("SEQ", r";"),
+    ("PLUS", r"\+"),
+    ("STAR", r"\*"),
+    ("OPT", r"\?"),
+    ("WS", r"[ \t\r\n]+"),
+]
+_TOKEN_RE = re.compile("|".join("(?P<%s>%s)" % (name, pattern)
+                                for name, pattern in _TOKEN_SPEC), re.DOTALL)
+
+_KEYWORDS = {"let", "acyclic", "irreflexive", "empty", "as", "and", "show",
+             "unshow", "include", "rec"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(text):
+    tokens, position = [], 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise CatSyntaxError("cannot tokenize .cat text at %r"
+                                 % text[position:position + 20])
+        position = match.end()
+        kind = match.lastgroup
+        if kind in ("WS", "COMMENT", "LINECOMMENT"):
+            continue
+        value = match.group()
+        if kind == "NAME" and value in _KEYWORDS:
+            kind = value.upper()
+        tokens.append(_Token(kind, value, match.start()))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Name:
+    name: str
+
+
+@dataclass(frozen=True)
+class Empty:
+    pass
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str  # "|", "&", "\\", ";"
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Postfix:
+    op: str  # "+", "*", "?", "^-1"
+    body: object
+
+
+@dataclass(frozen=True)
+class Call:
+    function: str
+    argument: object
+
+
+@dataclass(frozen=True)
+class Let:
+    name: str
+    parameter: str  # None for plain bindings
+    body: object
+
+
+@dataclass(frozen=True)
+class Check:
+    kind: str  # "acyclic" | "irreflexive" | "empty"
+    body: object
+    name: str
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self):
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return _Token("EOF", "", -1)
+
+    def take(self, kind=None):
+        token = self.peek()
+        if kind is not None and token.kind != kind:
+            raise CatSyntaxError("expected %s, got %r" % (kind, token.text))
+        self.position += 1
+        return token
+
+    def parse_model(self):
+        statements = []
+        while self.peek().kind != "EOF":
+            token = self.peek()
+            if token.kind == "LET":
+                statements.extend(self.parse_let())
+            elif token.kind in ("ACYCLIC", "IRREFLEXIVE", "EMPTY"):
+                statements.append(self.parse_check())
+            elif token.kind in ("SHOW", "UNSHOW", "INCLUDE"):
+                self.take()
+                self.take()  # argument; purely cosmetic in herd
+            else:
+                raise CatSyntaxError("unexpected token %r" % token.text)
+        return statements
+
+    def parse_let(self):
+        self.take("LET")
+        if self.peek().kind == "REC":
+            raise CatSyntaxError("recursive let is not supported")
+        bindings = [self.parse_binding()]
+        while self.peek().kind == "AND":
+            self.take()
+            bindings.append(self.parse_binding())
+        return bindings
+
+    def parse_binding(self):
+        name = self.take("NAME").text
+        parameter = None
+        if self.peek().kind == "LPAR":
+            self.take()
+            parameter = self.take("NAME").text
+            self.take("RPAR")
+        self.take("EQUALS")
+        body = self.parse_expr()
+        return Let(name, parameter, body)
+
+    def parse_check(self):
+        kind = self.take().kind.lower()
+        body = self.parse_expr()
+        name = None
+        if self.peek().kind == "AS":
+            self.take()
+            name = self.take("NAME").text
+        return Check(kind, body, name or ("%s-check-%d" % (kind, self.position)))
+
+    # Precedence: | lowest, then ;, then &, then \, then postfix, then atoms.
+
+    def parse_expr(self):
+        left = self.parse_seq()
+        while self.peek().kind == "UNION":
+            self.take()
+            left = Binary("|", left, self.parse_seq())
+        return left
+
+    def parse_seq(self):
+        left = self.parse_inter()
+        while self.peek().kind == "SEQ":
+            self.take()
+            left = Binary(";", left, self.parse_inter())
+        return left
+
+    def parse_inter(self):
+        left = self.parse_diff()
+        while self.peek().kind == "INTER":
+            self.take()
+            left = Binary("&", left, self.parse_diff())
+        return left
+
+    def parse_diff(self):
+        left = self.parse_postfix()
+        while self.peek().kind == "DIFF":
+            self.take()
+            left = Binary("\\", left, self.parse_postfix())
+        return left
+
+    def parse_postfix(self):
+        body = self.parse_atom()
+        while self.peek().kind in ("PLUS", "STAR", "OPT", "INVERSE"):
+            token = self.take()
+            op = {"PLUS": "+", "STAR": "*", "OPT": "?", "INVERSE": "^-1"}[token.kind]
+            body = Postfix(op, body)
+        return body
+
+    def parse_atom(self):
+        token = self.peek()
+        if token.kind == "LPAR":
+            self.take()
+            inner = self.parse_expr()
+            self.take("RPAR")
+            return inner
+        if token.kind == "ZERO":
+            self.take()
+            return Empty()
+        if token.kind == "NAME":
+            self.take()
+            if self.peek().kind == "LPAR":
+                self.take()
+                argument = self.parse_expr()
+                self.take("RPAR")
+                return Call(token.text, argument)
+            return Name(token.text)
+        raise CatSyntaxError("unexpected token %r in expression" % token.text)
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+_FILTER_KINDS = {"W": lambda e: e.is_write, "R": lambda e: e.is_read,
+                 "M": lambda e: e.is_access, "F": lambda e: e.is_fence}
+
+_FILTERS = {a + b: (  # WW, WR, RW, RR, WM, MW, RM, MR, MM, ...
+    _FILTER_KINDS[a], _FILTER_KINDS[b])
+    for a in _FILTER_KINDS for b in _FILTER_KINDS}
+
+
+@dataclass(frozen=True)
+class _Closure:
+    """A user-defined single-parameter relation function."""
+
+    parameter: str
+    body: object
+    env: dict
+
+
+class _Evaluator:
+    def __init__(self, execution, env):
+        self.execution = execution
+        self.env = env
+
+    def eval(self, node, local=None):
+        local = local or {}
+        if isinstance(node, Empty):
+            return Relation.empty()
+        if isinstance(node, Name):
+            return self.lookup(node.name, local)
+        if isinstance(node, Binary):
+            left = self.eval(node.left, local)
+            right = self.eval(node.right, local)
+            if node.op == "|":
+                return left | right
+            if node.op == "&":
+                return left & right
+            if node.op == "\\":
+                return left - right
+            if node.op == ";":
+                return left >> right
+            raise CatEvalError("unknown operator %r" % node.op)
+        if isinstance(node, Postfix):
+            body = self.eval(node.body, local)
+            if node.op == "+":
+                return body.transitive_closure()
+            if node.op == "*":
+                return body.transitive_closure().reflexive_closure(
+                    self.execution.events)
+            if node.op == "?":
+                return body.reflexive_closure(self.execution.events)
+            if node.op == "^-1":
+                return ~body
+            raise CatEvalError("unknown postfix %r" % node.op)
+        if isinstance(node, Call):
+            return self.call(node.function, node.argument, local)
+        raise CatEvalError("cannot evaluate %r" % (node,))
+
+    def lookup(self, name, local):
+        if name in local:
+            value = local[name]
+        elif name in self.env:
+            value = self.env[name]
+        else:
+            return self.execution.relation(name)
+        if isinstance(value, _Closure):
+            raise CatEvalError("relation function %r used without argument" % name)
+        return value
+
+    def call(self, function, argument_node, local):
+        if function in _FILTERS:
+            domain_pred, range_pred = _FILTERS[function]
+            return self.eval(argument_node, local).restrict(domain_pred, range_pred)
+        target = local.get(function, self.env.get(function))
+        if isinstance(target, _Closure):
+            argument = self.eval(argument_node, local)
+            inner = dict(target.env)
+            inner[target.parameter] = argument
+            return self.eval(target.body, inner)
+        raise CatEvalError("unknown function %r" % function)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one model check on one execution."""
+
+    name: str
+    kind: str
+    passed: bool
+    cycle: tuple  # offending cycle/pairs when failed (possibly empty)
+
+    def __str__(self):
+        status = "PASS" if self.passed else "FAIL"
+        return "%s %s (%s)" % (status, self.name, self.kind)
+
+
+class CatModel:
+    """A compiled ``.cat`` model.
+
+    ``allows(execution)`` is the paper's partition: an execution is
+    allowed iff every check passes (Sec. 5.2).
+    """
+
+    def __init__(self, text, name=""):
+        self.text = text
+        self.name = name
+        self.statements = _Parser(tokenize(text)).parse_model()
+        self.check_names = [s.name for s in self.statements if isinstance(s, Check)]
+
+    def evaluate(self, execution):
+        """Run all checks; returns a list of :class:`CheckResult`."""
+        env = {}
+        evaluator = _Evaluator(execution, env)
+        results = []
+        for statement in self.statements:
+            if isinstance(statement, Let):
+                if statement.parameter is None:
+                    env[statement.name] = evaluator.eval(statement.body)
+                else:
+                    env[statement.name] = _Closure(statement.parameter,
+                                                   statement.body, dict(env))
+            else:
+                relation = evaluator.eval(statement.body)
+                results.append(self._run_check(statement, relation))
+        return results
+
+    @staticmethod
+    def _run_check(check, relation):
+        if check.kind == "acyclic":
+            cycle = relation.find_cycle()
+            return CheckResult(check.name, check.kind, cycle is None,
+                               tuple(cycle or ()))
+        if check.kind == "irreflexive":
+            loops = [a for a, b in relation if a is b]
+            return CheckResult(check.name, check.kind, not loops, tuple(loops))
+        if check.kind == "empty":
+            pairs = tuple(relation)
+            return CheckResult(check.name, check.kind, not pairs, pairs[:4])
+        raise CatEvalError("unknown check kind %r" % check.kind)
+
+    def allows(self, execution):
+        return all(result.passed for result in self.evaluate(execution))
+
+    def failed_checks(self, execution):
+        return [result for result in self.evaluate(execution) if not result.passed]
+
+    def relations(self, execution):
+        """Evaluate every ``let`` binding (for inspection/debugging)."""
+        env = {}
+        evaluator = _Evaluator(execution, env)
+        out = {}
+        for statement in self.statements:
+            if isinstance(statement, Let):
+                if statement.parameter is None:
+                    env[statement.name] = evaluator.eval(statement.body)
+                    out[statement.name] = env[statement.name]
+                else:
+                    env[statement.name] = _Closure(statement.parameter,
+                                                   statement.body, dict(env))
+        return out
+
+    def __repr__(self):
+        return "CatModel(%s, %d checks)" % (self.name or "<anonymous>",
+                                            len(self.check_names))

@@ -1,0 +1,97 @@
+"""Graphviz (DOT) export of candidate executions, in the style of Fig. 14.
+
+``herd`` renders execution graphs with events as nodes and po/rf/co/fr
+edges; this module produces equivalent DOT text for any
+:class:`~repro.model.execution.CandidateExecution`::
+
+    from repro.model.dot import to_dot
+    print(to_dot(execution))          # pipe into `dot -Tpdf`
+"""
+
+_EDGE_STYLES = {
+    "po": ("black", "solid"),
+    "rf": ("red", "solid"),
+    "co": ("blue", "solid"),
+    "fr": ("darkorange", "dashed"),
+    "addr": ("forestgreen", "dotted"),
+    "data": ("forestgreen", "dotted"),
+    "ctrl": ("forestgreen", "dotted"),
+}
+
+
+def _node_id(event):
+    return "e%d" % event.eid
+
+
+def _node_label(event):
+    if event.is_fence:
+        return "membar.%s" % event.scope
+    cop = ".%s" % event.cop if event.cop else (".vol" if event.volatile else "")
+    return "%s%s %s=%s" % (event.kind, cop, event.loc, event.value)
+
+
+def _po_immediate(execution):
+    """Transitive reduction of po (draw only adjacent pairs)."""
+    pairs = []
+    by_thread = {}
+    for event in execution.events:
+        if event.tid >= 0:
+            by_thread.setdefault(event.tid, []).append(event)
+    for events in by_thread.values():
+        events.sort(key=lambda e: e.po_index)
+        pairs.extend(zip(events, events[1:]))
+    return pairs
+
+
+def to_dot(execution, title=None, show_dependencies=True):
+    """Render an execution as DOT text."""
+    lines = ["digraph execution {",
+             '  label="%s";' % (title or execution.test_name),
+             "  node [shape=box, fontname=monospace];"]
+
+    clusters = {}
+    for event in execution.events:
+        clusters.setdefault(event.tid, []).append(event)
+    for tid in sorted(clusters):
+        name = "init" if tid == -1 else "T%d" % tid
+        lines.append("  subgraph cluster_%s {" % name.lower())
+        lines.append('    label="%s"; style=dashed;' % name)
+        for event in sorted(clusters[tid], key=lambda e: e.po_index):
+            lines.append('    %s [label="%s"];'
+                         % (_node_id(event), _node_label(event)))
+        lines.append("  }")
+
+    def edges(pairs, kind):
+        colour, style = _EDGE_STYLES[kind]
+        for a, b in pairs:
+            lines.append('  %s -> %s [label="%s", color=%s, style=%s];'
+                         % (_node_id(a), _node_id(b), kind, colour, style))
+
+    edges(_po_immediate(execution), "po")
+    edges(sorted(execution.rf, key=lambda p: p[0].eid), "rf")
+    # Coherence: immediate successors only, to keep the graph readable.
+    co_pairs = [(a, b) for a, b in execution.co
+                if not any((a, c) in execution.co and (c, b) in execution.co
+                           for c in execution.writes)]
+    edges(co_pairs, "co")
+    edges(sorted(execution.relation("fr"), key=lambda p: p[0].eid), "fr")
+    if show_dependencies:
+        for kind in ("addr", "data", "ctrl"):
+            edges(sorted(execution.relation(kind), key=lambda p: p[0].eid),
+                  kind)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def weak_witness_dot(test, model=None):
+    """DOT for the first weak candidate of ``test`` (model-annotated)."""
+    from .enumerate import enumerate_executions
+
+    for execution in enumerate_executions(test):
+        if test.condition.holds(execution.final_state):
+            verdict = ""
+            if model is not None:
+                verdict = (" [allowed by %s]" if model.allows(execution)
+                           else " [forbidden by %s]") % model.name
+            return to_dot(execution, title=test.name + verdict)
+    raise ValueError("no weak candidate for %s" % test.name)

@@ -1,0 +1,353 @@
+"""Candidate-execution enumeration (Sec. 5.1.2 of the paper).
+
+Pipeline: per-thread symbolic paths (:mod:`repro.model.paths`) →
+cartesian combination of paths → read-from solving (each read picks a
+same-address write whose value is consistent with the path constraints)
+→ coherence-order enumeration (all per-location total orders respecting
+RMW atomicity) → concrete :class:`~repro.model.execution.CandidateExecution`
+objects, each with its final state.
+"""
+
+import itertools
+
+from ..errors import EnumerationError
+from ..litmus.condition import FinalState
+from .events import Event, init_write
+from .execution import CandidateExecution
+from .paths import DEFAULT_FUEL, enumerate_thread_paths
+from .relation import Relation
+from .symbolic import resolve
+
+
+def enumerate_executions(test, fuel=DEFAULT_FUEL, on_fuel="error",
+                         max_executions=None):
+    """Enumerate the candidate executions of ``test``.
+
+    ``fuel`` bounds loop unrolling per thread; ``on_fuel`` selects what to
+    do when it runs out ("error", "discard" or "truncate").
+    ``max_executions`` caps the total (None = unbounded).
+    """
+    address_map = test.address_map()
+    var_counter = itertools.count()
+    per_thread = [
+        enumerate_thread_paths(program, address_map, test.reg_init,
+                               var_counter, fuel, on_fuel)
+        for program in test.threads
+    ]
+    if any(not paths for paths in per_thread):
+        raise EnumerationError("a thread of %s has no feasible path" % test.name)
+
+    executions = []
+    for combo in itertools.product(*per_thread):
+        for execution in _solve_combo(test, combo, address_map):
+            executions.append(execution)
+            if max_executions is not None and len(executions) >= max_executions:
+                return executions
+    return executions
+
+
+def allowed_final_states(executions, model=None):
+    """The distinct final states of ``executions``, optionally filtered by
+    an axiomatic model's ``allows`` predicate."""
+    outcomes = set()
+    for execution in executions:
+        if model is None or model.allows(execution):
+            outcomes.add(execution.final_state)
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# Solving one combination of per-thread paths.
+# ---------------------------------------------------------------------------
+
+class _Combo:
+    """Bookkeeping for one combination of thread paths."""
+
+    def __init__(self, test, paths, address_map):
+        self.test = test
+        self.paths = paths
+        self.address_map = address_map
+        self.reverse_address = {addr: name for name, addr in address_map.items()}
+        # Symbolic events keyed by (tid, local index).
+        self.reads = []
+        self.writes = []  # (key, sym_event) for store/rmw writes
+        self.sym_events = {}
+        for path in paths:
+            for sym in path.events:
+                key = (path.tid, sym.index)
+                self.sym_events[key] = sym
+                if sym.kind == "R":
+                    self.reads.append(key)
+                elif sym.kind == "W":
+                    self.writes.append(key)
+        self.constraints = [c for path in paths for c in path.constraints]
+
+    def location_of(self, address):
+        name = self.reverse_address.get(address)
+        if name is not None:
+            return name
+        raise EnumerationError("access to unmapped address %#x" % address)
+
+
+def _solve_combo(test, paths, address_map):
+    combo = _Combo(test, paths, address_map)
+    yield from _solve_rf(combo, env={}, rf_assign={}, remaining=list(combo.reads))
+
+
+def _constraints_ok(combo, env):
+    """False if a constraint is already violated; True when all are decided
+    true or still open."""
+    for constraint in combo.constraints:
+        if constraint.status(env) is False:
+            return False
+    return True
+
+
+def _resolved_addr(combo, key, env):
+    sym = combo.sym_events[key]
+    return resolve(sym.addr_term, env)
+
+
+def _candidate_writes(combo, read_key, read_addr, env):
+    """Same-address writes with resolved values, plus the init write.
+
+    Returns (resolved, has_unresolved): the second flag reports that some
+    same-address write's value could not be resolved yet (used to order
+    read picks for completeness).
+    """
+    read_sym = combo.sym_events[read_key]
+    resolved, has_unresolved = [], False
+    for write_key in combo.writes:
+        write_sym = combo.sym_events[write_key]
+        if (write_key[0] == read_key[0]
+                and write_sym.rmw_group is not None
+                and write_sym.rmw_group == read_sym.rmw_group):
+            continue  # an RMW cannot read its own write
+        write_addr = resolve(write_sym.addr_term, env)
+        if write_addr is None:
+            has_unresolved = True
+            continue
+        if write_addr != read_addr:
+            continue
+        value = resolve(write_sym.value_term, env)
+        if value is None:
+            has_unresolved = True
+        else:
+            resolved.append((write_key, value))
+    location = combo.location_of(read_addr)
+    resolved.append((("init", location), combo.test.initial_value(location)))
+    return resolved, has_unresolved
+
+
+def _solve_rf(combo, env, rf_assign, remaining):
+    """Depth-first assignment of read-from edges."""
+    if not _constraints_ok(combo, env):
+        return
+    if not remaining:
+        if any(c.status(env) is not True for c in combo.constraints):
+            raise EnumerationError("constraints undecided with all reads bound")
+        yield from _enumerate_co(combo, env, rf_assign)
+        return
+
+    # Prefer reads whose candidate set is fully resolved, for completeness.
+    best_index, best = None, None
+    for index, key in enumerate(remaining):
+        addr = _resolved_addr(combo, key, env)
+        if addr is None:
+            continue
+        candidates, has_unresolved = _candidate_writes(combo, key, addr, env)
+        rank = (has_unresolved, len(candidates))
+        if best is None or rank < best[0]:
+            best_index, best = index, (rank, key, candidates)
+        if not has_unresolved:
+            break
+    if best is None:
+        raise EnumerationError(
+            "no read with a resolvable address; cyclic address dependency?")
+
+    _, read_key, candidates = best
+    rest = remaining[:best_index] + remaining[best_index + 1:]
+    read_sym = combo.sym_events[read_key]
+    for write_key, value in candidates:
+        new_env = dict(env)
+        new_env[read_sym.var] = value
+        new_rf = dict(rf_assign)
+        new_rf[read_key] = write_key
+        yield from _solve_rf(combo, new_env, new_rf, rest)
+
+
+# ---------------------------------------------------------------------------
+# Coherence enumeration and execution construction.
+# ---------------------------------------------------------------------------
+
+def _enumerate_co(combo, env, rf_assign):
+    """Enumerate coherence orders (init first) respecting RMW atomicity."""
+    writes_by_loc = {}
+    for write_key in combo.writes:
+        sym = combo.sym_events[write_key]
+        address = resolve(sym.addr_term, env)
+        location = combo.location_of(address)
+        writes_by_loc.setdefault(location, []).append(write_key)
+    for location in combo.test.locations():
+        writes_by_loc.setdefault(location, [])
+
+    # RMW atomicity: the write of an RMW must immediately follow the write
+    # its read read from (the paper's Sec. 5 model inherits this from the
+    # enumeration, like herd does).
+    atomic_pairs = _atomicity_requirements(combo, rf_assign)
+
+    locations = sorted(writes_by_loc)
+    per_location_orders = []
+    for location in locations:
+        orders = []
+        for permutation in itertools.permutations(writes_by_loc[location]):
+            order = [("init", location)] + list(permutation)
+            if _atomicity_ok(order, atomic_pairs):
+                orders.append(order)
+        per_location_orders.append(orders)
+
+    for chosen in itertools.product(*per_location_orders):
+        co_orders = dict(zip(locations, chosen))
+        yield _build_execution(combo, env, rf_assign, co_orders)
+
+
+def _atomicity_requirements(combo, rf_assign):
+    """Map rmw-write-key -> the write key its read read from."""
+    requirements = {}
+    for read_key, source in rf_assign.items():
+        read_sym = combo.sym_events[read_key]
+        if read_sym.rmw_group is None:
+            continue
+        write_key = _rmw_write_of(combo, read_key)
+        if write_key is not None:
+            requirements[write_key] = source
+    return requirements
+
+
+def _rmw_write_of(combo, read_key):
+    tid, _ = read_key
+    read_sym = combo.sym_events[read_key]
+    for write_key in combo.writes:
+        if write_key[0] != tid:
+            continue
+        sym = combo.sym_events[write_key]
+        if sym.rmw_group == read_sym.rmw_group:
+            return write_key
+    return None
+
+
+def _atomicity_ok(order, requirements):
+    positions = {key: index for index, key in enumerate(order)}
+    for write_key, source_key in requirements.items():
+        if write_key not in positions:
+            continue
+        source_position = positions.get(source_key)
+        if source_position is None:
+            continue  # source is a write to another location (impossible)
+        if positions[write_key] != source_position + 1:
+            return False
+    return True
+
+
+def _build_execution(combo, env, rf_assign, co_orders):
+    test = combo.test
+    events = {}
+    eid = itertools.count()
+
+    for location in sorted(co_orders):
+        events[("init", location)] = init_write(
+            next(eid), location, test.initial_value(location))
+
+    for path in combo.paths:
+        for sym in path.events:
+            key = (path.tid, sym.index)
+            if sym.kind == "F":
+                events[key] = Event(eid=next(eid), tid=path.tid, kind="F",
+                                    po_index=sym.index, scope=sym.scope,
+                                    label=sym.label)
+                continue
+            address = resolve(sym.addr_term, env)
+            location = combo.location_of(address)
+            value = resolve(sym.value_term, env)
+            events[key] = Event(eid=next(eid), tid=path.tid, kind=sym.kind,
+                                po_index=sym.index, loc=location, value=value,
+                                cop=sym.cop, volatile=sym.volatile,
+                                rmw_group=(None if sym.rmw_group is None
+                                           else path.tid * 1000 + sym.rmw_group),
+                                label=sym.label)
+
+    po_pairs = []
+    for path in combo.paths:
+        ordered = [events[(path.tid, sym.index)] for sym in path.events]
+        po_pairs.extend((ordered[i], ordered[j])
+                        for i in range(len(ordered))
+                        for j in range(i + 1, len(ordered)))
+
+    rf_pairs = [(events[w_key], events[r_key]) for r_key, w_key in rf_assign.items()]
+    co_pairs = []
+    for order in co_orders.values():
+        concrete = [events[key] for key in order]
+        co_pairs.extend((concrete[i], concrete[j])
+                        for i in range(len(concrete))
+                        for j in range(i + 1, len(concrete)))
+
+    addr_pairs, data_pairs, ctrl_pairs = [], [], []
+    for path in combo.paths:
+        for sym in path.events:
+            target = events[(path.tid, sym.index)]
+            for source_index in sym.addr_sources:
+                addr_pairs.append((events[(path.tid, source_index)], target))
+            for source_index in sym.data_sources:
+                data_pairs.append((events[(path.tid, source_index)], target))
+            for source_index in sym.ctrl_sources:
+                ctrl_pairs.append((events[(path.tid, source_index)], target))
+
+    rmw_pairs = []
+    for path in combo.paths:
+        groups = {}
+        for sym in path.events:
+            if sym.rmw_group is not None:
+                groups.setdefault(sym.rmw_group, []).append(events[(path.tid, sym.index)])
+        for group in groups.values():
+            read = [e for e in group if e.kind == "R"]
+            write = [e for e in group if e.kind == "W"]
+            if read and write:
+                rmw_pairs.append((read[0], write[0]))
+
+    final_state = _final_state(combo, env, co_orders, events)
+
+    tree = test.scope_tree
+    names = [program.name for program in test.threads]
+
+    def same_cta(tid_a, tid_b):
+        return tree.same_cta(names[tid_a], names[tid_b])
+
+    return CandidateExecution(
+        events=list(events.values()),
+        po=Relation(po_pairs), rf=Relation(rf_pairs), co=Relation(co_pairs),
+        addr=Relation(addr_pairs), data=Relation(data_pairs),
+        ctrl=Relation(ctrl_pairs), rmw=Relation(rmw_pairs),
+        same_cta=same_cta, final_state=final_state, test_name=test.name)
+
+
+def _final_state(combo, env, co_orders, events):
+    regs = {}
+    paths_by_tid = {path.tid: path for path in combo.paths}
+    for tid, reg in combo.test.observed_registers():
+        path = paths_by_tid.get(tid)
+        term = path.final_regs.get(reg) if path is not None else None
+        if term is None:
+            regs[(tid, reg)] = 0
+            continue
+        value = resolve(term, env)
+        if isinstance(value, bool):
+            value = int(value)
+        if value is None:
+            raise EnumerationError("final register %d:%s unresolved" % (tid, reg))
+        regs[(tid, reg)] = value
+
+    memory = {}
+    for location, order in co_orders.items():
+        last_key = order[-1]
+        memory[location] = events[last_key].value
+    return FinalState.make(regs, memory)

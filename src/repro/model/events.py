@@ -1,0 +1,106 @@
+"""Memory events of candidate executions (Sec. 5.1.1 of the paper).
+
+Loads give rise to read events, stores to write events, ``membar`` to
+fence events.  Atomic read-modify-writes give rise to a read *and*
+(when they succeed) a write, linked by an ``rmw`` pair.  The initial
+value of each location is modelled as an *init write* on the virtual
+thread ``tid = -1``, first in coherence order — the paper's convention
+that "the initial state for a given location hits the memory before any
+update" (Sec. 5.2.1).
+"""
+
+from dataclasses import dataclass, field
+
+READ = "R"
+WRITE = "W"
+FENCE = "F"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One memory event.
+
+    ``po_index`` orders events within their thread; ``rmw_group`` links
+    the read and write halves of one atomic operation; ``cop`` is the
+    cache operator string (``"ca"``/``"cg"``) or ``None``; ``scope`` is
+    set for fences only.
+    """
+
+    eid: int
+    tid: int
+    kind: str
+    po_index: int = 0
+    loc: str = None
+    value: int = None
+    cop: str = None
+    volatile: bool = False
+    scope: str = None
+    rmw_group: int = None
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        if self.kind not in (READ, WRITE, FENCE):
+            raise ValueError("bad event kind %r" % self.kind)
+
+    @property
+    def is_read(self):
+        return self.kind == READ
+
+    @property
+    def is_write(self):
+        return self.kind == WRITE
+
+    @property
+    def is_fence(self):
+        return self.kind == FENCE
+
+    @property
+    def is_init(self):
+        return self.tid == -1
+
+    @property
+    def is_access(self):
+        return self.kind in (READ, WRITE)
+
+    def pretty(self):
+        """Compact rendering in the style of Fig. 14 (``a: W.cg x=1``)."""
+        name = chr(ord("a") + self.eid) if self.eid < 26 else "e%d" % self.eid
+        if self.is_fence:
+            return "%s: F.membar.%s (T%d)" % (name, self.scope, self.tid)
+        cop = ".%s" % self.cop if self.cop else (".vol" if self.volatile else "")
+        who = "init" if self.is_init else "T%d" % self.tid
+        return "%s: %s%s %s=%s (%s)" % (name, self.kind, cop, self.loc, self.value, who)
+
+    def __str__(self):
+        return self.pretty()
+
+
+def init_write(eid, loc, value):
+    """Create the init write event for ``loc``."""
+    return Event(eid=eid, tid=-1, kind=WRITE, po_index=-1, loc=loc, value=value,
+                 label="init")
+
+
+def reads(events):
+    return [e for e in events if e.is_read]
+
+
+def writes(events):
+    return [e for e in events if e.is_write]
+
+
+def fences(events):
+    return [e for e in events if e.is_fence]
+
+
+def accesses(events):
+    return [e for e in events if e.is_access]
+
+
+def by_location(events):
+    """Group access events by location name."""
+    groups = {}
+    for event in events:
+        if event.is_access:
+            groups.setdefault(event.loc, []).append(event)
+    return groups

@@ -1,0 +1,78 @@
+"""The operational GPU model of Sorensen et al., and why it is unsound.
+
+Sec. 6 of the paper discusses an earlier *operational* model of Nvidia
+hardware (Sorensen 2013; Sorensen, Gopalakrishnan, Grover ICS'13) built
+from documentation and vendor communication.  Its flaw: it treats
+``membar`` fences as ordering regardless of scope, so it **forbids** the
+inter-CTA ``lb+membar.ctas`` test — which the paper observed 586 times
+per 100k on the GTX Titan and 19 times on the GTX 660.
+
+We reproduce the model as a *scope-blind* variant of our operational
+machine: identical relaxations, but every fence is a full barrier.  Its
+axiomatic shadow is the unscoped RMO model
+(:data:`repro.model.models.RMO_CAT`), which we use for the exhaustive
+allowed/forbidden verdict; the operational machine provides sampled
+reachability.
+"""
+
+import random
+
+from ..sim.machine import GpuMachine
+from .models import rmo_model
+
+
+class SorensenOperationalModel:
+    """Scope-blind operational model bound to a chip's relaxation set."""
+
+    def __init__(self, chip):
+        self.chip = chip
+        self._axiomatic = rmo_model()
+
+    def machine(self, test, intensity=1.0):
+        return GpuMachine(test, self.chip, intensity=intensity,
+                          scope_blind=True)
+
+    def sample_outcomes(self, test, runs=2000, seed=0, intensity=1.0):
+        """Reachable final states under the scope-blind machine."""
+        machine = self.machine(test, intensity=intensity)
+        rng = random.Random(seed)
+        outcomes = set()
+        for _ in range(runs):
+            outcomes.add(machine.run_once(rng))
+        return outcomes
+
+    def observes_condition(self, test, runs=2000, seed=0, intensity=1.0):
+        """Sampled: does the scope-blind machine ever witness the final
+        condition?"""
+        machine = self.machine(test, intensity=intensity)
+        rng = random.Random(seed)
+        for _ in range(runs):
+            if test.condition.holds(machine.run_once(rng)):
+                return True
+        return False
+
+    def allows_condition(self, test):
+        """The model's verdict, decided exhaustively via its axiomatic
+        shadow (fences order at every scope = unscoped RMO)."""
+        return self._axiomatic.allows_condition(test)
+
+
+def unsoundness_witness(chip, runs=4000, seed=0):
+    """Reproduce the paper's Sec. 6 refutation on a given chip profile.
+
+    Returns ``(model_forbids, hardware_observes)`` for the inter-CTA
+    ``lb+membar.ctas`` test: the model is unsound when the first is True
+    and the second is True (the paper's 586/100k on Titan).
+    """
+    from ..litmus import library
+
+    test = library.build("lb+membar.ctas")
+    model = SorensenOperationalModel(chip)
+    forbids = not model.allows_condition(test)
+    machine = GpuMachine(test, chip)  # the real (scope-aware) machine
+    rng = random.Random(seed)
+    observed = 0
+    for _ in range(runs):
+        if test.condition.holds(machine.run_once(rng)):
+            observed += 1
+    return forbids, observed

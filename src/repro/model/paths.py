@@ -1,0 +1,439 @@
+"""Per-thread symbolic execution: enumerate control-flow paths.
+
+Given one thread of a litmus test, enumerate every control-flow path it
+can take (forking at predicated instructions, guarded branches and
+compare-and-swaps), recording for each path:
+
+* the sequence of symbolic memory events (program order),
+* the path constraints that must hold for the path to be taken,
+* address/data/control dependency sources for each event, and
+* the final symbolic value of every register.
+
+This is the front half of candidate-execution enumeration (Sec. 5.1.2 of
+the paper: "unwinding the body of each thread").  The back half — choosing
+read-from and coherence edges — lives in :mod:`repro.model.enumerate`.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import EnumerationError
+from ..ptx.instructions import (Add, And, AtomAdd, AtomCas, AtomExch,
+                                AtomInc, Bra, Cvt, Label, Ld, Membar, Mov,
+                                Setp, St, Xor)
+from ..ptx.operands import Addr, Imm, Loc, Reg
+from .symbolic import (Constraint, SymCmp, SymConst, SymOp, SymVar, resolve)
+
+#: Default bound on executed instructions per thread (loop unrolling).
+DEFAULT_FUEL = 128
+
+
+@dataclass(frozen=True)
+class SymEvent:
+    """A symbolic memory event produced by path execution.
+
+    ``index`` is the event's position in its thread's program order.
+    ``addr_term``/``value_term`` are symbolic terms; for reads the value
+    is always a fresh :class:`SymVar`.  The ``*_sources`` sets hold the
+    in-thread indices of the read events this event depends on.
+    """
+
+    index: int
+    kind: str  # "R" | "W" | "F"
+    addr_term: object = None
+    value_term: object = None
+    cop: str = None
+    volatile: bool = False
+    scope: str = None
+    rmw_group: int = None
+    addr_sources: frozenset = frozenset()
+    data_sources: frozenset = frozenset()
+    ctrl_sources: frozenset = frozenset()
+    label: str = ""
+
+    @property
+    def var(self):
+        """The variable id of a read's value (``None`` for writes/fences)."""
+        if self.kind == "R" and isinstance(self.value_term, SymVar):
+            return self.value_term.vid
+        return None
+
+
+@dataclass(frozen=True)
+class ThreadPath:
+    """One complete control-flow path of one thread."""
+
+    tid: int
+    events: tuple
+    constraints: tuple
+    final_regs: dict
+    truncated: bool = False
+
+    def reads(self):
+        return [event for event in self.events if event.kind == "R"]
+
+    def writes(self):
+        return [event for event in self.events if event.kind == "W"]
+
+
+@dataclass
+class _State:
+    """Mutable DFS state for one partial path."""
+
+    pc: int = 0
+    regs: dict = field(default_factory=dict)  # name -> (term, taints)
+    ctrl_taints: frozenset = frozenset()
+    events: list = field(default_factory=list)
+    constraints: list = field(default_factory=list)
+    fuel: int = DEFAULT_FUEL
+    rmw_counter: int = 0
+
+    def fork(self):
+        twin = _State(pc=self.pc, regs=dict(self.regs),
+                      ctrl_taints=self.ctrl_taints,
+                      events=list(self.events),
+                      constraints=list(self.constraints), fuel=self.fuel,
+                      rmw_counter=self.rmw_counter)
+        return twin
+
+
+class _PathEnumerator:
+    """Depth-first enumeration of a thread's paths."""
+
+    def __init__(self, program, address_map, reg_init, var_counter, fuel,
+                 on_fuel="error"):
+        self.program = program
+        self.address_map = address_map
+        self.reg_init = reg_init
+        self.var_counter = var_counter
+        self.fuel = fuel
+        if on_fuel not in ("error", "discard", "truncate"):
+            raise ValueError("on_fuel must be error/discard/truncate")
+        self.on_fuel = on_fuel
+
+    # -- operand evaluation -------------------------------------------------
+
+    def _initial_regs(self):
+        regs = {}
+        for (tid, name), binding in self.reg_init.items():
+            if tid != self.program.tid:
+                continue
+            if isinstance(binding, Loc):
+                if binding.name not in self.address_map:
+                    raise EnumerationError("reg_init binds unknown location %r"
+                                           % binding.name)
+                regs[name] = (SymConst(self.address_map[binding.name]), frozenset())
+            else:
+                regs[name] = (SymConst(binding.value), frozenset())
+        return regs
+
+    def _value_of(self, state, operand):
+        """Return ``(term, taints)`` for a Reg/Imm operand."""
+        if isinstance(operand, Imm):
+            return SymConst(operand.value), frozenset()
+        if isinstance(operand, Reg):
+            return state.regs.get(operand.name, (SymConst(0), frozenset()))
+        raise EnumerationError("unsupported value operand %r" % (operand,))
+
+    def _address_of(self, state, addr):
+        """Return ``(term, taints)`` for an address operand."""
+        if isinstance(addr.base, Loc):
+            if addr.base.name not in self.address_map:
+                raise EnumerationError("unknown location %r" % addr.base.name)
+            return SymConst(self.address_map[addr.base.name] + addr.offset), frozenset()
+        term, taints = self._value_of(state, addr.base)
+        if addr.offset:
+            term = SymOp("add", (term, SymConst(addr.offset)))
+        return term, taints
+
+    def _fresh_var(self):
+        vid = next(self.var_counter)
+        return SymVar(vid)
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self):
+        paths = []
+        stack = [_State(regs=self._initial_regs(), fuel=self.fuel)]
+        instructions = self.program.instructions
+        labels = self.program.labels
+        while stack:
+            state = stack.pop()
+            finished = False
+            while not finished:
+                if state.pc >= len(instructions):
+                    paths.append(self._finish(state, truncated=False))
+                    finished = True
+                    break
+                if state.fuel <= 0:
+                    if self.on_fuel == "error":
+                        raise EnumerationError(
+                            "thread %s exhausted fuel (likely a spin loop); "
+                            "use on_fuel='discard' or raise the bound"
+                            % self.program.name)
+                    if self.on_fuel == "truncate":
+                        paths.append(self._finish(state, truncated=True))
+                    finished = True
+                    break
+                instruction = instructions[state.pc]
+                state.fuel -= 1
+                outcome = self._step(state, instruction, labels, stack)
+                if outcome == "pruned":
+                    finished = True
+        return paths
+
+    def _finish(self, state, truncated):
+        final_regs = {name: term for name, (term, _) in state.regs.items()}
+        return ThreadPath(tid=self.program.tid, events=tuple(state.events),
+                          constraints=tuple(state.constraints),
+                          final_regs=final_regs, truncated=truncated)
+
+    # -- single instruction --------------------------------------------------
+
+    def _step(self, state, instruction, labels, stack):
+        """Execute one instruction; may push forked states onto ``stack``.
+
+        Returns "ok" normally, "pruned" when the current state died (its
+        successors, if any, were pushed on the stack).
+        """
+        if isinstance(instruction, Label):
+            state.pc += 1
+            return "ok"
+
+        guard_taints = frozenset()
+        if instruction.guard is not None:
+            decision = self._guard_fork(state, instruction, stack)
+            if decision == "skip":
+                state.pc += 1
+                return "ok"
+            if decision == "forked":
+                return "pruned"
+            guard_taints = self._predicate_taints(state, instruction.guard.reg)
+
+        if isinstance(instruction, Bra):
+            state.pc = labels[instruction.target]
+            return "ok"
+
+        handler = self._HANDLERS[type(instruction)]
+        handler(self, state, instruction, guard_taints, stack)
+        return "ok" if state is not None else "pruned"
+
+    def _predicate_term(self, state, reg_name):
+        term, _ = state.regs.get(reg_name, (SymConst(0), frozenset()))
+        if isinstance(term, SymCmp):
+            return term
+        return SymCmp("ne", term, SymConst(0))
+
+    def _predicate_taints(self, state, reg_name):
+        _, taints = state.regs.get(reg_name, (SymConst(0), frozenset()))
+        return taints
+
+    def _guard_fork(self, state, instruction, stack):
+        """Resolve or fork on a predication guard.
+
+        Returns "execute" (this state runs the instruction), "skip" (this
+        state skips it), or "forked" (both outcomes pushed onto stack).
+        """
+        guard = instruction.guard
+        term = self._predicate_term(state, guard.reg)
+        wanted = not guard.negated
+        known = resolve(term, {})
+        if known is not None:
+            return "execute" if known == wanted else "skip"
+        # Unknown predicate: fork into execute / skip paths, each recording
+        # its constraint.  Control taints flow to the executed instruction.
+        execute_state = state.fork()
+        execute_state.constraints.append(Constraint(term, wanted))
+        skip_state = state.fork()
+        skip_state.constraints.append(Constraint(term, not wanted))
+        skip_state.pc += 1
+        # Replay this instruction in the execute fork without re-forking:
+        # mark the guard as settled by rewriting the instruction.
+        settled = replace(instruction, guard=None)
+        taints = self._predicate_taints(state, guard.reg)
+        if isinstance(settled, Bra):
+            execute_state.ctrl_taints = execute_state.ctrl_taints | taints
+            execute_state.pc = self.program.labels[settled.target]
+        else:
+            handler = self._HANDLERS[type(settled)]
+            handler(self, execute_state, settled, taints, stack)
+        stack.append(execute_state)
+        stack.append(skip_state)
+        return "forked"
+
+    # -- instruction handlers ---------------------------------------------
+
+    def _emit(self, state, **kwargs):
+        kwargs.setdefault("ctrl_sources", frozenset())
+        kwargs = dict(kwargs)
+        kwargs["ctrl_sources"] = frozenset(kwargs["ctrl_sources"]) | state.ctrl_taints
+        event = SymEvent(index=len(state.events), **kwargs)
+        state.events.append(event)
+        return event
+
+    def _do_ld(self, state, instruction, guard_taints, stack):
+        addr_term, addr_taints = self._address_of(state, instruction.addr)
+        var = self._fresh_var()
+        event = self._emit(
+            state, kind="R", addr_term=addr_term, value_term=var,
+            cop=None if instruction.volatile else instruction.effective_cop.value,
+            volatile=instruction.volatile,
+            addr_sources=addr_taints, ctrl_sources=guard_taints,
+            label=str(instruction))
+        state.regs[instruction.dst.name] = (var, frozenset({event.index}))
+        state.pc += 1
+
+    def _do_st(self, state, instruction, guard_taints, stack):
+        addr_term, addr_taints = self._address_of(state, instruction.addr)
+        value_term, value_taints = self._value_of(state, instruction.src)
+        self._emit(
+            state, kind="W", addr_term=addr_term, value_term=value_term,
+            cop=None if instruction.volatile else instruction.effective_cop.value,
+            volatile=instruction.volatile,
+            addr_sources=addr_taints, data_sources=value_taints,
+            ctrl_sources=guard_taints, label=str(instruction))
+        state.pc += 1
+
+    def _do_membar(self, state, instruction, guard_taints, stack):
+        self._emit(state, kind="F", scope=instruction.scope.value,
+                   ctrl_sources=guard_taints, label=str(instruction))
+        state.pc += 1
+
+    def _do_atom_cas(self, state, instruction, guard_taints, stack):
+        addr_term, addr_taints = self._address_of(state, instruction.addr)
+        cmp_term, cmp_taints = self._value_of(state, instruction.cmp)
+        new_term, new_taints = self._value_of(state, instruction.new)
+        var = self._fresh_var()
+        group = state.rmw_counter
+        state.rmw_counter += 1
+        read = self._emit(
+            state, kind="R", addr_term=addr_term, value_term=var,
+            rmw_group=group, addr_sources=addr_taints,
+            ctrl_sources=guard_taints, label=str(instruction))
+        state.regs[instruction.dst.name] = (var, frozenset({read.index}))
+        condition = SymCmp("eq", var, cmp_term)
+        known = resolve(condition, {})
+        success = state if known is not False else (state.fork() if known is None else None)
+        failure = state.fork() if known is None else (state if known is False else None)
+        if success is not None:
+            if known is None:
+                success.constraints.append(Constraint(condition, True))
+            write_ctrl = guard_taints | cmp_taints | frozenset({read.index})
+            success.events.append(SymEvent(
+                index=len(success.events), kind="W", addr_term=addr_term,
+                value_term=new_term, rmw_group=group,
+                addr_sources=addr_taints, data_sources=new_taints,
+                ctrl_sources=write_ctrl | success.ctrl_taints,
+                label=str(instruction)))
+            success.pc += 1
+        if failure is not None:
+            if known is None:
+                failure.constraints.append(Constraint(condition, False))
+            failure.pc += 1
+        if known is None:
+            stack.append(failure)
+            # `state` (success branch) continues in the caller's loop.
+
+    def _do_atom_exch(self, state, instruction, guard_taints, stack):
+        addr_term, addr_taints = self._address_of(state, instruction.addr)
+        new_term, new_taints = self._value_of(state, instruction.src)
+        var = self._fresh_var()
+        group = state.rmw_counter
+        state.rmw_counter += 1
+        read = self._emit(
+            state, kind="R", addr_term=addr_term, value_term=var,
+            rmw_group=group, addr_sources=addr_taints,
+            ctrl_sources=guard_taints, label=str(instruction))
+        state.regs[instruction.dst.name] = (var, frozenset({read.index}))
+        self._emit(
+            state, kind="W", addr_term=addr_term, value_term=new_term,
+            rmw_group=group, addr_sources=addr_taints,
+            data_sources=new_taints, ctrl_sources=guard_taints,
+            label=str(instruction))
+        state.pc += 1
+
+    def _do_atom_inc(self, state, instruction, guard_taints, stack):
+        self._do_fetch_op(state, instruction, guard_taints, SymConst(1))
+
+    def _do_atom_add(self, state, instruction, guard_taints, stack):
+        term, taints = self._value_of(state, instruction.src)
+        self._do_fetch_op(state, instruction, guard_taints, term, taints)
+
+    def _do_fetch_op(self, state, instruction, guard_taints, operand_term,
+                     operand_taints=frozenset()):
+        addr_term, addr_taints = self._address_of(state, instruction.addr)
+        var = self._fresh_var()
+        group = state.rmw_counter
+        state.rmw_counter += 1
+        read = self._emit(
+            state, kind="R", addr_term=addr_term, value_term=var,
+            rmw_group=group, addr_sources=addr_taints,
+            ctrl_sources=guard_taints, label=str(instruction))
+        state.regs[instruction.dst.name] = (var, frozenset({read.index}))
+        self._emit(
+            state, kind="W", addr_term=addr_term,
+            value_term=SymOp("add", (var, operand_term)), rmw_group=group,
+            addr_sources=addr_taints,
+            data_sources=operand_taints | frozenset({read.index}),
+            ctrl_sources=guard_taints, label=str(instruction))
+        state.pc += 1
+
+    def _do_mov(self, state, instruction, guard_taints, stack):
+        if isinstance(instruction.src, Loc):
+            if instruction.src.name not in self.address_map:
+                raise EnumerationError("unknown location %r" % instruction.src.name)
+            state.regs[instruction.dst.name] = (
+                SymConst(self.address_map[instruction.src.name]), frozenset())
+        else:
+            state.regs[instruction.dst.name] = self._value_of(state, instruction.src)
+        state.pc += 1
+
+    def _do_alu(self, state, instruction, guard_taints, stack):
+        a_term, a_taints = self._value_of(state, instruction.a)
+        b_term, b_taints = self._value_of(state, instruction.b)
+        term = SymOp(instruction.opcode, (a_term, b_term))
+        known = resolve(term, {})
+        if known is not None:
+            term = SymConst(known)
+        state.regs[instruction.dst.name] = (term, a_taints | b_taints)
+        state.pc += 1
+
+    def _do_cvt(self, state, instruction, guard_taints, stack):
+        term, taints = self._value_of(state, instruction.src)
+        state.regs[instruction.dst.name] = (term, taints)
+        state.pc += 1
+
+    def _do_setp(self, state, instruction, guard_taints, stack):
+        a_term, a_taints = self._value_of(state, instruction.a)
+        b_term, b_taints = self._value_of(state, instruction.b)
+        state.regs[instruction.dst.name] = (
+            SymCmp(instruction.cmp, a_term, b_term), a_taints | b_taints)
+        state.pc += 1
+
+    _HANDLERS = {
+        Ld: _do_ld,
+        St: _do_st,
+        Membar: _do_membar,
+        AtomCas: _do_atom_cas,
+        AtomExch: _do_atom_exch,
+        AtomInc: _do_atom_inc,
+        AtomAdd: _do_atom_add,
+        Mov: _do_mov,
+        Add: _do_alu,
+        And: _do_alu,
+        Xor: _do_alu,
+        Cvt: _do_cvt,
+        Setp: _do_setp,
+    }
+
+
+def enumerate_thread_paths(program, address_map, reg_init, var_counter,
+                           fuel=DEFAULT_FUEL, on_fuel="error"):
+    """Enumerate all control-flow paths of ``program``.
+
+    ``var_counter`` is a shared iterator of fresh variable ids (so that
+    variables are unique across threads).  Returns a list of
+    :class:`ThreadPath`.
+    """
+    enumerator = _PathEnumerator(program, address_map, reg_init, var_counter,
+                                 fuel, on_fuel)
+    return enumerator.run()

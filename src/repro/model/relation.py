@@ -1,0 +1,197 @@
+"""Relational algebra over memory events.
+
+The axiomatic framework (Sec. 5.1) and the ``.cat`` language (Sec. 5.2.2)
+manipulate binary relations over events: unions, intersections,
+compositions, closures and acyclicity checks.  :class:`Relation` is an
+immutable set of ordered event pairs supporting exactly that algebra.
+"""
+
+
+class Relation:
+    """An immutable binary relation over :class:`~repro.model.events.Event`.
+
+    Operators follow ``.cat`` notation where Python allows: ``|`` union,
+    ``&`` intersection, ``-`` difference, ``>>`` sequential composition
+    (``;`` in cat), ``~r`` inverse (``r^-1``).
+    """
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self, pairs=()):
+        self._pairs = frozenset(pairs)
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def pairs(self):
+        return self._pairs
+
+    def __iter__(self):
+        return iter(self._pairs)
+
+    def __len__(self):
+        return len(self._pairs)
+
+    def __bool__(self):
+        return bool(self._pairs)
+
+    def __contains__(self, pair):
+        return pair in self._pairs
+
+    def __eq__(self, other):
+        return isinstance(other, Relation) and self._pairs == other._pairs
+
+    def __hash__(self):
+        return hash(self._pairs)
+
+    def __repr__(self):
+        return "Relation(%d pairs)" % len(self._pairs)
+
+    # -- algebra -------------------------------------------------------------
+
+    def __or__(self, other):
+        return Relation(self._pairs | other._pairs)
+
+    def __and__(self, other):
+        return Relation(self._pairs & other._pairs)
+
+    def __sub__(self, other):
+        return Relation(self._pairs - other._pairs)
+
+    def __rshift__(self, other):
+        """Sequential composition: ``{(a, c) | (a, b) in self, (b, c) in other}``."""
+        by_source = {}
+        for b, c in other._pairs:
+            by_source.setdefault(b, []).append(c)
+        return Relation((a, c)
+                        for a, b in self._pairs
+                        for c in by_source.get(b, ()))
+
+    def __invert__(self):
+        return Relation((b, a) for a, b in self._pairs)
+
+    def filter(self, predicate):
+        """Keep pairs satisfying ``predicate(a, b)``."""
+        return Relation(pair for pair in self._pairs if predicate(*pair))
+
+    def restrict(self, domain_pred=None, range_pred=None):
+        """Keep pairs whose endpoints satisfy per-side predicates."""
+        def keep(a, b):
+            if domain_pred is not None and not domain_pred(a):
+                return False
+            if range_pred is not None and not range_pred(b):
+                return False
+            return True
+        return self.filter(keep)
+
+    def transitive_closure(self):
+        """``r+``: the least transitive relation containing ``r``."""
+        successors = {}
+        for a, b in self._pairs:
+            successors.setdefault(a, set()).add(b)
+        closure = set(self._pairs)
+        for start in list(successors):
+            seen = set()
+            stack = list(successors.get(start, ()))
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(successors.get(node, ()))
+            closure.update((start, node) for node in seen)
+        return Relation(closure)
+
+    def reflexive_closure(self, events):
+        """``r?`` over the given carrier set of events."""
+        return Relation(set(self._pairs) | {(e, e) for e in events})
+
+    # -- queries -------------------------------------------------------------
+
+    def events(self):
+        """All events appearing in the relation."""
+        found = set()
+        for a, b in self._pairs:
+            found.add(a)
+            found.add(b)
+        return found
+
+    def successors(self, event):
+        return {b for a, b in self._pairs if a == event}
+
+    def predecessors(self, event):
+        return {a for a, b in self._pairs if b == event}
+
+    def is_acyclic(self):
+        """True when the relation contains no cycle (including self-loops)."""
+        return self.find_cycle() is None
+
+    def is_irreflexive(self):
+        return all(a != b for a, b in self._pairs)
+
+    def is_empty(self):
+        return not self._pairs
+
+    def find_cycle(self):
+        """Return one cycle as a list of events, or ``None`` if acyclic.
+
+        Cycles witness forbidden executions; the harness uses them to
+        explain *why* a model rejects an execution (cf. Fig. 14's cycle in
+        ``rmo-cta``).
+        """
+        successors = {}
+        for a, b in self._pairs:
+            successors.setdefault(a, []).append(b)
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {}
+        parent = {}
+
+        for root in successors:
+            if colour.get(root, WHITE) != WHITE:
+                continue
+            stack = [(root, iter(successors.get(root, ())))]
+            colour[root] = GREY
+            while stack:
+                node, iterator = stack[-1]
+                advanced = False
+                for nxt in iterator:
+                    state = colour.get(nxt, WHITE)
+                    if state == GREY:
+                        # Found a back edge: reconstruct the cycle.
+                        cycle = [nxt, node]
+                        walk = node
+                        while walk != nxt:
+                            walk = parent[walk]
+                            cycle.append(walk)
+                        cycle.reverse()
+                        return cycle[:-1]
+                    if state == WHITE:
+                        colour[nxt] = GREY
+                        parent[nxt] = node
+                        stack.append((nxt, iter(successors.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return None
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def empty():
+        return Relation()
+
+    @staticmethod
+    def from_order(sequence):
+        """Total order relation from a sequence (all ascending pairs)."""
+        items = list(sequence)
+        return Relation((items[i], items[j])
+                        for i in range(len(items))
+                        for j in range(i + 1, len(items)))
+
+    @staticmethod
+    def cross(domain, codomain):
+        """Cartesian product of two event collections."""
+        codomain = list(codomain)
+        return Relation((a, b) for a in domain for b in codomain if a is not b)

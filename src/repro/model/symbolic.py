@@ -1,0 +1,126 @@
+"""Symbolic values for candidate-execution enumeration.
+
+Per-thread symbolic execution (see :mod:`repro.model.paths`) cannot know
+the value a load returns — that is decided later, by the choice of
+read-from edge.  Loads therefore produce :class:`SymVar` variables, ALU
+instructions build :class:`SymOp` terms over them, and comparisons build
+:class:`SymCmp` terms.  :func:`resolve` evaluates a term under a partial
+environment, returning ``None`` while any needed variable is unbound.
+"""
+
+from dataclasses import dataclass
+
+from .._util import wrap32
+
+
+@dataclass(frozen=True)
+class SymConst:
+    """A known integer."""
+
+    value: int
+
+    def variables(self):
+        return frozenset()
+
+    def __str__(self):
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class SymVar:
+    """The (as yet unknown) value returned by one load event."""
+
+    vid: int
+
+    def variables(self):
+        return frozenset({self.vid})
+
+    def __str__(self):
+        return "v%d" % self.vid
+
+
+@dataclass(frozen=True)
+class SymOp:
+    """An ALU term: ``op`` is one of ``add``, ``and``, ``xor``, ``cvt``."""
+
+    op: str
+    args: tuple
+
+    def variables(self):
+        result = frozenset()
+        for arg in self.args:
+            result |= arg.variables()
+        return result
+
+    def __str__(self):
+        return "%s(%s)" % (self.op, ", ".join(str(a) for a in self.args))
+
+
+@dataclass(frozen=True)
+class SymCmp:
+    """A comparison term (``eq`` or ``ne``), used by ``setp`` predicates."""
+
+    cmp: str
+    left: object
+    right: object
+
+    def variables(self):
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self):
+        return "(%s %s %s)" % (self.left, self.cmp, self.right)
+
+
+_ALU = {
+    "add": lambda a, b: wrap32(a + b),
+    "and": lambda a, b: a & b,
+    "xor": lambda a, b: a ^ b,
+}
+
+
+def resolve(term, env):
+    """Evaluate ``term`` under ``env`` (vid -> int).
+
+    Returns an ``int`` (or ``bool`` for comparisons) when every variable
+    the term depends on is bound, else ``None``.
+    """
+    if isinstance(term, SymConst):
+        return term.value
+    if isinstance(term, SymVar):
+        return env.get(term.vid)
+    if isinstance(term, SymOp):
+        values = [resolve(arg, env) for arg in term.args]
+        if any(value is None for value in values):
+            return None
+        if term.op == "cvt":
+            return values[0]
+        return _ALU[term.op](*values)
+    if isinstance(term, SymCmp):
+        left, right = resolve(term.left, env), resolve(term.right, env)
+        if left is None or right is None:
+            return None
+        return (left == right) if term.cmp == "eq" else (left != right)
+    raise TypeError("not a symbolic term: %r" % (term,))
+
+
+def constant(term):
+    """Shortcut: the integer value of an already-constant term, else None."""
+    return resolve(term, {})
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A path constraint: the comparison must resolve to ``expected``."""
+
+    term: SymCmp
+    expected: bool
+
+    def status(self, env):
+        """``True``/``False`` once decidable, ``None`` while open."""
+        value = resolve(self.term, env)
+        if value is None:
+            return None
+        return value == self.expected
+
+    def __str__(self):
+        return "%s is %s" % (self.term, self.expected)

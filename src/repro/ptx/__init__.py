@@ -1,0 +1,27 @@
+"""The PTX fragment of the paper: types, operands, instructions, parser.
+
+This package models the subset of Nvidia's Parallel Thread Execution ISA
+that the paper's litmus tests and formal model use (Sec. 2.3): loads,
+stores, atomics, fences at the three scopes, ALU operations, predicate
+handling, and jumps.
+"""
+
+from .instructions import (Add, And, AtomAdd, AtomCas, AtomExch, AtomInc,
+                           Bra, Cvt, Guard, Instruction, Label, Ld, Membar,
+                           Mov, Setp, St, Xor, is_rmw)
+from .operands import Addr, Imm, Loc, Reg
+from .parser import parse_instruction, parse_lines, parse_operand
+from .program import ThreadProgram
+from .types import (CacheOp, LOAD_CACHE_OPS, MemorySpace, STORE_CACHE_OPS,
+                    Scope, TypeSpec)
+
+__all__ = [
+    "Add", "And", "AtomAdd", "AtomCas", "AtomExch", "AtomInc", "Bra", "Cvt",
+    "Guard", "Instruction", "Label", "Ld", "Membar", "Mov", "Setp", "St",
+    "Xor", "is_rmw",
+    "Addr", "Imm", "Loc", "Reg",
+    "parse_instruction", "parse_lines", "parse_operand",
+    "ThreadProgram",
+    "CacheOp", "LOAD_CACHE_OPS", "MemorySpace", "STORE_CACHE_OPS", "Scope",
+    "TypeSpec",
+]

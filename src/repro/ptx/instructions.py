@@ -1,0 +1,406 @@
+"""Instruction AST for the PTX fragment of the paper (Sec. 2.3).
+
+Supported instructions: loads (``ld``), stores (``st``), read-modify-writes
+(``atom.cas``, ``atom.exch``, ``atom.inc``, ``atom.add``), fences
+(``membar``), ALU operations (``mov``, ``add``, ``and``, ``xor``, ``cvt``),
+predicate setting (``setp.eq``/``setp.ne``), unconditional jumps (``bra``)
+and predicated instructions (``@p`` / ``@!p`` prefixes).
+
+Instructions are immutable dataclasses.  ``str()`` produces canonical PTX
+text that the parser round-trips.
+"""
+
+from dataclasses import dataclass, field
+
+from ..errors import PtxSyntaxError
+from .operands import Addr, Imm, Loc, Reg, operand_registers
+from .types import CacheOp, LOAD_CACHE_OPS, STORE_CACHE_OPS, Scope, TypeSpec
+
+
+@dataclass(frozen=True)
+class Guard:
+    """A predication guard: ``@p`` (execute if set) or ``@!p`` (if unset)."""
+
+    reg: str
+    negated: bool = False
+
+    def __str__(self):
+        return "@!%s" % self.reg if self.negated else "@%s" % self.reg
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class carrying the optional predication guard."""
+
+    guard: Guard = field(default=None, kw_only=True)
+
+    def _prefix(self):
+        return "" if self.guard is None else str(self.guard) + " "
+
+    @property
+    def is_memory_access(self):
+        """True for instructions that generate memory events (ld/st/atom)."""
+        return False
+
+    @property
+    def is_fence(self):
+        return False
+
+    def uses(self):
+        """Register names read by this instruction (including the guard)."""
+        regs = set() if self.guard is None else {self.guard.reg}
+        return regs | self._uses()
+
+    def defs(self):
+        """Register names written by this instruction."""
+        return self._defs()
+
+    def _uses(self):
+        return set()
+
+    def _defs(self):
+        return set()
+
+
+def _type_suffix(typ):
+    return "" if typ is None else str(typ)
+
+
+@dataclass(frozen=True)
+class Ld(Instruction):
+    """``ld{.volatile}{.cop}{.type} dst, [addr]`` — a load.
+
+    ``cop`` defaults to ``.ca`` (the L1) which the paper notes is the CUDA
+    compiler's default for loads (Sec. 3.1.2).  ``volatile`` loads carry no
+    cache operator in PTX.
+    """
+
+    dst: Reg
+    addr: Addr
+    cop: CacheOp = None
+    volatile: bool = False
+    typ: TypeSpec = TypeSpec.S32
+
+    def __post_init__(self):
+        if self.cop is not None and self.cop not in LOAD_CACHE_OPS:
+            raise PtxSyntaxError("invalid load cache operator %s" % self.cop)
+        if self.volatile and self.cop is not None:
+            raise PtxSyntaxError("volatile loads cannot carry a cache operator")
+
+    @property
+    def is_memory_access(self):
+        return True
+
+    @property
+    def effective_cop(self):
+        """The cache operator the hardware sees (default ``.ca``)."""
+        return self.cop if self.cop is not None else CacheOp.CA
+
+    def _uses(self):
+        return operand_registers(self.addr)
+
+    def _defs(self):
+        return {self.dst.name}
+
+    def __str__(self):
+        parts = ["ld"]
+        if self.volatile:
+            parts.append(".volatile")
+        elif self.cop is not None:
+            parts.append(str(self.cop))
+        parts.append(_type_suffix(self.typ))
+        return "%s%s %s, %s" % (self._prefix(), "".join(parts), self.dst, self.addr)
+
+
+@dataclass(frozen=True)
+class St(Instruction):
+    """``st{.volatile}{.cop}{.type} [addr], src`` — a store."""
+
+    addr: Addr
+    src: object  # Reg | Imm
+    cop: CacheOp = None
+    volatile: bool = False
+    typ: TypeSpec = TypeSpec.S32
+
+    def __post_init__(self):
+        if self.cop is not None and self.cop not in STORE_CACHE_OPS:
+            raise PtxSyntaxError("invalid store cache operator %s" % self.cop)
+        if self.volatile and self.cop is not None:
+            raise PtxSyntaxError("volatile stores cannot carry a cache operator")
+
+    @property
+    def is_memory_access(self):
+        return True
+
+    @property
+    def effective_cop(self):
+        """The cache operator the hardware sees (default write-back)."""
+        return self.cop if self.cop is not None else CacheOp.WB
+
+    def _uses(self):
+        return operand_registers(self.addr) | operand_registers(self.src)
+
+    def __str__(self):
+        parts = ["st"]
+        if self.volatile:
+            parts.append(".volatile")
+        elif self.cop is not None:
+            parts.append(str(self.cop))
+        parts.append(_type_suffix(self.typ))
+        return "%s%s %s, %s" % (self._prefix(), "".join(parts), self.addr, self.src)
+
+
+@dataclass(frozen=True)
+class AtomCas(Instruction):
+    """``atom.cas{.type} dst, [addr], cmp, new`` — compare-and-swap.
+
+    Returns the old value in ``dst``; writes ``new`` only if the old value
+    equals ``cmp``.  CUDA's ``atomicCAS`` maps here (Table 5).
+    """
+
+    dst: Reg
+    addr: Addr
+    cmp: object  # Reg | Imm
+    new: object  # Reg | Imm
+    typ: TypeSpec = TypeSpec.B32
+
+    @property
+    def is_memory_access(self):
+        return True
+
+    def _uses(self):
+        return (operand_registers(self.addr) | operand_registers(self.cmp)
+                | operand_registers(self.new))
+
+    def _defs(self):
+        return {self.dst.name}
+
+    def __str__(self):
+        return "%satom.cas%s %s, %s, %s, %s" % (
+            self._prefix(), _type_suffix(self.typ), self.dst, self.addr, self.cmp, self.new)
+
+
+@dataclass(frozen=True)
+class AtomExch(Instruction):
+    """``atom.exch{.type} dst, [addr], src`` — unconditional atomic exchange.
+
+    CUDA's ``atomicExch`` maps here (Table 5).
+    """
+
+    dst: Reg
+    addr: Addr
+    src: object  # Reg | Imm
+    typ: TypeSpec = TypeSpec.B32
+
+    @property
+    def is_memory_access(self):
+        return True
+
+    def _uses(self):
+        return operand_registers(self.addr) | operand_registers(self.src)
+
+    def _defs(self):
+        return {self.dst.name}
+
+    def __str__(self):
+        return "%satom.exch%s %s, %s, %s" % (
+            self._prefix(), _type_suffix(self.typ), self.dst, self.addr, self.src)
+
+
+@dataclass(frozen=True)
+class AtomInc(Instruction):
+    """``atom.inc{.type} dst, [addr]`` — atomic increment.
+
+    The paper maps CUDA ``atomicAdd(..., 1)`` to ``atom.inc`` (Table 5).
+    We model it as an unconditional fetch-and-increment.
+    """
+
+    dst: Reg
+    addr: Addr
+    typ: TypeSpec = TypeSpec.U32
+
+    @property
+    def is_memory_access(self):
+        return True
+
+    def _uses(self):
+        return operand_registers(self.addr)
+
+    def _defs(self):
+        return {self.dst.name}
+
+    def __str__(self):
+        return "%satom.inc%s %s, %s" % (
+            self._prefix(), _type_suffix(self.typ), self.dst, self.addr)
+
+
+@dataclass(frozen=True)
+class AtomAdd(Instruction):
+    """``atom.add{.type} dst, [addr], src`` — atomic fetch-and-add."""
+
+    dst: Reg
+    addr: Addr
+    src: object  # Reg | Imm
+    typ: TypeSpec = TypeSpec.U32
+
+    @property
+    def is_memory_access(self):
+        return True
+
+    def _uses(self):
+        return operand_registers(self.addr) | operand_registers(self.src)
+
+    def _defs(self):
+        return {self.dst.name}
+
+    def __str__(self):
+        return "%satom.add%s %s, %s, %s" % (
+            self._prefix(), _type_suffix(self.typ), self.dst, self.addr, self.src)
+
+
+@dataclass(frozen=True)
+class Membar(Instruction):
+    """``membar.{cta,gl,sys}`` — a memory fence at the given scope."""
+
+    scope: Scope
+
+    @property
+    def is_fence(self):
+        return True
+
+    def __str__(self):
+        return "%smembar.%s" % (self._prefix(), self.scope)
+
+
+@dataclass(frozen=True)
+class Mov(Instruction):
+    """``mov{.type} dst, src`` — register move / immediate load.
+
+    ``src`` may also be a :class:`Loc`, moving a location's address into a
+    register (the litmus format's register initialisers use this).
+    """
+
+    dst: Reg
+    src: object  # Reg | Imm | Loc
+    typ: TypeSpec = TypeSpec.S32
+
+    def _uses(self):
+        return operand_registers(self.src)
+
+    def _defs(self):
+        return {self.dst.name}
+
+    def __str__(self):
+        return "%smov%s %s, %s" % (self._prefix(), _type_suffix(self.typ), self.dst, self.src)
+
+
+@dataclass(frozen=True)
+class _BinaryAlu(Instruction):
+    """Shared shape for two-operand ALU instructions."""
+
+    dst: Reg
+    a: object  # Reg | Imm
+    b: object  # Reg | Imm
+    typ: TypeSpec = TypeSpec.S32
+
+    opcode = None  # overridden
+
+    def _uses(self):
+        return operand_registers(self.a) | operand_registers(self.b)
+
+    def _defs(self):
+        return {self.dst.name}
+
+    def __str__(self):
+        return "%s%s%s %s, %s, %s" % (
+            self._prefix(), self.opcode, _type_suffix(self.typ), self.dst, self.a, self.b)
+
+
+@dataclass(frozen=True)
+class Add(_BinaryAlu):
+    opcode = "add"
+
+
+@dataclass(frozen=True)
+class And(_BinaryAlu):
+    opcode = "and"
+
+
+@dataclass(frozen=True)
+class Xor(_BinaryAlu):
+    opcode = "xor"
+
+
+@dataclass(frozen=True)
+class Cvt(Instruction):
+    """``cvt.u64.u32 dst, src`` — width conversion, used in address
+    dependency chains (Fig. 13)."""
+
+    dst: Reg
+    src: Reg
+    to_typ: TypeSpec = TypeSpec.U64
+    from_typ: TypeSpec = TypeSpec.U32
+
+    def _uses(self):
+        return {self.src.name}
+
+    def _defs(self):
+        return {self.dst.name}
+
+    def __str__(self):
+        return "%scvt%s%s %s, %s" % (
+            self._prefix(), self.to_typ, self.from_typ, self.dst, self.src)
+
+
+@dataclass(frozen=True)
+class Setp(Instruction):
+    """``setp.eq/.ne{.type} p, a, b`` — set predicate from a comparison."""
+
+    cmp: str  # "eq" | "ne"
+    dst: Reg
+    a: object  # Reg | Imm
+    b: object  # Reg | Imm
+    typ: TypeSpec = TypeSpec.S32
+
+    def __post_init__(self):
+        if self.cmp not in ("eq", "ne"):
+            raise PtxSyntaxError("unsupported setp comparison %r" % (self.cmp,))
+
+    def _uses(self):
+        return operand_registers(self.a) | operand_registers(self.b)
+
+    def _defs(self):
+        return {self.dst.name}
+
+    def __str__(self):
+        return "%ssetp.%s%s %s, %s, %s" % (
+            self._prefix(), self.cmp, _type_suffix(self.typ), self.dst, self.a, self.b)
+
+
+@dataclass(frozen=True)
+class Bra(Instruction):
+    """``bra LABEL`` — a jump (conditional when guarded)."""
+
+    target: str
+
+    def __str__(self):
+        return "%sbra %s" % (self._prefix(), self.target)
+
+
+@dataclass(frozen=True)
+class Label(Instruction):
+    """``NAME:`` — a jump target (pseudo-instruction, never guarded)."""
+
+    name: str
+
+    def __str__(self):
+        return "%s:" % self.name
+
+
+#: Instruction classes that perform an atomic read-modify-write.
+RMW_CLASSES = (AtomCas, AtomExch, AtomInc, AtomAdd)
+
+
+def is_rmw(instruction):
+    """True if ``instruction`` is an atomic read-modify-write."""
+    return isinstance(instruction, RMW_CLASSES)

@@ -1,0 +1,74 @@
+"""Operand AST for the PTX fragment: registers, immediates, addresses."""
+
+from dataclasses import dataclass
+
+from ..errors import PtxSyntaxError
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register reference, e.g. ``r0`` or the predicate ``p1``."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An integer immediate, printed in decimal (hex if large)."""
+
+    value: int
+
+    def __str__(self):
+        if self.value >= 0x10000:
+            return hex(self.value)
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Loc:
+    """A symbolic memory location name, e.g. ``x`` in ``st.cg [x],1``.
+
+    Litmus tests address memory through symbolic locations; the simulator
+    and the model resolve these to concrete addresses via the test's
+    memory map.
+    """
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class Addr:
+    """A memory address operand ``[base+offset]``.
+
+    ``base`` is either a :class:`Loc` (symbolic location) or a
+    :class:`Reg` holding an address (Fig. 12 initialises ``.b64``
+    registers to locations).  ``offset`` is a byte offset in words — the
+    library models word-addressed memory, so offsets count 32-bit cells.
+    """
+
+    base: object  # Loc | Reg
+    offset: int = 0
+
+    def __post_init__(self):
+        if not isinstance(self.base, (Loc, Reg)):
+            raise PtxSyntaxError("address base must be a Loc or Reg, got %r" % (self.base,))
+
+    def __str__(self):
+        if self.offset:
+            return "[%s+%d]" % (self.base, self.offset)
+        return "[%s]" % (self.base,)
+
+
+def operand_registers(operand):
+    """Return the set of register names read by ``operand``."""
+    if isinstance(operand, Reg):
+        return {operand.name}
+    if isinstance(operand, Addr) and isinstance(operand.base, Reg):
+        return {operand.base.name}
+    return set()

@@ -1,0 +1,263 @@
+"""Parser for the PTX fragment used in litmus tests.
+
+Accepts the canonical spellings produced by ``str()`` on the instruction
+AST as well as the paper's figure notation: cache operators abbreviated
+(``ld.g`` for ``ld.cg``, ``ld.a`` for ``ld.ca``), fences written
+``membar.ta``, and bare guards (``!p4 membar.gl`` instead of
+``@!p4 membar.gl``).
+"""
+
+import re
+
+from ..errors import PtxSyntaxError
+from .instructions import (Add, And, AtomAdd, AtomCas, AtomExch, AtomInc,
+                           Bra, Cvt, Guard, Label, Ld, Membar, Mov, Setp, St,
+                           Xor)
+from .operands import Addr, Imm, Loc, Reg
+from .types import CACHE_OP_ALIASES, SCOPE_ALIASES, TypeSpec
+
+_REGISTER_RE = re.compile(r"^(r\d+|p\d*|%[A-Za-z_]\w*)$")
+_LABEL_RE = re.compile(r"^([A-Za-z_]\w*):$")
+_INT_RE = re.compile(r"^-?(0x[0-9a-fA-F]+|\d+)$")
+_ADDR_RE = re.compile(r"^\[\s*([A-Za-z_%]\w*)\s*(?:\+\s*(\d+))?\s*\]$")
+
+_TYPE_NAMES = {t.value: t for t in TypeSpec}
+
+
+def _looks_like_register(token, registers):
+    if registers is not None:
+        return token in registers
+    return _REGISTER_RE.match(token) is not None
+
+
+def parse_operand(token, registers=None):
+    """Parse one operand token into ``Reg``/``Imm``/``Loc``/``Addr``.
+
+    ``registers`` optionally fixes the set of known register names;
+    without it, names matching ``r<N>``/``p<N>`` are treated as registers
+    and other identifiers as symbolic locations.
+    """
+    token = token.strip()
+    if not token:
+        raise PtxSyntaxError("empty operand")
+    match = _ADDR_RE.match(token)
+    if match:
+        base_name, offset = match.group(1), match.group(2)
+        base = (Reg(base_name) if _looks_like_register(base_name, registers)
+                else Loc(base_name))
+        return Addr(base, int(offset) if offset else 0)
+    if _INT_RE.match(token):
+        return Imm(int(token, 0))
+    if _looks_like_register(token, registers):
+        return Reg(token)
+    if re.match(r"^[A-Za-z_]\w*$", token):
+        return Loc(token)
+    raise PtxSyntaxError("cannot parse operand %r" % token)
+
+
+def _split_operands(text):
+    """Split an operand list on commas (brackets never contain commas)."""
+    return [part.strip() for part in text.split(",")] if text.strip() else []
+
+
+def _pop_type(suffixes, default=TypeSpec.S32):
+    """Extract one trailing type specifier from the suffix list."""
+    if suffixes and suffixes[-1] in _TYPE_NAMES:
+        return _TYPE_NAMES[suffixes.pop()]
+    return default
+
+
+def _strip_comment(line):
+    for marker in ("//", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip().rstrip(";").strip()
+
+
+def _parse_guard(tokens):
+    """Consume a guard token (``@p``, ``@!p``, ``!p``) if present."""
+    head = tokens[0]
+    if head.startswith("@"):
+        body = head[1:]
+        negated = body.startswith("!")
+        return Guard(body.lstrip("!"), negated), tokens[1:]
+    if head.startswith("!") and _REGISTER_RE.match(head[1:]):
+        return Guard(head[1:], True), tokens[1:]
+    # Bare positive guards ("p1 membar.gl") are accepted only when the
+    # following token is an opcode, to avoid eating instruction operands.
+    if (len(tokens) > 1 and _REGISTER_RE.match(head)
+            and tokens[1].split(".")[0] in _OPCODES):
+        return Guard(head, False), tokens[1:]
+    return None, tokens
+
+
+def parse_instruction(text, registers=None):
+    """Parse one PTX instruction line.  Returns an :class:`Instruction`."""
+    line = _strip_comment(text)
+    if not line:
+        raise PtxSyntaxError("empty instruction", text=text)
+    label = _LABEL_RE.match(line)
+    if label:
+        return Label(label.group(1))
+
+    tokens = line.split(None, 1)
+    guard, tokens = _parse_guard(tokens if len(tokens) > 1 else [line])
+    if guard is not None:
+        line = tokens[0] if len(tokens) == 1 else " ".join(tokens)
+        tokens = line.split(None, 1)
+
+    opcode_full = tokens[0]
+    rest = tokens[1] if len(tokens) > 1 else ""
+    parts = opcode_full.split(".")
+    opcode, suffixes = parts[0], parts[1:]
+    if opcode not in _OPCODES:
+        raise PtxSyntaxError("unknown opcode %r" % opcode, text=text)
+    operands = [parse_operand(token, registers) for token in _split_operands(rest)]
+    try:
+        return _OPCODES[opcode](suffixes, operands, guard, text)
+    except PtxSyntaxError:
+        raise
+    except (IndexError, TypeError) as exc:
+        raise PtxSyntaxError("malformed %s instruction (%s)" % (opcode, exc), text=text)
+
+
+def _expect(operands, count, text):
+    if len(operands) != count:
+        raise PtxSyntaxError("expected %d operands, got %d" % (count, len(operands)),
+                             text=text)
+
+
+def _parse_ld(suffixes, operands, guard, text):
+    suffixes = list(suffixes)
+    typ = _pop_type(suffixes)
+    volatile, cop = False, None
+    for suffix in suffixes:
+        if suffix == "volatile":
+            volatile = True
+        elif suffix in CACHE_OP_ALIASES:
+            cop = CACHE_OP_ALIASES[suffix]
+        else:
+            raise PtxSyntaxError("unknown ld suffix %r" % suffix, text=text)
+    _expect(operands, 2, text)
+    return Ld(operands[0], operands[1], cop=cop, volatile=volatile, typ=typ, guard=guard)
+
+
+def _parse_st(suffixes, operands, guard, text):
+    suffixes = list(suffixes)
+    typ = _pop_type(suffixes)
+    volatile, cop = False, None
+    for suffix in suffixes:
+        if suffix == "volatile":
+            volatile = True
+        elif suffix in CACHE_OP_ALIASES:
+            cop = CACHE_OP_ALIASES[suffix]
+        else:
+            raise PtxSyntaxError("unknown st suffix %r" % suffix, text=text)
+    _expect(operands, 2, text)
+    return St(operands[0], operands[1], cop=cop, volatile=volatile, typ=typ, guard=guard)
+
+
+def _parse_atom(suffixes, operands, guard, text):
+    suffixes = list(suffixes)
+    if not suffixes:
+        raise PtxSyntaxError("atom needs an operation suffix", text=text)
+    op = suffixes.pop(0)
+    typ = _pop_type(suffixes, default=TypeSpec.B32)
+    if op == "cas":
+        _expect(operands, 4, text)
+        return AtomCas(operands[0], operands[1], operands[2], operands[3], typ=typ,
+                       guard=guard)
+    if op == "exch":
+        _expect(operands, 3, text)
+        return AtomExch(operands[0], operands[1], operands[2], typ=typ, guard=guard)
+    if op == "inc":
+        _expect(operands, 2, text)
+        return AtomInc(operands[0], operands[1], typ=typ, guard=guard)
+    if op == "add":
+        _expect(operands, 3, text)
+        return AtomAdd(operands[0], operands[1], operands[2], typ=typ, guard=guard)
+    raise PtxSyntaxError("unknown atomic operation %r" % op, text=text)
+
+
+def _parse_membar(suffixes, operands, guard, text):
+    _expect(operands, 0, text)
+    if len(suffixes) != 1 or suffixes[0] not in SCOPE_ALIASES:
+        raise PtxSyntaxError("membar needs a scope (cta/gl/sys)", text=text)
+    return Membar(SCOPE_ALIASES[suffixes[0]], guard=guard)
+
+
+def _parse_mov(suffixes, operands, guard, text):
+    typ = _pop_type(list(suffixes))
+    _expect(operands, 2, text)
+    src = operands[1]
+    if isinstance(src, Addr):
+        raise PtxSyntaxError("mov source cannot be a memory address", text=text)
+    return Mov(operands[0], src, typ=typ, guard=guard)
+
+
+def _binary(cls):
+    def parse(suffixes, operands, guard, text):
+        typ = _pop_type(list(suffixes))
+        _expect(operands, 3, text)
+        return cls(operands[0], operands[1], operands[2], typ=typ, guard=guard)
+    return parse
+
+
+def _parse_cvt(suffixes, operands, guard, text):
+    suffixes = list(suffixes)
+    if len(suffixes) != 2 or any(s not in _TYPE_NAMES for s in suffixes):
+        raise PtxSyntaxError("cvt needs two type specifiers", text=text)
+    _expect(operands, 2, text)
+    return Cvt(operands[0], operands[1], to_typ=_TYPE_NAMES[suffixes[0]],
+               from_typ=_TYPE_NAMES[suffixes[1]], guard=guard)
+
+
+def _parse_setp(suffixes, operands, guard, text):
+    suffixes = list(suffixes)
+    if not suffixes or suffixes[0] not in ("eq", "ne"):
+        raise PtxSyntaxError("setp needs .eq or .ne", text=text)
+    cmp = suffixes.pop(0)
+    typ = _pop_type(suffixes)
+    _expect(operands, 3, text)
+    return Setp(cmp, operands[0], operands[1], operands[2], typ=typ, guard=guard)
+
+
+def _parse_bra(suffixes, operands, guard, text):
+    if suffixes and suffixes != ["uni"]:
+        raise PtxSyntaxError("unknown bra suffix", text=text)
+    _expect(operands, 1, text)
+    target = operands[0]
+    if not isinstance(target, Loc):
+        raise PtxSyntaxError("bra target must be a label name", text=text)
+    return Bra(target.name, guard=guard)
+
+
+_OPCODES = {
+    "ld": _parse_ld,
+    "st": _parse_st,
+    "atom": _parse_atom,
+    "membar": _parse_membar,
+    "mov": _parse_mov,
+    "add": _binary(Add),
+    "and": _binary(And),
+    "xor": _binary(Xor),
+    "cvt": _parse_cvt,
+    "setp": _parse_setp,
+    "bra": _parse_bra,
+}
+
+
+def parse_lines(text, registers=None):
+    """Parse a block of PTX text (one instruction per line, blank lines and
+    comments ignored) into a list of instructions."""
+    instructions = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        try:
+            instructions.append(parse_instruction(line, registers))
+        except PtxSyntaxError as exc:
+            raise PtxSyntaxError(str(exc), line=number, text=raw)
+    return instructions

@@ -1,0 +1,82 @@
+"""Thread programs: a named sequence of PTX instructions.
+
+A litmus test (and an application kernel) is a list of
+:class:`ThreadProgram` objects, one per thread, executed concurrently.
+"""
+
+from dataclasses import dataclass, field
+
+from ..errors import PtxSyntaxError
+from .instructions import Bra, Instruction, Label
+
+
+@dataclass(frozen=True)
+class ThreadProgram:
+    """A sequential PTX program executed by one thread.
+
+    ``name`` follows the litmus convention (``T0``, ``T1``, ...); ``tid``
+    is the numeric index within the test.  ``reg_types`` optionally maps
+    register names to :class:`~repro.ptx.types.TypeSpec` (litmus tests
+    declare their registers, Fig. 12 lines 2–5).
+    """
+
+    tid: int
+    instructions: tuple
+    name: str = None
+    reg_types: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "instructions", tuple(self.instructions))
+        if self.name is None:
+            object.__setattr__(self, "name", "T%d" % self.tid)
+        for instruction in self.instructions:
+            if not isinstance(instruction, Instruction):
+                raise PtxSyntaxError("not an instruction: %r" % (instruction,))
+        self._check_labels()
+
+    def _check_labels(self):
+        labels = {}
+        for index, instruction in enumerate(self.instructions):
+            if isinstance(instruction, Label):
+                if instruction.name in labels:
+                    raise PtxSyntaxError("duplicate label %r in %s" % (instruction.name, self.name))
+                labels[instruction.name] = index
+        for instruction in self.instructions:
+            if isinstance(instruction, Bra) and instruction.target not in labels:
+                raise PtxSyntaxError(
+                    "undefined branch target %r in %s" % (instruction.target, self.name))
+        object.__setattr__(self, "_labels", labels)
+
+    @property
+    def labels(self):
+        """Mapping from label name to instruction index."""
+        return dict(self._labels)
+
+    def registers(self):
+        """All register names used or defined by this program."""
+        names = set(self.reg_types)
+        for instruction in self.instructions:
+            names |= instruction.uses() | instruction.defs()
+        return names
+
+    def memory_accesses(self):
+        """The instructions that generate memory events, in program order."""
+        return [i for i in self.instructions if i.is_memory_access]
+
+    def has_loops(self):
+        """True if any branch jumps backwards (the program may loop)."""
+        for index, instruction in enumerate(self.instructions):
+            if isinstance(instruction, Bra) and self._labels[instruction.target] <= index:
+                return True
+        return False
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __str__(self):
+        lines = ["%s:" % self.name]
+        lines.extend("  %s" % instruction for instruction in self.instructions)
+        return "\n".join(lines)

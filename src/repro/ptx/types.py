@@ -1,0 +1,131 @@
+"""PTX type specifiers, cache operators, fence scopes and memory spaces.
+
+The paper (Sec. 2.3) uses a fragment of Nvidia's PTX ISA 4.0.  This module
+defines the enumerations shared by the instruction AST, the parser, the
+axiomatic model and the simulator.
+
+Terminology note: the paper's figures abbreviate the cache operators
+``.ca`` and ``.cg`` as ``.a`` and ``.g``.  We use the full PTX spellings
+(``ld.ca`` targets the L1 cache, ``ld.cg`` the L2 cache) and the parser
+accepts both spellings.
+"""
+
+import enum
+
+
+class TypeSpec(enum.Enum):
+    """PTX type specifier: bit width plus signedness (Sec. 5.2 of the ISA).
+
+    The paper omits type specifiers in its figures and uses ``.s32``
+    throughout; we track them because the litmus format (Fig. 12) declares
+    typed registers (``.reg .b64 r1 = x``).
+    """
+
+    S32 = "s32"
+    U32 = "u32"
+    B32 = "b32"
+    S64 = "s64"
+    U64 = "u64"
+    B64 = "b64"
+    PRED = "pred"
+
+    @property
+    def width(self):
+        """Bit width of the type (predicates are 1 bit)."""
+        if self is TypeSpec.PRED:
+            return 1
+        return 64 if self.value.endswith("64") else 32
+
+    @property
+    def signed(self):
+        return self.value.startswith("s")
+
+    def __str__(self):
+        return "." + self.value
+
+
+class CacheOp(enum.Enum):
+    """Cache operator on loads and stores (PTX ISA Chap. 8.7).
+
+    Only ``CA`` (cache at all levels, i.e. may hit a stale L1 line) and
+    ``CG`` (cache at L2, bypassing L1) have distinct semantics in the paper
+    and in our simulator.  ``WB``/``CV``/``WT`` are accepted for
+    completeness and behave like the default operator of their instruction
+    class.
+    """
+
+    CA = "ca"  # loads: L1 (paper's ".a"); default for loads in CUDA 5.5
+    CG = "cg"  # L2 (paper's ".g")
+    CV = "cv"  # load: consider cached values stale ("volatile-ish")
+    WB = "wb"  # store: write-back (default store operator)
+    WT = "wt"  # store: write-through
+
+    def __str__(self):
+        return "." + self.value
+
+
+#: Cache operators that are valid on load instructions.
+LOAD_CACHE_OPS = frozenset({CacheOp.CA, CacheOp.CG, CacheOp.CV})
+#: Cache operators that are valid on store instructions.  The paper notes
+#: (Sec. 3.1.2) that PTX has no store operator targeting the L1.
+STORE_CACHE_OPS = frozenset({CacheOp.CG, CacheOp.WB, CacheOp.WT})
+
+
+class Scope(enum.Enum):
+    """Fence scope: the level of the execution hierarchy a ``membar``
+    provides ordering for (PTX ISA Sec. 8.7.10.2).
+
+    Ordering is inclusive upwards: a ``membar.sys`` is at least as strong
+    as a ``membar.gl``, which is at least as strong as a ``membar.cta``
+    (Fig. 16 of the paper: ``gl-fence = membar.gl | sys-fence`` etc.).
+    """
+
+    CTA = "cta"
+    GL = "gl"
+    SYS = "sys"
+
+    @property
+    def rank(self):
+        """Strength rank: cta < gl < sys."""
+        return {"cta": 0, "gl": 1, "sys": 2}[self.value]
+
+    def covers(self, other):
+        """True if a fence of this scope is at least as strong as ``other``."""
+        return self.rank >= other.rank
+
+    def __str__(self):
+        return self.value
+
+
+class MemorySpace(enum.Enum):
+    """State space of a memory location (Sec. 2.2 of the paper).
+
+    ``GLOBAL`` is shared by the whole grid and may be cached in L1/L2;
+    ``SHARED`` is one region per SM, shared only within a CTA.
+    """
+
+    GLOBAL = "global"
+    SHARED = "shared"
+
+    def __str__(self):
+        return self.value
+
+
+#: Aliases accepted by parsers (paper figures write ".a"/".g").
+CACHE_OP_ALIASES = {
+    "a": CacheOp.CA,
+    "g": CacheOp.CG,
+    "ca": CacheOp.CA,
+    "cg": CacheOp.CG,
+    "cv": CacheOp.CV,
+    "wb": CacheOp.WB,
+    "wt": CacheOp.WT,
+}
+
+#: Scope aliases: the paper and PTX both write "cta"/"gl"/"sys".
+SCOPE_ALIASES = {
+    "cta": Scope.CTA,
+    "ta": Scope.CTA,  # the paper's ligature-mangled "ta"
+    "gl": Scope.GL,
+    "sys": Scope.SYS,
+}

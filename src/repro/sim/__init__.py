@@ -1,0 +1,15 @@
+"""Operational GPU simulator: chips, memory system, thread engines."""
+
+from .chip import (AMD_RESULT_CHIPS, CHIPS, ChipProfile,
+                   NVIDIA_RESULT_CHIPS, RESULT_CHIPS, chip)
+from .engine import PendingOp, ThreadEngine
+from .machine import GpuMachine, run_iterations
+from .memory import MemorySystem
+
+__all__ = [
+    "AMD_RESULT_CHIPS", "CHIPS", "ChipProfile", "NVIDIA_RESULT_CHIPS",
+    "RESULT_CHIPS", "chip",
+    "PendingOp", "ThreadEngine",
+    "GpuMachine", "run_iterations",
+    "MemorySystem",
+]

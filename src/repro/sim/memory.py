@@ -1,0 +1,160 @@
+"""The simulated GPU memory system: global memory, per-SM L1, shared.
+
+Global memory (with the L2 as its coherent access point) is a single
+word-addressed store: all ``.cg`` traffic and all atomics hit it directly.
+Each SM additionally has:
+
+* an **L1 cache** that is *not* kept coherent (the Fermi behaviour of
+  Sec. 3.1.2): ``.ca`` loads may hit lines holding stale values; remote
+  stores never invalidate them; fences invalidate them only with the
+  chip-specific probability; ``.cg`` loads evict the matching line with
+  the chip's probability ("existing cache lines that match the requested
+  address in L1 will be evicted" — which the paper shows is unreliable);
+* a **shared memory** scratchpad, private to the SM's CTAs.
+"""
+
+from ..errors import SimulationError
+from ..ptx.types import MemorySpace
+
+
+class MemorySystem:
+    """All memory state for one simulated iteration."""
+
+    def __init__(self, chip, rng, n_sms, stale_intent=False):
+        self.chip = chip
+        self.rng = rng
+        self.n_sms = n_sms
+        self.global_mem = {}
+        self.shared_mem = [dict() for _ in range(n_sms)]
+        self.l1 = [dict() for _ in range(n_sms)]
+        self.stale_intent = stale_intent and chip.l1_stale_reads
+        self.space_of_addr = {}
+
+    # -- initialisation ------------------------------------------------------
+
+    def install(self, address, value, space):
+        """Set the initial value of one location."""
+        self.space_of_addr[address] = space
+        if space is MemorySpace.SHARED:
+            for shared in self.shared_mem:
+                shared[address] = value
+        else:
+            self.global_mem[address] = value
+
+    def warm_l1(self):
+        """Populate L1 lines with initial values (the stale-read seed).
+
+        Each global location lands in each SM's L1 independently with
+        probability ``p_l1_warm`` — modelling lines left behind by the
+        harness's initialisation writes and by earlier test iterations.
+        """
+        if not self.stale_intent:
+            return
+        for sm in range(self.n_sms):
+            for address, value in self.global_mem.items():
+                if self.rng.random() < self.chip.p_l1_warm:
+                    self.l1[sm][address] = value
+
+    def _space(self, address):
+        space = self.space_of_addr.get(address)
+        if space is None:
+            raise SimulationError("access to uninstalled address %#x" % address)
+        return space
+
+    # -- reads -----------------------------------------------------------------
+
+    def read(self, sm, address, cop=None, volatile=False):
+        """Perform a load issued from ``sm``; returns the value."""
+        if self._space(address) is MemorySpace.SHARED:
+            return self.shared_mem[sm][address]
+        value = self.global_mem[address]
+        if volatile or cop is None:
+            return value
+        if cop == "ca":
+            line = self.l1[sm].get(address)
+            if line is not None and self.stale_intent:
+                return line
+            # Miss (or coherent-L1 chip): fill the line with the fresh value.
+            if self.chip.l1_stale_reads:
+                self.l1[sm][address] = value
+            return value
+        if cop in ("cg", "cv"):
+            # The PTX manual says a .cg load evicts the matching L1 line;
+            # the paper shows this is unreliable (Fig. 4).
+            if address in self.l1[sm]:
+                if self.rng.random() < self.chip.p_cg_evicts_l1:
+                    del self.l1[sm][address]
+            return value
+        return value
+
+    # -- writes ----------------------------------------------------------------
+
+    def write(self, sm, address, value, volatile=False):
+        """Perform a store issued from ``sm``."""
+        if self._space(address) is MemorySpace.SHARED:
+            self.shared_mem[sm][address] = value
+            return
+        self.global_mem[address] = value
+        # Stores bypass the L1 (there is no L1 store operator, Sec. 3.1.2)
+        # and update the writing SM's own line only unreliably; remote
+        # SMs' lines are never invalidated (the Fermi incoherence).
+        if address in self.l1[sm]:
+            if self.rng.random() < self.chip.p_store_invalidates_own_l1:
+                del self.l1[sm][address]
+
+    # -- atomics ------------------------------------------------------------------
+
+    def atomic_cas(self, sm, address, compare, new):
+        old = self._atomic_read(sm, address)
+        if old == compare:
+            self._atomic_write(sm, address, new)
+        return old
+
+    def atomic_exch(self, sm, address, new):
+        old = self._atomic_read(sm, address)
+        self._atomic_write(sm, address, new)
+        return old
+
+    def atomic_add(self, sm, address, operand):
+        old = self._atomic_read(sm, address)
+        self._atomic_write(sm, address, old + operand)
+        return old
+
+    def _atomic_read(self, sm, address):
+        if self._space(address) is MemorySpace.SHARED:
+            return self.shared_mem[sm][address]
+        return self.global_mem[address]
+
+    def _atomic_write(self, sm, address, value):
+        if self._space(address) is MemorySpace.SHARED:
+            self.shared_mem[sm][address] = value
+        else:
+            self.global_mem[address] = value
+
+    # -- fences ----------------------------------------------------------------
+
+    def fence(self, sm, scope):
+        """Apply a fence's cache effect: invalidate the SM's stale lines
+        with the chip's per-scope probability."""
+        probability = self.chip.fence_inval_probability(scope)
+        if probability <= 0.0 or not self.l1[sm]:
+            return
+        for address in list(self.l1[sm]):
+            if self.rng.random() < probability:
+                del self.l1[sm][address]
+
+    # -- final state -------------------------------------------------------------
+
+    def final_value(self, address):
+        """The final value of a location (global, or any modified SM copy
+        of a shared location)."""
+        space = self._space(address)
+        if space is not MemorySpace.SHARED:
+            return self.global_mem[address]
+        values = {shared.get(address) for shared in self.shared_mem}
+        values.discard(None)
+        if len(values) == 1:
+            return values.pop()
+        # Multiple SM copies diverged (cannot happen for valid tests:
+        # shared locations are single-CTA); report the first modified one.
+        return next(iter(sorted(v for v in values if v is not None)))

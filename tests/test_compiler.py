@@ -1,0 +1,227 @@
+"""Tests for the compilation tooling: Table 5, SASS, optcheck, deps, AMD."""
+
+import pytest
+
+from repro.compiler import (ARCHITECTURES, AddTo, AtomicCas, AtomicExchange,
+                            Cond, FENCE_REMOVED, If, Kernel, LOAD_CAS_REORDERED,
+                            LOADS_COMBINED, Load, Store, TABLE5, Threadfence,
+                            While, assemble, check_sass, compile_kernel,
+                            compile_opencl_thread, cuobjdump, decode,
+                            dependent_load_pair, effective_litmus,
+                            embed_specification, encode, optcheck,
+                            sass_address_dependency_intact)
+from repro.errors import CompileError, OptcheckViolation
+from repro.litmus import library
+from repro.ptx import (AtomCas, Bra, Guard, Ld, Membar, Reg, Setp, St)
+from repro.ptx import Addr, Loc, Scope
+from repro.ptx.program import ThreadProgram
+
+
+class TestTable5Lowering:
+    def test_mapping_documented(self):
+        assert TABLE5["atomicCAS"] == "atom.cas"
+        assert TABLE5["__threadfence"] == "membar.gl"
+        assert TABLE5["__threadfence_block"] == "membar.cta"
+
+    def test_store_load_global(self):
+        program = compile_kernel(Kernel([Store("x", 1), Load("v", "x")]), 0)
+        assert isinstance(program.instructions[0], St)
+        assert str(program.instructions[0]) == "st.cg.s32 [x], 1"
+        assert str(program.instructions[1]).startswith("ld.cg.s32")
+
+    def test_volatile_accesses(self):
+        program = compile_kernel(
+            Kernel([Store("t", 1, volatile=True), Load("v", "t", volatile=True)]), 0)
+        assert all(i.volatile for i in program.instructions)
+
+    def test_threadfence_scopes(self):
+        program = compile_kernel(
+            Kernel([Threadfence(), Threadfence(block=True)]), 0)
+        assert program.instructions[0] == Membar(Scope.GL)
+        assert program.instructions[1] == Membar(Scope.CTA)
+
+    def test_spin_loop_becomes_guarded_backjump(self):
+        program = compile_kernel(
+            Kernel([While(Cond("v", "ne", 0), body=(AtomicCas("v", "m", 0, 1),))]), 0)
+        kinds = [type(i) for i in program.instructions]
+        assert AtomCas in kinds and Setp in kinds and Bra in kinds
+        branch = [i for i in program.instructions if isinstance(i, Bra)][0]
+        assert branch.guard is not None
+
+    def test_if_becomes_predication(self):
+        program = compile_kernel(
+            Kernel([Load("v", "m"),
+                    If(Cond("v", "eq", 0), body=(Store("x", 1),))]), 0)
+        guarded = [i for i in program.instructions
+                   if isinstance(i, St) and i.guard is not None]
+        assert len(guarded) == 1
+
+    def test_atomic_exchange(self):
+        program = compile_kernel(Kernel([AtomicExchange("old", "m", 0)]), 0)
+        assert "atom.exch" in str(program.instructions[0])
+
+    def test_add_register_allocation_is_stable(self):
+        program = compile_kernel(
+            Kernel([Load("a", "x"), AddTo("a", "a", 1), Store("x", "a")]), 0)
+        load, add, store = program.instructions
+        assert load.dst == add.dst == store.src
+
+    def test_bad_condition_rejected(self):
+        with pytest.raises(CompileError):
+            Cond("v", "lt", 0)
+
+
+class TestSassAssembler:
+    def test_o0_separates_accesses_with_filler(self):
+        test = library.build("coRR")
+        sass = assemble(test.threads[1], "-O0")
+        accesses = sass.memory_accesses()
+        assert len(accesses) == 2
+        indexes = [i for i, instr in enumerate(sass) if instr.is_memory_access]
+        assert indexes[1] - indexes[0] > 1  # filler in between
+
+    def test_o3_keeps_accesses_adjacent(self):
+        test = library.build("coRR")
+        sass = assemble(test.threads[1], "-O3")
+        indexes = [i for i, instr in enumerate(sass) if instr.is_memory_access]
+        assert indexes[1] - indexes[0] == 1
+
+    def test_every_ptx_access_has_a_sass_access(self):
+        for name in ["mp-L1", "dlb-mp", "cas-sl", "sl-future"]:
+            test = library.build(name)
+            for program in test.threads:
+                ptx_accesses = len(program.memory_accesses())
+                sass = assemble(program, "-O3")
+                assert len(sass.memory_accesses()) == ptx_accesses, name
+
+    def test_unknown_opt_level_rejected(self):
+        with pytest.raises(CompileError):
+            assemble(library.build("coRR").threads[0], "-O2")
+
+    def test_cuobjdump_format(self):
+        sass = assemble(library.build("coRR").threads[1], "-O3")
+        dump = cuobjdump(sass)
+        assert "LDG.CG" in dump and ";" in dump
+
+
+class TestOptcheck:
+    def test_encode_decode_round_trip(self):
+        for kind in ["ld.cg", "ld.ca", "ld.volatile", "st", "atom.cas"]:
+            for position in (0, 5, 63):
+                assert decode(encode(kind, position)) == (kind, position)
+
+    def test_non_magic_constant_ignored(self):
+        assert decode(0x1234) is None
+
+    def test_clean_compile_passes(self):
+        for name in ["coRR", "mp-L1", "cas-sl", "dlb-lb"]:
+            test = library.build(name)
+            for program in test.threads:
+                optcheck(program, cuda_version="6.0")
+
+    def test_cuda55_volatile_reorder_detected(self):
+        program = ThreadProgram(0, [
+            Ld(Reg("r1"), Addr(Loc("x")), volatile=True),
+            Ld(Reg("r2"), Addr(Loc("x")), volatile=True),
+        ])
+        violations = 0
+        for seed in range(12):
+            try:
+                optcheck(program, cuda_version="5.5", seed=seed)
+            except OptcheckViolation:
+                violations += 1
+        assert violations > 0  # the bug fires on some schedules
+
+    def test_cuda60_never_reorders(self):
+        program = ThreadProgram(0, [
+            Ld(Reg("r1"), Addr(Loc("x")), volatile=True),
+            Ld(Reg("r2"), Addr(Loc("x")), volatile=True),
+        ])
+        for seed in range(12):
+            optcheck(program, cuda_version="6.0", seed=seed)
+
+    def test_missing_spec_rejected(self):
+        sass = assemble(library.build("coRR").threads[1], "-O3")
+        with pytest.raises(OptcheckViolation):
+            check_sass(cuobjdump(sass))  # no spec embedded
+
+    def test_spec_embedding_appends_xors(self):
+        program = library.build("coRR").threads[1]
+        instrumented = embed_specification(program)
+        assert len(instrumented) == len(program) + 2
+
+
+class TestDependencyManufacturing:
+    def test_xor_scheme_optimised_away(self):
+        instructions, _ = dependent_load_pair("x", "y", scheme="xor")
+        sass = assemble(ThreadProgram(0, instructions), "-O3")
+        assert not sass_address_dependency_intact(sass)
+
+    def test_and_scheme_survives(self):
+        instructions, _ = dependent_load_pair("x", "y", scheme="and")
+        sass = assemble(ThreadProgram(0, instructions), "-O3")
+        assert sass_address_dependency_intact(sass)
+
+    def test_both_schemes_survive_at_o0(self):
+        for scheme in ("xor", "and"):
+            instructions, _ = dependent_load_pair("x", "y", scheme=scheme)
+            sass = assemble(ThreadProgram(0, instructions), "-O0")
+            assert sass_address_dependency_intact(sass), scheme
+
+
+class TestAmdCompilers:
+    def test_architectures(self):
+        assert ARCHITECTURES["TeraScale 2"] == "Evergreen"
+        assert ARCHITECTURES["GCN 1.0"] == "Southern Islands"
+
+    def test_gcn_removes_fence_between_loads(self):
+        test = library.mp(fence0=Scope.GL, fence1=Scope.GL)
+        compiled = compile_opencl_thread(test.threads[1], "GCN 1.0")
+        assert FENCE_REMOVED in compiled.transformations
+        assert not any(isinstance(i, Membar) for i in compiled.instructions)
+
+    def test_gcn_keeps_fence_between_stores(self):
+        test = library.mp(fence0=Scope.GL, fence1=Scope.GL)
+        compiled = compile_opencl_thread(test.threads[0], "GCN 1.0")
+        assert FENCE_REMOVED not in compiled.transformations
+
+    def test_terascale_reorders_load_before_cas(self):
+        test = library.build("dlb-lb")
+        compiled = compile_opencl_thread(test.threads[1], "TeraScale 2")
+        assert LOAD_CAS_REORDERED in compiled.transformations
+        assert compiled.miscompiled
+
+    def test_repeated_loads_combined_unless_volatile(self):
+        corr = library.build("coRR")
+        compiled = compile_opencl_thread(corr.threads[1], "GCN 1.0")
+        assert LOADS_COMBINED in compiled.transformations
+        volatile_corr = ThreadProgram(1, [
+            Ld(Reg("r1"), Addr(Loc("x")), volatile=True),
+            Ld(Reg("r2"), Addr(Loc("x")), volatile=True),
+        ])
+        clean = compile_opencl_thread(volatile_corr, "GCN 1.0")
+        assert LOADS_COMBINED not in clean.transformations
+
+    def test_effective_litmus_marks_dlb_lb_invalid_on_terascale(self):
+        _, transformations, valid = effective_litmus(
+            library.build("dlb-lb"), "TeraScale 2")
+        assert not valid
+        assert LOAD_CAS_REORDERED in transformations
+
+    def test_effective_fenced_mp_still_weak_on_gcn(self):
+        from repro.model.models import ptx_model
+        fenced = library.mp(fence0=Scope.GL, fence1=Scope.GL)
+        effective, _, valid = effective_litmus(fenced, "GCN 1.0")
+        assert valid
+        assert ptx_model().allows_condition(effective)
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(CompileError):
+            compile_opencl_thread(library.build("mp").threads[0], "RDNA3")
+
+    def test_isa_text_mnemonics(self):
+        test = library.build("mp")
+        evergreen = compile_opencl_thread(test.threads[0], "TeraScale 2")
+        southern = compile_opencl_thread(test.threads[0], "GCN 1.0")
+        assert "MEM_RAT_CACHELESS" in evergreen.isa_text
+        assert "BUFFER_STORE_DWORD" in southern.isa_text

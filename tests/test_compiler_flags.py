@@ -1,0 +1,64 @@
+"""Tests for the -Xptxas -dlcm=cg experimental fix (Sec. 3.1.2)."""
+
+import pytest
+
+from repro.compiler.flags import DLCM_FLAG, apply_cache_flags
+from repro.litmus import library
+from repro.ptx import CacheOp, Ld, St
+from repro.ptx.types import Scope
+from repro.sim import chip, run_iterations
+
+
+def _weak(test, chip_name, iterations=3000, seed=5):
+    histogram = run_iterations(test, chip(chip_name), iterations, seed=seed)
+    return sum(count for state, count in histogram.items()
+               if test.condition.holds(state))
+
+
+class TestCacheFlagRewriting:
+    def test_ca_loads_become_cg(self):
+        rewritten = apply_cache_flags(library.build("mp-L1"))
+        for thread in rewritten.threads:
+            for instruction in thread:
+                if isinstance(instruction, (Ld, St)):
+                    assert instruction.effective_cop is CacheOp.CG
+
+    def test_volatile_untouched(self):
+        rewritten = apply_cache_flags(library.build("mp-volatile"))
+        assert rewritten.uses_volatile()
+
+    def test_name_records_the_flag(self):
+        rewritten = apply_cache_flags(library.build("mp-L1"))
+        assert "dlcm=cg" in rewritten.name
+        assert "dlcm=cg" in DLCM_FLAG
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            apply_cache_flags("mp-L1")
+
+
+class TestTheExperimentalFix:
+    """The paper's Sec. 3.1.2 resolution: on the Tesla C2075, fenced
+    mp-L1 stays weak with ``.ca`` loads, but setting cache operators to
+    ``.cg`` and using membar.gl forbids the behaviour
+    (the online test mp+membar.gls)."""
+
+    def test_fenced_ca_loads_still_weak_on_tesc(self):
+        fenced = library.mp_l1(fence=Scope.GL)
+        assert _weak(fenced, "TesC", iterations=20000) > 0
+
+    def test_flagged_and_fenced_is_sound_on_tesc(self):
+        fixed = apply_cache_flags(library.mp_l1(fence=Scope.GL))
+        assert _weak(fixed, "TesC", iterations=20000) == 0
+
+    def test_flags_alone_do_not_fix_unfenced_mp(self):
+        unfenced = apply_cache_flags(library.mp_l1(fence=None))
+        assert _weak(unfenced, "TesC") > 0
+
+    def test_model_verdicts_match(self):
+        from repro.model.models import ptx_model
+        model = ptx_model()
+        fixed = apply_cache_flags(library.mp_l1(fence=Scope.GL))
+        assert not model.allows_condition(fixed)
+        unfenced = apply_cache_flags(library.mp_l1(fence=None))
+        assert model.allows_condition(unfenced)

@@ -1,0 +1,111 @@
+"""Tests for scope trees and memory maps."""
+
+import pytest
+
+from repro.errors import LitmusSyntaxError, ScopeTreeError
+from repro.hierarchy import MemoryMap, ScopeTree
+from repro.ptx.types import MemorySpace
+
+
+class TestScopeTreeBuilders:
+    def test_intra_warp(self):
+        tree = ScopeTree.intra_warp(["T0", "T1"])
+        assert tree.same_warp("T0", "T1")
+        assert tree.classify() == "intra-warp"
+
+    def test_intra_cta(self):
+        tree = ScopeTree.intra_cta(["T0", "T1"])
+        assert tree.same_cta("T0", "T1")
+        assert not tree.same_warp("T0", "T1")
+        assert tree.classify() == "intra-cta"
+
+    def test_inter_cta(self):
+        tree = ScopeTree.inter_cta(["T0", "T1"])
+        assert not tree.same_cta("T0", "T1")
+        assert tree.same_grid("T0", "T1")
+        assert tree.classify() == "inter-cta"
+
+    def test_for_threads(self):
+        tree = ScopeTree.for_threads(["T0", "T1", "T2"], "inter-cta")
+        assert tree.n_ctas == 3
+
+    def test_for_threads_unknown_config(self):
+        with pytest.raises(ScopeTreeError):
+            ScopeTree.for_threads(["T0"], "inter-galactic")
+
+    def test_threads_in_order(self):
+        tree = ScopeTree.inter_cta(["T0", "T1", "T2"])
+        assert tree.threads == ["T0", "T1", "T2"]
+
+    def test_duplicate_thread_rejected(self):
+        with pytest.raises(ScopeTreeError):
+            ScopeTree.intra_cta(["T0", "T0"])
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ScopeTreeError):
+            ScopeTree(())
+
+
+class TestScopeTreeParse:
+    def test_fig12_syntax(self):
+        tree = ScopeTree.parse("(grid (cta (warp T0) (warp T1)))")
+        assert tree.same_cta("T0", "T1")
+        assert not tree.same_warp("T0", "T1")
+
+    def test_scopetree_keyword_accepted(self):
+        tree = ScopeTree.parse("ScopeTree (grid (cta (warp T0) (warp T1)))")
+        assert tree.classify() == "intra-cta"
+
+    def test_inter_cta_parse(self):
+        tree = ScopeTree.parse("(grid (cta (warp T0)) (cta (warp T1)))")
+        assert tree.classify() == "inter-cta"
+
+    def test_opencl_words(self):
+        tree = ScopeTree.parse("(grid (work-group (wavefront T0 T1)))")
+        assert tree.same_warp("T0", "T1")
+
+    def test_round_trip(self):
+        tree = ScopeTree.parse("(grid (cta (warp T0) (warp T1)) (cta (warp T2)))")
+        assert ScopeTree.parse(str(tree)) == tree
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(ScopeTreeError):
+            ScopeTree.parse("(grid (cta (warp T0))")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ScopeTreeError):
+            ScopeTree.parse("(grid (cta (warp T0))) extra")
+
+    def test_unknown_thread_placement(self):
+        tree = ScopeTree.parse("(grid (cta (warp T0)))")
+        with pytest.raises(ScopeTreeError):
+            tree.placement("T9")
+
+
+class TestMemoryMap:
+    def test_default_is_global(self):
+        assert MemoryMap().space_of("x") is MemorySpace.GLOBAL
+
+    def test_parse(self):
+        memory_map = MemoryMap.parse("x: shared, y: global")
+        assert memory_map.space_of("x") is MemorySpace.SHARED
+        assert memory_map.space_of("y") is MemorySpace.GLOBAL
+
+    def test_round_trip(self):
+        memory_map = MemoryMap.parse("x: shared, y: global")
+        assert MemoryMap.parse(str(memory_map)) == memory_map
+
+    def test_string_spaces_coerced(self):
+        assert MemoryMap({"x": "shared"}).space_of("x") is MemorySpace.SHARED
+
+    def test_unknown_space_rejected(self):
+        with pytest.raises(LitmusSyntaxError):
+            MemoryMap({"x": "texture"})
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(LitmusSyntaxError):
+            MemoryMap.parse("x shared")
+
+    def test_all_global(self):
+        assert MemoryMap({"x": "global"}).all_global()
+        assert not MemoryMap({"x": "shared"}).all_global()

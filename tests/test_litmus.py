@@ -1,0 +1,238 @@
+"""Tests for the litmus container, conditions, parser/writer and library."""
+
+import pytest
+
+from repro.errors import LitmusSyntaxError
+from repro.hierarchy import ScopeTree
+from repro.litmus import (FinalState, LitmusTest, MemEq, RegEq,
+                          parse_condition, parse_litmus, write_litmus)
+from repro.litmus import library
+from repro.ptx import CacheOp, Imm, Ld, Loc, Membar, Reg, Scope, St
+from repro.ptx import Addr, ThreadProgram
+
+
+def _simple_test():
+    t0 = ThreadProgram(0, [St(Addr(Loc("x")), Imm(1), cop=CacheOp.CG)])
+    t1 = ThreadProgram(1, [Ld(Reg("r1"), Addr(Loc("x")), cop=CacheOp.CG)])
+    return LitmusTest(name="t", threads=(t0, t1),
+                      condition=parse_condition("exists (1:r1=0)"))
+
+
+class TestConditionParsing:
+    def test_register_atom(self):
+        condition = parse_condition("exists (1:r1=1)")
+        assert condition.quantifier == "exists"
+        assert condition.expr == RegEq(1, "r1", 1)
+
+    def test_memory_atom(self):
+        condition = parse_condition("exists (x=2)")
+        assert condition.expr == MemEq("x", 2)
+
+    def test_conjunction(self):
+        condition = parse_condition(r"exists (0:r2=0 /\ 1:r2=0)")
+        state = FinalState.make({(0, "r2"): 0, (1, "r2"): 0})
+        assert condition.holds(state)
+
+    def test_disjunction(self):
+        condition = parse_condition(r"exists (0:r0=1 \/ 0:r0=2)")
+        assert condition.holds(FinalState.make({(0, "r0"): 2}))
+        assert not condition.holds(FinalState.make({(0, "r0"): 3}))
+
+    def test_negation(self):
+        condition = parse_condition("exists (~(0:r0=1))")
+        assert condition.holds(FinalState.make({(0, "r0"): 0}))
+
+    def test_forall(self):
+        condition = parse_condition("forall (0:r0=0)")
+        states = [FinalState.make({(0, "r0"): 0}), FinalState.make({(0, "r0"): 1})]
+        assert not condition.verdict(states)
+        assert condition.verdict(states[:1])
+
+    def test_final_prefix(self):
+        condition = parse_condition(r"final: 1:r1=1 /\ 1:r2=0")
+        assert condition.quantifier == "exists"
+
+    def test_missing_register_is_false(self):
+        condition = parse_condition("exists (3:r9=1)")
+        assert not condition.holds(FinalState.make({}))
+
+    def test_registers_reported(self):
+        condition = parse_condition(r"exists (0:r2=0 /\ 1:r2=0)")
+        assert condition.registers() == {(0, "r2"), (1, "r2")}
+
+    def test_garbage_rejected(self):
+        with pytest.raises(LitmusSyntaxError):
+            parse_condition("exists (0:r2=)")
+
+    def test_round_trip(self):
+        text = r"exists (0:r2=0 /\ 1:r2=0)"
+        condition = parse_condition(text)
+        assert parse_condition(str(condition)) == condition
+
+
+class TestFinalState:
+    def test_hashable_and_equal(self):
+        a = FinalState.make({(0, "r0"): 1}, {"x": 2})
+        b = FinalState.make({(0, "r0"): 1}, {"x": 2})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_accessors(self):
+        state = FinalState.make({(0, "r0"): 1}, {"x": 2})
+        assert state.reg(0, "r0") == 1
+        assert state.loc("x") == 2
+        with pytest.raises(KeyError):
+            state.reg(1, "r0")
+
+
+class TestLitmusTestContainer:
+    def test_default_scope_tree_is_intra_cta(self):
+        test = _simple_test()
+        assert test.scope_tree.classify() == "intra-cta"
+
+    def test_locations_discovered_from_instructions(self):
+        assert _simple_test().locations() == ["x"]
+
+    def test_address_map_distinct(self):
+        test = library.build("mp")
+        addresses = test.address_map()
+        assert len(set(addresses.values())) == len(addresses)
+
+    def test_mismatched_scope_tree_rejected(self):
+        t0 = ThreadProgram(0, [St(Addr(Loc("x")), Imm(1), cop=CacheOp.CG)])
+        with pytest.raises(LitmusSyntaxError):
+            LitmusTest(name="t", threads=(t0,),
+                       scope_tree=ScopeTree.intra_cta(["T0", "T9"]),
+                       condition=parse_condition("exists (0:r0=0)"))
+
+    def test_wrong_tid_slot_rejected(self):
+        t0 = ThreadProgram(1, [St(Addr(Loc("x")), Imm(1), cop=CacheOp.CG)])
+        with pytest.raises(LitmusSyntaxError):
+            LitmusTest(name="t", threads=(t0,),
+                       condition=parse_condition("exists (0:r0=0)"))
+
+    def test_validate_flags_cross_cta_shared(self):
+        test = library.mp_volatile(placement="inter-cta")
+        assert any("shared" in issue for issue in test.validate())
+
+    def test_validate_clean_for_paper_tests(self):
+        for name, test in library.all_paper_tests().items():
+            assert test.validate() == [], name
+
+
+class TestLibrary:
+    def test_registry_complete(self):
+        tests = library.all_paper_tests()
+        assert len(tests) >= 25
+        for name, test in tests.items():
+            assert test.n_threads >= 2, name
+
+    @pytest.mark.parametrize("name,idiom", [
+        ("coRR", "coRR"), ("mp-L1", "mp"), ("coRR-L2-L1", "coRR"),
+        ("mp-volatile", "mp"), ("dlb-mp", "mp"), ("dlb-lb", "lb"),
+        ("cas-sl", "mp"), ("sl-future", "mp"), ("sb", "sb"), ("lb", "lb"),
+    ])
+    def test_idioms_match_table3(self, name, idiom):
+        assert library.build(name).idiom == idiom
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            library.build("nonexistent")
+
+    def test_corr_structure(self):
+        test = library.build("coRR")
+        assert test.scope_tree.classify() == "intra-cta"
+        loads = [i for i in test.threads[1] if isinstance(i, Ld)]
+        assert len(loads) == 2
+        assert all(load.addr == Addr(Loc("x")) for load in loads)
+
+    def test_mp_l1_uses_ca_loads_cg_stores(self):
+        test = library.build("mp-L1")
+        assert all(i.cop is CacheOp.CG for i in test.threads[0]
+                   if isinstance(i, St))
+        assert all(i.cop is CacheOp.CA for i in test.threads[1]
+                   if isinstance(i, Ld))
+
+    def test_mp_l1_fence_variants(self):
+        for scope in Scope:
+            test = library.mp_l1(fence=scope)
+            fences = [i for thread in test.threads for i in thread
+                      if isinstance(i, Membar)]
+            assert [f.scope for f in fences] == [scope, scope]
+
+    def test_mp_volatile_is_shared_memory(self):
+        test = library.build("mp-volatile")
+        assert str(test.space_of("x")) == "shared"
+        assert test.uses_volatile()
+
+    def test_cas_sl_initial_lock_held(self):
+        test = library.build("cas-sl")
+        assert test.initial_value("m") == 1
+        assert test.initial_value("x") == 0
+
+    def test_fixed_variants_add_instructions(self):
+        assert len(library.sl_future(fixed=True).threads[0]) > \
+            len(library.sl_future(fixed=False).threads[0]) - 1
+
+    def test_inter_cta_placements(self):
+        for name in ["mp-L1", "dlb-mp", "dlb-lb", "cas-sl", "sl-future"]:
+            assert library.build(name).scope_tree.classify() == "inter-cta", name
+
+
+class TestLitmusFormatRoundTrip:
+    @pytest.mark.parametrize("name", sorted(library.PAPER_TESTS))
+    def test_write_then_parse_preserves_structure(self, name):
+        original = library.build(name)
+        text = write_litmus(original)
+        parsed = parse_litmus(text)
+        assert parsed.n_threads == original.n_threads
+        assert parsed.condition == original.condition
+        assert parsed.scope_tree.classify() == original.scope_tree.classify()
+        for tid in range(original.n_threads):
+            original_instructions = [str(i) for i in original.threads[tid]]
+            parsed_instructions = [str(i) for i in parsed.threads[tid]]
+            assert parsed_instructions == original_instructions, name
+
+    def test_parse_fig12_verbatim(self):
+        text = r"""
+        GPU_PTX SB
+        {0:.reg .s32 r0; 0:.reg .s32 r2;
+         0:.reg .b64 r1 = x; 0:.reg .b64 r3 = y;
+         1:.reg .s32 r0; 1:.reg .s32 r2;
+         1:.reg .b64 r1 = y; 1:.reg .b64 r3 = x;}
+         T0                 | T1                 ;
+         mov.s32 r0,1       | mov.s32 r0,1       ;
+         st.cg.s32 [r1],r0  | st.cg.s32 [r1],r0  ;
+         ld.cg.s32 r2,[r3]  | ld.cg.s32 r2,[r3]  ;
+        ScopeTree(grid(cta(warp T0) (warp T1)))
+        x: shared, y: global
+        exists (0:r2=0 /\ 1:r2=0)
+        """
+        test = parse_litmus(text)
+        assert test.name == "SB"
+        assert test.n_threads == 2
+        assert str(test.space_of("x")) == "shared"
+        assert test.scope_tree.classify() == "intra-cta"
+        # Registers bound to locations resolve through reg_init.
+        assert test.reg_init[(0, "r1")] == Loc("x")
+        assert test.reg_init[(1, "r1")] == Loc("y")
+
+    def test_init_values_parsed(self):
+        text = """
+        GPU_PTX t
+        { 0:.reg .s32 r0; m = 1; }
+         T0 ;
+         ld.cg.s32 r0,[m] ;
+        exists (0:r0=1)
+        """
+        test = parse_litmus(text)
+        assert test.initial_value("m") == 1
+
+    def test_missing_condition_rejected(self):
+        with pytest.raises(LitmusSyntaxError):
+            parse_litmus("GPU_PTX t\n T0 ;\n ld.cg r0,[x] ;\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(LitmusSyntaxError):
+            parse_litmus("")

@@ -1,0 +1,153 @@
+"""Tests for the .cat language interpreter."""
+
+import pytest
+
+from repro.errors import CatEvalError, CatSyntaxError
+from repro.litmus import library
+from repro.model.cat import CatModel, tokenize
+from repro.model.enumerate import enumerate_executions
+from repro.model.models import PTX_CAT
+
+
+def _weak_mp_execution():
+    """The mp execution with both loads hitting the weak outcome."""
+    test = library.build("mp")
+    for execution in enumerate_executions(test):
+        if test.condition.holds(execution.final_state):
+            return execution
+    raise AssertionError("weak mp candidate missing")
+
+
+def _sc_mp_execution():
+    test = library.build("mp")
+    for execution in enumerate_executions(test):
+        state = execution.final_state
+        if state.reg(1, "r1") == 1 and state.reg(1, "r2") == 1:
+            return execution
+    raise AssertionError("sc mp candidate missing")
+
+
+class TestTokenizer:
+    def test_names_with_dots_and_dashes(self):
+        kinds = [t.text for t in tokenize("po-loc | membar.cta")]
+        assert kinds == ["po-loc", "|", "membar.cta"]
+
+    def test_comments_stripped(self):
+        tokens = tokenize("(* a comment *) let x = po // trailing")
+        assert [t.text for t in tokens] == ["let", "x", "=", "po"]
+
+    def test_keywords_recognised(self):
+        kinds = [t.kind for t in tokenize("let acyclic as empty irreflexive")]
+        assert kinds == ["LET", "ACYCLIC", "AS", "EMPTY", "IRREFLEXIVE"]
+
+    def test_inverse_operator(self):
+        assert [t.kind for t in tokenize("rf^-1")] == ["NAME", "INVERSE"]
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(CatSyntaxError):
+            tokenize("let x = $")
+
+
+class TestParsing:
+    def test_model_statement_counts(self):
+        model = CatModel(PTX_CAT)
+        assert len(model.check_names) == 6
+        assert "sc-per-loc-llh" in model.check_names
+        assert "cta-constraint" in model.check_names
+
+    def test_function_binding(self):
+        model = CatModel("let f(x) = x | rf\nacyclic f(po) as check1")
+        assert model.check_names == ["check1"]
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(CatSyntaxError):
+            CatModel("let x po")
+
+    def test_recursive_let_rejected(self):
+        with pytest.raises(CatSyntaxError):
+            CatModel("let rec x = x | po")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(CatSyntaxError):
+            CatModel("acyclic (po | rf")
+
+
+class TestEvaluation:
+    def test_sc_forbids_weak_mp(self):
+        model = CatModel("acyclic (po | rf | co | fr) as sc")
+        assert not model.allows(_weak_mp_execution())
+        assert model.allows(_sc_mp_execution())
+
+    def test_failed_check_reports_cycle(self):
+        model = CatModel("acyclic (po | rf | co | fr) as sc")
+        failures = model.failed_checks(_weak_mp_execution())
+        assert len(failures) == 1
+        assert failures[0].name == "sc"
+        assert len(failures[0].cycle) >= 2
+
+    def test_filters(self):
+        model = CatModel("acyclic (WW(po) | rf | co | fr) as writes-ordered")
+        # mp weak outcome needs *both* the write and read sides reordered;
+        # ordering only writes still forbids nothing here because reads are
+        # free: the weak execution survives.
+        assert model.allows(_weak_mp_execution())
+
+    def test_sequence_operator(self):
+        model = CatModel("empty (rf ; rf) as no-chained-rf")
+        assert model.allows(_weak_mp_execution())  # rf targets reads only
+
+    def test_inverse_and_sequence_give_fr(self):
+        model = CatModel("empty (rf^-1 ; co) \\ fr as fr-definition")
+        execution = _weak_mp_execution()
+        # fr = rf^-1 ; co by definition (modulo the identity, absent here).
+        assert model.allows(execution)
+
+    def test_difference(self):
+        model = CatModel(r"empty po \ po as nothing")
+        assert model.allows(_weak_mp_execution())
+
+    def test_zero_relation(self):
+        model = CatModel("empty 0 as zero")
+        assert model.allows(_weak_mp_execution())
+
+    def test_closure_star_and_plus(self):
+        model = CatModel("acyclic (rf ; rf+) as silly")
+        assert model.allows(_weak_mp_execution())
+
+    def test_user_function_application(self):
+        text = "let fence-of(f) = f\nacyclic fence-of(membar.gl) as fences"
+        assert CatModel(text).allows(_weak_mp_execution())
+
+    def test_unknown_relation_raises(self):
+        model = CatModel("acyclic nonsuch as oops")
+        with pytest.raises(CatEvalError):
+            model.allows(_weak_mp_execution())
+
+    def test_unknown_function_raises(self):
+        model = CatModel("acyclic nonsuch(po) as oops")
+        with pytest.raises(CatEvalError):
+            model.allows(_weak_mp_execution())
+
+    def test_function_used_without_argument_raises(self):
+        model = CatModel("let f(x) = x\nacyclic f as oops")
+        with pytest.raises(CatEvalError):
+            model.allows(_weak_mp_execution())
+
+    def test_relations_inspection(self):
+        model = CatModel("let com = rf | co | fr")
+        relations = model.relations(_weak_mp_execution())
+        assert "com" in relations
+        assert len(relations["com"]) > 0
+
+
+class TestChecksSemantics:
+    def test_irreflexive_check(self):
+        assert CatModel("irreflexive po as irr").allows(_weak_mp_execution())
+
+    def test_empty_check_fails_when_nonempty(self):
+        model = CatModel("empty po as no-po")
+        assert not model.allows(_weak_mp_execution())
+
+    def test_acyclic_self_loop(self):
+        model = CatModel("acyclic id as no-id")
+        assert not model.allows(_weak_mp_execution())

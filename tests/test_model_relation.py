@@ -1,0 +1,157 @@
+"""Tests for the relation algebra, including hypothesis property tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.model.events import Event, init_write
+from repro.model.relation import Relation
+
+
+def _events(n):
+    return [Event(eid=i, tid=0, kind="R", po_index=i, loc="x", value=0)
+            for i in range(n)]
+
+
+EVENTS = _events(6)
+
+
+def _pairs(indices):
+    return [(EVENTS[a], EVENTS[b]) for a, b in indices]
+
+
+# Strategy: relations over a fixed 6-event universe.
+pair_indices = st.tuples(st.integers(0, 5), st.integers(0, 5))
+relations = st.sets(pair_indices, max_size=15).map(
+    lambda s: Relation(_pairs(s)))
+
+
+class TestBasicAlgebra:
+    def test_union(self):
+        r = Relation(_pairs([(0, 1)])) | Relation(_pairs([(1, 2)]))
+        assert len(r) == 2
+
+    def test_intersection(self):
+        r = Relation(_pairs([(0, 1), (1, 2)])) & Relation(_pairs([(1, 2)]))
+        assert r == Relation(_pairs([(1, 2)]))
+
+    def test_difference(self):
+        r = Relation(_pairs([(0, 1), (1, 2)])) - Relation(_pairs([(1, 2)]))
+        assert r == Relation(_pairs([(0, 1)]))
+
+    def test_composition(self):
+        r = Relation(_pairs([(0, 1)])) >> Relation(_pairs([(1, 2)]))
+        assert r == Relation(_pairs([(0, 2)]))
+
+    def test_composition_no_match(self):
+        r = Relation(_pairs([(0, 1)])) >> Relation(_pairs([(2, 3)]))
+        assert r.is_empty()
+
+    def test_inverse(self):
+        r = ~Relation(_pairs([(0, 1)]))
+        assert r == Relation(_pairs([(1, 0)]))
+
+    def test_from_order(self):
+        r = Relation.from_order(EVENTS[:3])
+        assert len(r) == 3  # (0,1), (0,2), (1,2)
+        assert (EVENTS[0], EVENTS[2]) in r
+
+    def test_successors_predecessors(self):
+        r = Relation(_pairs([(0, 1), (0, 2)]))
+        assert r.successors(EVENTS[0]) == {EVENTS[1], EVENTS[2]}
+        assert r.predecessors(EVENTS[2]) == {EVENTS[0]}
+
+
+class TestCycles:
+    def test_empty_is_acyclic(self):
+        assert Relation().is_acyclic()
+
+    def test_self_loop_is_cycle(self):
+        assert not Relation(_pairs([(0, 0)])).is_acyclic()
+
+    def test_two_cycle(self):
+        r = Relation(_pairs([(0, 1), (1, 0)]))
+        cycle = r.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {EVENTS[0], EVENTS[1]}
+
+    def test_long_chain_acyclic(self):
+        r = Relation(_pairs([(0, 1), (1, 2), (2, 3), (3, 4)]))
+        assert r.is_acyclic()
+
+    def test_cycle_found_in_larger_graph(self):
+        r = Relation(_pairs([(0, 1), (1, 2), (2, 3), (3, 1), (4, 5)]))
+        cycle = r.find_cycle()
+        assert cycle is not None
+        assert set(cycle) <= {EVENTS[1], EVENTS[2], EVENTS[3]}
+
+    def test_cycle_is_closed_walk(self):
+        r = Relation(_pairs([(0, 1), (1, 2), (2, 0)]))
+        cycle = r.find_cycle()
+        for i, event in enumerate(cycle):
+            nxt = cycle[(i + 1) % len(cycle)]
+            assert (event, nxt) in r
+
+
+class TestClosures:
+    def test_transitive_closure(self):
+        r = Relation(_pairs([(0, 1), (1, 2)])).transitive_closure()
+        assert (EVENTS[0], EVENTS[2]) in r
+
+    def test_reflexive_closure(self):
+        r = Relation(_pairs([(0, 1)])).reflexive_closure(EVENTS[:2])
+        assert (EVENTS[0], EVENTS[0]) in r
+        assert (EVENTS[1], EVENTS[1]) in r
+
+
+class TestProperties:
+    @given(relations)
+    def test_inverse_involution(self, r):
+        assert ~~r == r
+
+    @given(relations, relations)
+    def test_union_commutes(self, a, b):
+        assert a | b == b | a
+
+    @given(relations, relations)
+    def test_de_morgan_intersection_via_pairs(self, a, b):
+        assert (a & b).pairs == a.pairs & b.pairs
+
+    @given(relations)
+    def test_transitive_closure_is_transitive(self, r):
+        closure = r.transitive_closure()
+        for a, b in closure:
+            for c, d in closure:
+                if b is c:
+                    assert (a, d) in closure
+
+    @given(relations)
+    def test_transitive_closure_idempotent(self, r):
+        once = r.transitive_closure()
+        assert once.transitive_closure() == once
+
+    @given(relations)
+    def test_closure_preserves_acyclicity(self, r):
+        assert r.is_acyclic() == r.transitive_closure().is_acyclic()
+
+    @given(relations, relations)
+    def test_composition_within_bounds(self, a, b):
+        composed = a >> b
+        sources = {pair[0] for pair in a}
+        targets = {pair[1] for pair in b}
+        for s, t in composed:
+            assert s in sources
+            assert t in targets
+
+    @given(relations)
+    def test_find_cycle_consistent_with_is_acyclic(self, r):
+        assert (r.find_cycle() is None) == r.is_acyclic()
+
+
+class TestEventHelpers:
+    def test_init_write(self):
+        event = init_write(0, "x", 7)
+        assert event.is_init and event.is_write
+        assert event.loc == "x" and event.value == 7
+
+    def test_pretty_contains_location(self):
+        event = Event(eid=0, tid=1, kind="W", loc="y", value=3, cop="cg")
+        assert "W.cg y=3" in event.pretty()

@@ -1,0 +1,119 @@
+"""Model verdicts on the paper's tests (the Sec. 5 validation matrix).
+
+These assertions pin down the paper's allowed/forbidden classification:
+the PTX model must allow every behaviour observed on hardware (Tab. 2 and
+the figures) and forbid the fenced/fixed variants the paper reports as no
+longer observed.
+"""
+
+import pytest
+
+from repro.litmus import library
+from repro.model.models import (coherence_model, load_model, ptx_model,
+                                rmo_model, sc_model, tso_model)
+
+PTX = ptx_model()
+SC = sc_model()
+TSO = tso_model()
+RMO = rmo_model()
+COHERENCE = coherence_model()
+
+#: (test name, expected PTX-model verdict for the weak final condition).
+PTX_VERDICTS = [
+    ("coRR", True),            # Fig. 1: observed on Fermi/Kepler
+    ("mp", True),
+    ("mp+membar.gls", False),  # the paper's experimental fix for mp
+    ("mp-fig14", False),       # Fig. 14: cycle in rmo-cta
+    ("sb", True),              # Tab. 6: observed on Titan
+    ("SB-fig12", True),
+    ("lb", True),              # Tab. 6
+    ("lb+membar.ctas", True),  # Sec. 6: observed; Sorensen model wrongly forbids
+    ("lb+membar.gls", False),
+    ("mp-volatile", True),     # Fig. 5 (volatile modelled as plain access)
+    ("dlb-mp", True),          # Fig. 7
+    ("dlb-mp+membar.gls", False),
+    ("dlb-lb", True),          # Fig. 8
+    ("dlb-lb+membar.gls", False),
+    ("cas-sl", True),          # Fig. 9
+    ("cas-sl+membar.gls", False),
+    ("exch-sl", True),         # Stuart-Owens lock (Tab. 2)
+    ("sl-future", True),       # Fig. 11
+    ("sl-future+fixed", False),
+]
+
+
+class TestPtxModel:
+    @pytest.mark.parametrize("name,expected", PTX_VERDICTS)
+    def test_verdict(self, name, expected):
+        test = library.build(name)
+        assert PTX.allows_condition(test) is expected, name
+
+    def test_fig14_forbidden_by_cta_constraint(self):
+        # The paper: "Our model forbids this execution by the constraint
+        # cta-constraint" (Sec. 5.3, using intra-CTA mp of Fig. 14).
+        test = library.build("mp-fig14")
+        from repro.model.enumerate import enumerate_executions
+        weak = [e for e in enumerate_executions(test)
+                if test.condition.holds(e.final_state)]
+        assert weak
+        failed = PTX.failed_checks(weak[0])
+        assert any(result.name == "cta-constraint" for result in failed)
+
+    def test_witnesses_are_allowed_and_weak(self):
+        test = library.build("coRR")
+        for witness in PTX.witnesses(test):
+            assert test.condition.holds(witness.final_state)
+            assert PTX.allows(witness)
+
+
+class TestComparisonModels:
+    def test_sc_forbids_all_weak_idioms(self):
+        for name in ["coRR", "mp", "sb", "lb", "dlb-mp", "cas-sl"]:
+            assert not SC.allows_condition(library.build(name)), name
+
+    def test_sc_allows_sequential_interleavings(self):
+        # SC still has executions: the non-weak outcomes must survive.
+        test = library.build("mp")
+        assert len(SC.allowed_outcomes(test)) == 3  # (0,0), (0,1), (1,1)
+
+    def test_tso_allows_only_store_buffering(self):
+        assert TSO.allows_condition(library.build("sb"))
+        for name in ["coRR", "mp", "lb"]:
+            assert not TSO.allows_condition(library.build(name)), name
+
+    def test_rmo_without_scopes_honours_any_fence(self):
+        # Plain RMO treats membar.cta as a full fence: lb+membar.ctas is
+        # forbidden — exactly the discrepancy with GPU hardware that
+        # motivates scoped fences.
+        assert not RMO.allows_condition(library.build("lb+membar.ctas"))
+        assert PTX.allows_condition(library.build("lb+membar.ctas"))
+
+    def test_rmo_agrees_with_ptx_on_unfenced_idioms(self):
+        for name in ["coRR", "mp", "sb", "lb"]:
+            test = library.build(name)
+            assert RMO.allows_condition(test) == PTX.allows_condition(test), name
+
+    def test_coherence_model_is_the_corr_discriminator(self):
+        assert not COHERENCE.allows_condition(library.build("coRR"))
+        assert COHERENCE.allows_condition(library.build("mp"))
+
+    def test_model_strength_ordering(self):
+        """SC ⊆ TSO ⊆ RMO ⊆ PTX on every paper test's weak outcome."""
+        for name in sorted(library.PAPER_TESTS):
+            test = library.build(name)
+            sc = SC.allows_condition(test)
+            tso = TSO.allows_condition(test)
+            rmo = RMO.allows_condition(test)
+            ptx = PTX.allows_condition(test)
+            assert (not sc) or tso, name
+            assert (not tso) or rmo, name
+            assert (not rmo) or ptx, name
+
+
+class TestRegistry:
+    def test_load_model(self):
+        assert load_model("ptx").name == "ptx"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            load_model("armv7")

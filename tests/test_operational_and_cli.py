@@ -1,0 +1,80 @@
+"""Tests for the Sorensen operational model (Sec. 6) and the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.litmus import library
+from repro.model.operational import (SorensenOperationalModel,
+                                     unsoundness_witness)
+from repro.sim import chip
+
+
+class TestSorensenModel:
+    def test_forbids_lb_with_cta_fences(self):
+        model = SorensenOperationalModel(chip("Titan"))
+        assert not model.allows_condition(library.build("lb+membar.ctas"))
+
+    def test_scope_blind_machine_never_witnesses_it(self):
+        model = SorensenOperationalModel(chip("Titan"))
+        test = library.build("lb+membar.ctas")
+        assert not model.observes_condition(test, runs=1500, seed=0)
+
+    def test_allows_plain_lb(self):
+        model = SorensenOperationalModel(chip("Titan"))
+        assert model.allows_condition(library.build("lb"))
+        assert model.observes_condition(library.build("lb"), runs=1500, seed=0)
+
+    def test_unsoundness_witness_on_titan(self):
+        """The paper's refutation: forbidden by the model, observed on the
+        chip (586/100k on Titan; 19/100k on GTX 660)."""
+        forbids, observed = unsoundness_witness(chip("Titan"), runs=4000,
+                                                seed=2)
+        assert forbids
+        assert observed > 0
+
+    def test_sampled_outcomes_subset_of_axiomatic(self):
+        model = SorensenOperationalModel(chip("Titan"))
+        test = library.build("lb")
+        from repro.model.enumerate import (allowed_final_states,
+                                           enumerate_executions)
+        allowed = allowed_final_states(enumerate_executions(test),
+                                       model=model._axiomatic)
+        assert model.sample_outcomes(test, runs=400, seed=1) <= allowed
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "coRR" in out and "Titan" in out and "ptx" in out
+
+    def test_run_library_test(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ITERS", "200")
+        assert main(["run", "coRR", "--chip", "Titan"]) == 0
+        out = capsys.readouterr().out
+        assert "Histogram" in out and "coRR on Titan" in out
+
+    def test_model_verdict(self, capsys):
+        assert main(["model", "coRR"]) == 0
+        out = capsys.readouterr().out
+        assert "Allowed" in out
+
+    def test_model_forbidden(self, capsys):
+        assert main(["model", "mp+membar.gls", "--model", "ptx"]) == 0
+        assert "Forbidden" in capsys.readouterr().out
+
+    def test_run_litmus_file(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ITERS", "100")
+        from repro.litmus import write_litmus
+        path = tmp_path / "sb.litmus"
+        path.write_text(write_litmus(library.build("sb")))
+        assert main(["run", str(path), "--chip", "GTX7"]) == 0
+
+    def test_unknown_test_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "not-a-test"])
+
+    def test_generate(self, capsys):
+        assert main(["generate", "--length", "3", "--max", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "GPU_PTX" in out

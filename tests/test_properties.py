@@ -1,0 +1,214 @@
+"""Cross-layer property tests (hypothesis) on randomly generated tests.
+
+These pin down the invariants that hold the reproduction together:
+
+* candidate executions are internally consistent (rf matches values, co
+  is a per-location total order, final memory is the co-last write);
+* the model hierarchy is monotone (SC ⊆ TSO ⊆ RMO ⊆ PTX);
+* the simulator only ever produces final states that exist among the
+  candidate executions — and, for ``.cg`` programs, states the PTX model
+  allows (the Sec. 5.4 soundness invariant);
+* the litmus text format round-trips arbitrary generated tests.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.diy import default_pool
+from repro.hierarchy import ScopeTree
+from repro.litmus import LitmusTest, parse_condition, parse_litmus, write_litmus
+from repro.litmus.condition import RegEq
+from repro.model.enumerate import allowed_final_states, enumerate_executions
+from repro.model.models import ptx_model, rmo_model, sc_model, tso_model
+from repro.ptx import Addr, CacheOp, Imm, Ld, Loc, Membar, Reg, Scope, St
+from repro.ptx.program import ThreadProgram
+from repro.sim import chip, run_iterations
+
+PTX = ptx_model()
+SC = sc_model()
+TSO = tso_model()
+RMO = rmo_model()
+
+_LOCATIONS = ["x", "y"]
+
+
+@st.composite
+def small_litmus_tests(draw):
+    """Random straight-line two-thread tests over two locations.
+
+    Instructions are loads/stores/fences; every load's register is
+    observed by the condition, making outcomes fully discriminated.
+    """
+    threads = []
+    condition_atoms = []
+    for tid in range(2):
+        n = draw(st.integers(1, 3))
+        instructions = []
+        reg_counter = 0
+        for _ in range(n):
+            kind = draw(st.sampled_from(["ld", "st", "membar"]))
+            loc = draw(st.sampled_from(_LOCATIONS))
+            if kind == "ld":
+                reg = "r%d" % reg_counter
+                reg_counter += 1
+                instructions.append(Ld(Reg(reg), Addr(Loc(loc)), cop=CacheOp.CG))
+                condition_atoms.append(RegEq(tid, reg, draw(st.integers(0, 2))))
+            elif kind == "st":
+                value = draw(st.integers(1, 2))
+                instructions.append(St(Addr(Loc(loc)), Imm(value), cop=CacheOp.CG))
+            else:
+                instructions.append(Membar(draw(st.sampled_from(list(Scope)))))
+        if not any(i.is_memory_access for i in instructions):
+            instructions.append(Ld(Reg("r9"), Addr(Loc("x")), cop=CacheOp.CG))
+        threads.append(ThreadProgram(tid=tid, instructions=tuple(instructions)))
+    placement = draw(st.sampled_from(["intra-cta", "inter-cta"]))
+    expr = condition_atoms[0] if condition_atoms else RegEq(0, "r9", 0)
+    from repro.litmus.condition import And, Condition
+    for atom in condition_atoms[1:2]:
+        expr = And(expr, atom)
+    return LitmusTest(
+        name="random", threads=tuple(threads),
+        scope_tree=ScopeTree.for_threads(["T0", "T1"], placement),
+        condition=Condition("exists", expr))
+
+
+class TestExecutionConsistency:
+    @settings(max_examples=40, deadline=None)
+    @given(small_litmus_tests())
+    def test_rf_values_consistent(self, test):
+        for execution in enumerate_executions(test):
+            for write, read in execution.rf:
+                assert write.loc == read.loc
+                assert write.value == read.value
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_litmus_tests())
+    def test_every_read_has_exactly_one_source(self, test):
+        for execution in enumerate_executions(test):
+            for read in execution.reads:
+                sources = execution.rf.predecessors(read)
+                assert len(sources) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_litmus_tests())
+    def test_co_total_per_location_init_first(self, test):
+        for execution in enumerate_executions(test):
+            by_loc = {}
+            for write in execution.writes:
+                by_loc.setdefault(write.loc, []).append(write)
+            for loc, writes in by_loc.items():
+                for a in writes:
+                    for b in writes:
+                        if a is not b:
+                            assert ((a, b) in execution.co) != \
+                                   ((b, a) in execution.co)
+                inits = [w for w in writes if w.is_init]
+                assert len(inits) == 1
+                for other in writes:
+                    if other is not inits[0]:
+                        assert (inits[0], other) in execution.co
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_litmus_tests())
+    def test_final_memory_is_co_last(self, test):
+        for execution in enumerate_executions(test):
+            for loc in test.locations():
+                writes = [w for w in execution.writes if w.loc == loc]
+                last = max(writes,
+                           key=lambda w: sum(1 for a, b in execution.co
+                                             if b is w))
+                assert execution.final_state.loc(loc) == last.value
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_litmus_tests())
+    def test_sc_executions_exist(self, test):
+        # At least one candidate execution must be SC (interleaving
+        # semantics always exist).
+        executions = enumerate_executions(test)
+        assert any(SC.allows(e) for e in executions)
+
+
+class TestModelMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(small_litmus_tests())
+    def test_hierarchy_per_execution(self, test):
+        for execution in enumerate_executions(test):
+            if SC.allows(execution):
+                assert TSO.allows(execution)
+            if TSO.allows(execution):
+                assert RMO.allows(execution)
+            if RMO.allows(execution):
+                assert PTX.allows(execution)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_litmus_tests())
+    def test_intra_cta_at_least_as_strong_as_inter(self, test):
+        # Re-placing the same programs intra-CTA can only *forbid* more
+        # (cta fences start to bite) — allowed outcomes shrink or stay.
+        intra = LitmusTest(
+            name="intra", threads=test.threads,
+            scope_tree=ScopeTree.intra_cta([t.name for t in test.threads]),
+            condition=test.condition, init_mem=dict(test.init_mem))
+        inter = LitmusTest(
+            name="inter", threads=test.threads,
+            scope_tree=ScopeTree.inter_cta([t.name for t in test.threads]),
+            condition=test.condition, init_mem=dict(test.init_mem))
+        intra_allowed = allowed_final_states(enumerate_executions(intra), PTX)
+        inter_allowed = allowed_final_states(enumerate_executions(inter), PTX)
+        assert intra_allowed <= inter_allowed
+
+
+class TestSimulatorAgainstEnumeration:
+    @settings(max_examples=15, deadline=None)
+    @given(small_litmus_tests(), st.integers(0, 1000))
+    def test_sim_outcomes_are_candidate_outcomes(self, test, seed):
+        candidates = allowed_final_states(enumerate_executions(test))
+        histogram = run_iterations(test, chip("Titan"), 40, seed=seed)
+        for state in histogram:
+            assert state in candidates
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_litmus_tests(), st.integers(0, 1000))
+    def test_sim_soundness_wrt_ptx_model(self, test, seed):
+        allowed = allowed_final_states(enumerate_executions(test), PTX)
+        histogram = run_iterations(test, chip("Titan"), 40, seed=seed)
+        for state in histogram:
+            assert state in allowed
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_litmus_tests())
+    def test_strong_chip_is_sequentially_consistent(self, test):
+        sc_states = allowed_final_states(enumerate_executions(test), SC)
+        histogram = run_iterations(test, chip("GTX280"), 40, seed=1)
+        for state in histogram:
+            assert state in sc_states
+
+
+class TestFormatRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(small_litmus_tests())
+    def test_write_parse_round_trip(self, test):
+        parsed = parse_litmus(write_litmus(test))
+        assert parsed.condition == test.condition
+        assert parsed.scope_tree.classify() == test.scope_tree.classify()
+        for original, reparsed in zip(test.threads, parsed.threads):
+            assert [str(i) for i in original] == [str(i) for i in reparsed]
+
+    def test_diy_family_round_trips(self):
+        from repro.diy import generate_tests
+        family = generate_tests(default_pool(fences=(Scope.GL,)),
+                                max_length=3, max_tests=40)
+        for test in family:
+            parsed = parse_litmus(write_litmus(test))
+            assert parsed.condition == test.condition
+
+
+class TestConditionProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 3), st.integers(0, 3))
+    def test_condition_evaluation_matches_equality(self, want, have):
+        from repro.litmus.condition import FinalState
+        condition = parse_condition("exists (0:r0=%d)" % want)
+        state = FinalState.make({(0, "r0"): have})
+        assert condition.holds(state) == (want == have)

@@ -1,0 +1,218 @@
+"""Tests for the PTX instruction parser and printer."""
+
+import pytest
+
+from repro.errors import PtxSyntaxError
+from repro.ptx import (Add, AtomAdd, AtomCas, AtomExch, AtomInc, Bra, Cvt,
+                       Guard, Label, Ld, Membar, Mov, Setp, St, Xor)
+from repro.ptx import Addr, CacheOp, Imm, Loc, Reg, Scope, TypeSpec
+from repro.ptx import parse_instruction, parse_lines, parse_operand
+
+
+class TestOperands:
+    def test_register(self):
+        assert parse_operand("r0") == Reg("r0")
+
+    def test_predicate_register(self):
+        assert parse_operand("p1") == Reg("p1")
+
+    def test_immediate(self):
+        assert parse_operand("42") == Imm(42)
+
+    def test_negative_immediate(self):
+        assert parse_operand("-1") == Imm(-1)
+
+    def test_hex_immediate(self):
+        assert parse_operand("0x80000000") == Imm(0x80000000)
+
+    def test_location(self):
+        assert parse_operand("x") == Loc("x")
+
+    def test_address_location(self):
+        assert parse_operand("[x]") == Addr(Loc("x"))
+
+    def test_address_register(self):
+        assert parse_operand("[r1]") == Addr(Reg("r1"))
+
+    def test_address_offset(self):
+        assert parse_operand("[r1+4]") == Addr(Reg("r1"), 4)
+
+    def test_known_registers_override_heuristic(self):
+        assert parse_operand("x", registers={"x"}) == Reg("x")
+        assert parse_operand("[x]", registers={"x"}) == Addr(Reg("x"))
+
+    def test_empty_operand_rejected(self):
+        with pytest.raises(PtxSyntaxError):
+            parse_operand("")
+
+
+class TestLoads:
+    def test_plain_load(self):
+        instruction = parse_instruction("ld.cg.s32 r1, [x]")
+        assert instruction == Ld(Reg("r1"), Addr(Loc("x")), cop=CacheOp.CG)
+
+    def test_paper_abbreviation_g(self):
+        assert parse_instruction("ld.g r1, [x]").cop is CacheOp.CG
+
+    def test_paper_abbreviation_a(self):
+        assert parse_instruction("ld.a r1, [x]").cop is CacheOp.CA
+
+    def test_volatile_load(self):
+        instruction = parse_instruction("ld.volatile.s32 r2, [x]")
+        assert instruction.volatile
+        assert instruction.cop is None
+
+    def test_default_cop_is_l1(self):
+        assert parse_instruction("ld.s32 r1, [x]").effective_cop is CacheOp.CA
+
+    def test_load_needs_two_operands(self):
+        with pytest.raises(PtxSyntaxError):
+            parse_instruction("ld.cg.s32 r1")
+
+
+class TestStores:
+    def test_plain_store(self):
+        instruction = parse_instruction("st.cg.s32 [x], 1")
+        assert instruction == St(Addr(Loc("x")), Imm(1), cop=CacheOp.CG)
+
+    def test_store_register_source(self):
+        assert parse_instruction("st.cg [y], r0").src == Reg("r0")
+
+    def test_volatile_store(self):
+        assert parse_instruction("st.volatile [x], 1").volatile
+
+    def test_l1_store_operator_rejected(self):
+        # The paper notes there is no L1-targeting store operator.
+        with pytest.raises(PtxSyntaxError):
+            parse_instruction("st.ca [x], 1")
+
+
+class TestAtomics:
+    def test_cas(self):
+        instruction = parse_instruction("atom.cas.b32 r1, [m], 0, 1")
+        assert instruction == AtomCas(Reg("r1"), Addr(Loc("m")), Imm(0), Imm(1))
+
+    def test_exch(self):
+        instruction = parse_instruction("atom.exch r0, [m], 0")
+        assert instruction == AtomExch(Reg("r0"), Addr(Loc("m")), Imm(0))
+
+    def test_inc(self):
+        instruction = parse_instruction("atom.inc.u32 r0, [c]")
+        assert instruction == AtomInc(Reg("r0"), Addr(Loc("c")), typ=TypeSpec.U32)
+
+    def test_add(self):
+        instruction = parse_instruction("atom.add.u32 r0, [c], 5")
+        assert instruction == AtomAdd(Reg("r0"), Addr(Loc("c")), Imm(5),
+                                      typ=TypeSpec.U32)
+
+    def test_unknown_atom_rejected(self):
+        with pytest.raises(PtxSyntaxError):
+            parse_instruction("atom.min r0, [c], 5")
+
+
+class TestFencesAndControl:
+    def test_membar_scopes(self):
+        assert parse_instruction("membar.cta") == Membar(Scope.CTA)
+        assert parse_instruction("membar.gl") == Membar(Scope.GL)
+        assert parse_instruction("membar.sys") == Membar(Scope.SYS)
+
+    def test_paper_ta_alias(self):
+        # The paper's figures render "cta" as "ta".
+        assert parse_instruction("membar.ta") == Membar(Scope.CTA)
+
+    def test_membar_needs_scope(self):
+        with pytest.raises(PtxSyntaxError):
+            parse_instruction("membar")
+
+    def test_label(self):
+        assert parse_instruction("LOOP:") == Label("LOOP")
+
+    def test_bra(self):
+        assert parse_instruction("bra LOOP") == Bra("LOOP")
+
+    def test_guarded_instruction(self):
+        instruction = parse_instruction("@p ld.cg r1, [x]")
+        assert instruction.guard == Guard("p", negated=False)
+
+    def test_negated_guard(self):
+        instruction = parse_instruction("@!p4 membar.gl")
+        assert instruction.guard == Guard("p4", negated=True)
+
+    def test_bare_negated_guard_paper_style(self):
+        instruction = parse_instruction("!p4 ld.cg r1, [d]")
+        assert instruction.guard == Guard("p4", negated=True)
+
+    def test_bare_positive_guard_paper_style(self):
+        instruction = parse_instruction("p1 membar.gl")
+        assert instruction.guard == Guard("p1", negated=False)
+
+
+class TestAluAndPredicates:
+    def test_mov_immediate(self):
+        assert parse_instruction("mov.s32 r0, 1") == Mov(Reg("r0"), Imm(1))
+
+    def test_mov_location_address(self):
+        assert parse_instruction("mov.s32 r4, x") == Mov(Reg("r4"), Loc("x"))
+
+    def test_add(self):
+        instruction = parse_instruction("add.s32 r2, r2, 1")
+        assert instruction == Add(Reg("r2"), Reg("r2"), Imm(1))
+
+    def test_xor(self):
+        instruction = parse_instruction("xor.b32 r2, r1, 0x07f3a001")
+        assert instruction == Xor(Reg("r2"), Reg("r1"), Imm(0x07f3a001),
+                                  typ=TypeSpec.B32)
+
+    def test_cvt(self):
+        instruction = parse_instruction("cvt.u64.u32 r3, r2")
+        assert instruction == Cvt(Reg("r3"), Reg("r2"))
+
+    def test_setp(self):
+        instruction = parse_instruction("setp.eq.s32 p2, r1, 0")
+        assert instruction == Setp("eq", Reg("p2"), Reg("r1"), Imm(0))
+
+    def test_setp_requires_comparison(self):
+        with pytest.raises(PtxSyntaxError):
+            parse_instruction("setp.lt p, r1, 0")
+
+
+class TestRoundTrip:
+    SAMPLES = [
+        "ld.cg.s32 r1, [x]",
+        "ld.volatile.s32 r2, [x]",
+        "st.cg.s32 [x], 1",
+        "st.volatile.s32 [t], r2",
+        "atom.cas.b32 r1, [m], 0, 1",
+        "atom.exch.b32 r0, [m], 0",
+        "membar.gl",
+        "@p2 membar.gl",
+        "@!p4 ld.cg.s32 r1, [d]",
+        "mov.s32 r0, 1",
+        "add.s32 r2, r2, 1",
+        "setp.eq.s32 p2, r1, 0",
+        "bra END",
+        "END:",
+    ]
+
+    @pytest.mark.parametrize("text", SAMPLES)
+    def test_print_parse_fixpoint(self, text):
+        first = parse_instruction(text)
+        second = parse_instruction(str(first))
+        assert first == second
+
+
+class TestParseLines:
+    def test_multi_line_with_comments(self):
+        instructions = parse_lines("""
+            // writer
+            st.cg.s32 [x], 1
+            membar.gl
+            st.cg.s32 [y], 1  // flag
+        """)
+        assert len(instructions) == 3
+        assert isinstance(instructions[1], Membar)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(PtxSyntaxError) as excinfo:
+            parse_lines("st.cg [x], 1\nfrobnicate r0")
+        assert "line 2" in str(excinfo.value)

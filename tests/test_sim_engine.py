@@ -1,0 +1,239 @@
+"""Unit tests for the thread engine: decode stalls, issue rules, window."""
+
+import random
+
+import pytest
+
+from repro.ptx import parse_lines
+from repro.ptx.operands import Imm, Loc
+from repro.ptx.program import ThreadProgram
+from repro.ptx.types import MemorySpace, Scope
+from repro.sim.chip import ChipProfile
+from repro.sim.engine import LOAD, PendingOp, STORE, ThreadEngine
+from repro.sim.memory import MemorySystem
+
+ADDRESSES = {"x": 0x100, "y": 0x140, "m": 0x180}
+
+
+def _chip(**relax):
+    return ChipProfile(name="t", short="T", vendor="Nvidia",
+                       architecture="Test", year=2020, n_sms=1,
+                       p_relax=relax, atomic_ordered=False,
+                       volatile_ordered=False)
+
+
+def _engine(text, chip=None, reg_init=None):
+    program = ThreadProgram(0, parse_lines(text))
+    chip = chip or _chip(r_pass_w=1.0, w_pass_w=1.0, r_pass_r=1.0,
+                         w_pass_r=1.0, rr_hazard=1.0)
+    memory = MemorySystem(chip, random.Random(0), n_sms=1)
+    for address in ADDRESSES.values():
+        memory.install(address, 0, MemorySpace.GLOBAL)
+    return ThreadEngine(program=program, sm=0, chip=chip, memory=memory,
+                        address_map=ADDRESSES, reg_init=reg_init or {},
+                        fence_effective=lambda scope: True,
+                        rng=random.Random(0))
+
+
+def _intents(**kwargs):
+    intents = {key: False for key in
+               ("r_pass_w", "w_pass_w", "r_pass_r", "w_pass_r", "rr_hazard")}
+    intents["volatile_relax"] = True
+    for scope in Scope:
+        intents["mixed_bypass_%s" % scope.value] = False
+        intents["ca_bypass_%s" % scope.value] = False
+    intents.update(kwargs)
+    return intents
+
+
+class TestDecode:
+    def test_window_fills_before_issue(self):
+        engine = _engine("""
+            st.cg.s32 [x], 1
+            st.cg.s32 [y], 1
+            ld.cg.s32 r0, [x]
+        """)
+        engine.decode()
+        assert len(engine.queue) == 3
+
+    def test_alu_executes_in_frontend(self):
+        engine = _engine("""
+            mov.s32 r0, 5
+            add.s32 r1, r0, 2
+            st.cg.s32 [x], r1
+        """)
+        engine.decode()
+        assert engine.regs["r1"] == 7
+        assert engine.queue[0].value == 7
+
+    def test_data_dependent_store_stalls(self):
+        engine = _engine("""
+            ld.cg.s32 r0, [x]
+            add.s32 r1, r0, 1
+            st.cg.s32 [y], r1
+        """)
+        engine.decode()
+        # The add cannot execute until the load issues: only the load is
+        # in the queue.
+        assert [op.kind for op in engine.queue] == [LOAD]
+        engine.issue(engine.queue[0])
+        engine.decode()
+        assert [op.kind for op in engine.queue] == [STORE]
+
+    def test_guard_on_pending_register_stalls(self):
+        engine = _engine("""
+            ld.cg.s32 r0, [x]
+            setp.eq.s32 p, r0, 0
+            @p st.cg.s32 [y], 1
+        """)
+        engine.decode()
+        assert len(engine.queue) == 1  # just the load
+
+    def test_guarded_skip(self):
+        engine = _engine("""
+            mov.s32 r0, 1
+            setp.eq.s32 p, r0, 0
+            @p st.cg.s32 [y], 1
+            st.cg.s32 [x], 1
+        """)
+        engine.decode()
+        kinds = [(op.kind, op.address) for op in engine.queue]
+        assert kinds == [(STORE, ADDRESSES["x"])]
+
+    def test_address_register_from_reg_init(self):
+        engine = _engine("ld.cg.s32 r0, [r1]",
+                         reg_init={(0, "r1"): Loc("y")})
+        engine.decode()
+        assert engine.queue[0].address == ADDRESSES["y"]
+
+    def test_immediate_reg_init(self):
+        engine = _engine("st.cg.s32 [x], r5", reg_init={(0, "r5"): Imm(9)})
+        engine.decode()
+        assert engine.queue[0].value == 9
+
+
+class TestMayPass:
+    def _ops(self, younger_kind, older_kind, same_addr=False,
+             younger_volatile=False, older_volatile=False):
+        older = PendingOp(seq=0, kind=older_kind, address=0x100,
+                          volatile=older_volatile, cop="cg")
+        younger = PendingOp(seq=1, kind=younger_kind,
+                            address=0x100 if same_addr else 0x140,
+                            volatile=younger_volatile, cop="cg")
+        return younger, older
+
+    def test_relaxations_gated_by_intents(self):
+        engine = _engine("st.cg.s32 [x], 1")
+        cases = {
+            ("R", "W"): "r_pass_w", ("W", "W"): "w_pass_w",
+            ("R", "R"): "r_pass_r", ("W", "R"): "w_pass_r",
+        }
+        for (younger, older), intent in cases.items():
+            y, o = self._ops(younger, older)
+            assert not engine.may_pass(y, o, _intents())
+            assert engine.may_pass(y, o, _intents(**{intent: True}))
+
+    def test_same_address_blocks_except_rr(self):
+        engine = _engine("st.cg.s32 [x], 1")
+        y, o = self._ops("W", "W", same_addr=True)
+        assert not engine.may_pass(y, o, _intents(w_pass_w=True))
+        y, o = self._ops("R", "R", same_addr=True)
+        assert not engine.may_pass(y, o, _intents(r_pass_r=True))
+        assert engine.may_pass(y, o, _intents(rr_hazard=True))
+
+    def test_mixed_cop_same_address_uses_mixed_hazard(self):
+        engine = _engine("st.cg.s32 [x], 1")
+        older = PendingOp(seq=0, kind="R", address=0x100, cop="cg")
+        younger = PendingOp(seq=1, kind="R", address=0x100, cop="ca")
+        intents = _intents(rr_hazard=True)
+        intents["mixed_hazard"] = False
+        assert not engine.may_pass(younger, older, intents)
+        intents["mixed_hazard"] = True
+        assert engine.may_pass(younger, older, intents)
+
+    def test_fence_blocks_everything_by_default(self):
+        engine = _engine("membar.gl")
+        fence = PendingOp(seq=0, kind="F", scope=Scope.GL)
+        younger = PendingOp(seq=1, kind="R", address=0x100, cop="cg")
+        assert not engine.may_pass(younger, fence,
+                                   _intents(r_pass_r=True, r_pass_w=True))
+
+    def test_ca_load_can_bypass_fence_with_intent(self):
+        engine = _engine("membar.gl")
+        fence = PendingOp(seq=0, kind="F", scope=Scope.GL)
+        younger = PendingOp(seq=1, kind="R", address=0x100, cop="ca")
+        intents = _intents()
+        intents["ca_bypass_gl"] = True
+        assert engine.may_pass(younger, fence, intents)
+        # A .cg load never bypasses.
+        cg = PendingOp(seq=1, kind="R", address=0x100, cop="cg")
+        assert not engine.may_pass(cg, fence, intents)
+
+    def test_atomic_ordered_blocks_atomics(self):
+        chip = ChipProfile(name="t", short="T", vendor="Nvidia",
+                           architecture="Test", year=2020, n_sms=1,
+                           p_relax={"w_pass_w": 1.0}, atomic_ordered=True)
+        engine = _engine("st.cg.s32 [x], 1", chip=chip)
+        exch = PendingOp(seq=1, kind="EXCH", address=0x140, value=0, dst="r0")
+        store = PendingOp(seq=0, kind="W", address=0x100, value=1, cop="cg")
+        assert not engine.may_pass(exch, store, _intents(w_pass_w=True))
+
+    def test_volatile_pair_needs_relax_intent(self):
+        engine = _engine("st.cg.s32 [x], 1")
+        y, o = self._ops("R", "R", younger_volatile=True, older_volatile=True)
+        intents = _intents(r_pass_r=True)
+        intents["volatile_relax"] = False
+        assert not engine.may_pass(y, o, intents)
+        intents["volatile_relax"] = True
+        assert engine.may_pass(y, o, intents)
+
+
+class TestIssue:
+    def test_in_order_without_intents(self):
+        engine = _engine("""
+            st.cg.s32 [x], 1
+            ld.cg.s32 r0, [y]
+        """)
+        while not engine.done:
+            engine.tick(_intents())
+        assert engine.memory.read(0, ADDRESSES["x"], cop="cg") == 1
+        assert engine.regs["r0"] == 0
+
+    def test_eligible_respects_order(self):
+        engine = _engine("""
+            st.cg.s32 [x], 1
+            ld.cg.s32 r0, [y]
+        """)
+        engine.decode()
+        assert [op.kind for op in engine.eligible_ops(_intents())] == [STORE]
+        eligible = engine.eligible_ops(_intents(r_pass_w=True))
+        assert {op.kind for op in eligible} == {STORE, LOAD}
+
+    def test_cas_success_and_failure(self):
+        engine = _engine("""
+            atom.cas.b32 r0, [m], 0, 1
+            atom.cas.b32 r1, [m], 0, 2
+        """)
+        while not engine.done:
+            engine.tick(_intents())
+        assert engine.regs["r0"] == 0  # succeeded
+        assert engine.regs["r1"] == 1  # saw the lock taken
+        assert engine.memory.read(0, ADDRESSES["m"], cop="cg") == 1
+
+    def test_ineffective_fence_skipped_at_decode(self):
+        program = ThreadProgram(0, parse_lines("""
+            st.cg.s32 [x], 1
+            membar.cta
+            st.cg.s32 [y], 1
+        """))
+        chip = _chip(w_pass_w=1.0)
+        memory = MemorySystem(chip, random.Random(0), n_sms=1)
+        for address in ADDRESSES.values():
+            memory.install(address, 0, MemorySpace.GLOBAL)
+        engine = ThreadEngine(program=program, sm=0, chip=chip, memory=memory,
+                              address_map=ADDRESSES, reg_init={},
+                              fence_effective=lambda scope: False,
+                              rng=random.Random(0))
+        engine.decode()
+        assert all(not op.is_fence for op in engine.queue)
+        assert len(engine.queue) == 2

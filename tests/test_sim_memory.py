@@ -1,0 +1,120 @@
+"""Tests for the simulated memory system."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ptx.types import MemorySpace, Scope
+from repro.sim.chip import ChipProfile
+from repro.sim.memory import MemorySystem
+
+
+def _chip(**kwargs):
+    defaults = dict(name="test", short="T", vendor="Nvidia",
+                    architecture="Test", year=2020, n_sms=2)
+    defaults.update(kwargs)
+    return ChipProfile(**defaults)
+
+
+def _memory(chip=None, stale=False, seed=0):
+    memory = MemorySystem(chip or _chip(), random.Random(seed), n_sms=2,
+                          stale_intent=stale)
+    memory.install(0x100, 0, MemorySpace.GLOBAL)
+    memory.install(0x200, 7, MemorySpace.GLOBAL)
+    memory.install(0x300, 3, MemorySpace.SHARED)
+    return memory
+
+
+class TestGlobalMemory:
+    def test_initial_values(self):
+        memory = _memory()
+        assert memory.read(0, 0x100, cop="cg") == 0
+        assert memory.read(1, 0x200, cop="cg") == 7
+
+    def test_write_visible_to_all_sms(self):
+        memory = _memory()
+        memory.write(0, 0x100, 42)
+        assert memory.read(1, 0x100, cop="cg") == 42
+
+    def test_unmapped_address_rejected(self):
+        memory = _memory()
+        with pytest.raises(SimulationError):
+            memory.read(0, 0xDEAD, cop="cg")
+
+    def test_final_value(self):
+        memory = _memory()
+        memory.write(0, 0x100, 9)
+        assert memory.final_value(0x100) == 9
+
+
+class TestSharedMemory:
+    def test_per_sm_isolation(self):
+        memory = _memory()
+        memory.write(0, 0x300, 99)
+        assert memory.read(0, 0x300) == 99
+        assert memory.read(1, 0x300) == 3  # other SM's copy untouched
+
+    def test_final_value_prefers_modified_copy(self):
+        memory = _memory()
+        memory.write(0, 0x300, 99)
+        assert memory.final_value(0x300) in (3, 99)
+
+
+class TestAtomics:
+    def test_cas_success(self):
+        memory = _memory()
+        assert memory.atomic_cas(0, 0x100, 0, 5) == 0
+        assert memory.read(0, 0x100, cop="cg") == 5
+
+    def test_cas_failure_leaves_value(self):
+        memory = _memory()
+        assert memory.atomic_cas(0, 0x200, 0, 5) == 7
+        assert memory.read(0, 0x200, cop="cg") == 7
+
+    def test_exch(self):
+        memory = _memory()
+        assert memory.atomic_exch(0, 0x200, 1) == 7
+        assert memory.read(0, 0x200, cop="cg") == 1
+
+    def test_add(self):
+        memory = _memory()
+        assert memory.atomic_add(0, 0x200, 3) == 7
+        assert memory.read(0, 0x200, cop="cg") == 10
+
+
+class TestL1Staleness:
+    """The legacy stale-line machinery (configurable, off by default)."""
+
+    def _stale_chip(self):
+        return _chip(l1_stale_reads=True, p_stale=1.0, p_l1_warm=1.0,
+                     p_store_invalidates_own_l1=0.0, p_cg_evicts_l1=0.0,
+                     fence_l1_inval={Scope.GL: 1.0})
+
+    def test_warm_line_returns_stale_value(self):
+        memory = _memory(self._stale_chip(), stale=True)
+        memory.warm_l1()
+        memory.write(1, 0x100, 42)  # remote store: no invalidation
+        assert memory.read(0, 0x100, cop="ca") == 0  # stale!
+        assert memory.read(0, 0x100, cop="cg") == 42
+
+    def test_fence_invalidates(self):
+        memory = _memory(self._stale_chip(), stale=True)
+        memory.warm_l1()
+        memory.write(1, 0x100, 42)
+        memory.fence(0, Scope.GL)
+        assert memory.read(0, 0x100, cop="ca") == 42
+
+    def test_no_staleness_without_intent(self):
+        memory = _memory(self._stale_chip(), stale=False)
+        memory.warm_l1()
+        memory.write(1, 0x100, 42)
+        assert memory.read(0, 0x100, cop="ca") == 42
+
+    def test_ca_miss_fills_line(self):
+        memory = _memory(self._stale_chip(), stale=True)
+        # No warm-up: first .ca read fills the line with the fresh value,
+        # a later remote store leaves it stale.
+        assert memory.read(0, 0x100, cop="ca") == 0
+        memory.write(1, 0x100, 5)
+        assert memory.read(0, 0x100, cop="ca") == 0
