@@ -12,9 +12,31 @@ Iteration counts scale with the ``REPRO_ITERS`` environment variable
 
 import os
 
-from repro.harness import default_iterations, run_paper_config
+from repro.api import Session
+from repro.harness import default_iterations
 
 REPORT_DIR = os.path.join(os.path.dirname(__file__), "_report")
+
+#: The benchmarks share one memoising Session so a cell that several
+#: figures need (same test, chip, incantations, iterations, seed) is
+#: simulated once per pytest run.  ``REPRO_JOBS`` shards cells across a
+#: worker pool (process workers by default, since the simulator is
+#: CPU-bound pure Python; ``REPRO_EXECUTOR=thread`` overrides);
+#: ``REPRO_CACHE_DIR`` adds the on-disk tier so repeated benchmark
+#: invocations skip simulation entirely.
+_SESSION = None
+
+
+def session():
+    global _SESSION
+    if _SESSION is None:
+        from repro._util import env_int
+
+        _SESSION = Session(
+            backend="sim", jobs=env_int("REPRO_JOBS", 1),
+            executor=os.environ.get("REPRO_EXECUTOR") or "process",
+            cache_dir=os.environ.get("REPRO_CACHE_DIR") or None)
+    return _SESSION
 
 #: Noise allowance (per 100k) for cells the paper reports as zero.
 ZERO_CELL_SLACK = 25.0
@@ -39,11 +61,12 @@ def report(name, text):
 def run_cells(test, chips, iterations_per_cell, seed=0):
     """Run one test across chips under the paper's best incantations.
 
-    Returns ``{chip short: RunResult}``.
+    Returns ``{chip short: SpecResult}`` (RunResult-compatible), served
+    from the shared cached session.
     """
-    return {chip: run_paper_config(test, chip,
-                                   iterations=iterations_per_cell, seed=seed)
-            for chip in chips}
+    campaign = session().campaign([test], chips, incantations="best",
+                                  iterations=iterations_per_cell, seed=seed)
+    return {chip: campaign.get(test.name, chip) for chip in chips}
 
 
 def assert_shape(measured_per_100k, paper_value, context="",

@@ -1,4 +1,9 @@
-"""Small shared helpers: fixed-width integer arithmetic and formatting."""
+"""Small shared helpers: fixed-width integer arithmetic, formatting and
+environment parsing."""
+
+import os
+
+from .errors import ConfigurationError
 
 MASK32 = 0xFFFFFFFF
 MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -19,6 +24,26 @@ def to_signed32(value):
     """Interpret the low 32 bits of ``value`` as a signed integer."""
     value &= MASK32
     return value - (1 << 32) if value & HIGH_BIT32 else value
+
+
+def env_int(name, fallback, minimum=1):
+    """Parse an integer knob from the environment.
+
+    Unset/empty returns ``fallback``; a non-integer value fails fast
+    with a :class:`~repro.errors.ConfigurationError` (never a raw
+    traceback); values below ``minimum`` are clamped up to it.
+    """
+    value = os.environ.get(name)
+    if not value:
+        return fallback
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ConfigurationError(
+            "%s must be an integer, got %r (unset it or export something "
+            "like %s=%d)" % (name, value, name, max(fallback or 1, minimum))
+        ) from None
+    return max(parsed, minimum)
 
 
 def format_table(headers, rows, *, sep="  "):

@@ -1,0 +1,44 @@
+"""repro.api — the unified execution front door.
+
+Everything that *runs* litmus tests goes through this package: the CLI,
+the harness's backwards-compatible wrappers and the figure benchmarks
+all build :class:`RunSpec` plans and hand them to a :class:`Session`,
+which shards the work across a pool, merges histograms
+deterministically and memoises completed specs by content fingerprint.
+
+Quick tour::
+
+    from repro.api import Session
+    from repro.litmus import library
+
+    session = Session(jobs=4, cache_dir="~/.repro-cache")
+    result = session.run(library.build("mp"), "Titan", iterations=100000)
+    print(result.summary())
+
+    campaign = session.campaign(
+        [library.build(name) for name in ("mp", "lb", "sb")],
+        ["Titan", "GTX6", "HD7970"])
+    print(campaign.summary_table())
+
+    # Same request shape against the axiomatic model:
+    checker = Session(backend="model:ptx")
+    print(checker.run(library.build("mp"), "Titan").allowed)
+"""
+
+from .backends import (Backend, DEFAULT_SHARD_SIZE, ModelBackend, Shard,
+                       SimBackend, make_backend, plan_shards, shard_seed)
+from .cache import ResultCache, cache_key
+from .result import CampaignResult, SpecResult
+from .session import Session, SessionStats, run_campaign
+from .spec import (BEST, RunSpec, matrix, parse_incantations,
+                   resolve_chip, resolve_incantations)
+
+__all__ = [
+    "Backend", "DEFAULT_SHARD_SIZE", "ModelBackend", "Shard", "SimBackend",
+    "make_backend", "plan_shards", "shard_seed",
+    "ResultCache", "cache_key",
+    "CampaignResult", "SpecResult",
+    "Session", "SessionStats", "run_campaign",
+    "BEST", "RunSpec", "matrix", "parse_incantations", "resolve_chip",
+    "resolve_incantations",
+]

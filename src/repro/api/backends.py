@@ -1,0 +1,192 @@
+"""Pluggable execution backends and deterministic shard planning.
+
+A :class:`Backend` turns a :class:`~repro.api.spec.RunSpec` into a
+:class:`~repro.harness.histogram.Histogram` of final states.  Two
+implementations ship:
+
+* :class:`SimBackend` — "run it on silicon": executes the spec on the
+  operational GPU simulator (:class:`~repro.sim.machine.GpuMachine`),
+  iteration by iteration.  Supports *sharding*: a spec's iterations are
+  split into fixed-size shards, each with a deterministic seed, so a
+  pool can run them in parallel and merge the histograms bit-identically
+  to the serial order.
+* :class:`ModelBackend` — "check it against the model": enumerates the
+  candidate executions of an axiomatic model
+  (:mod:`repro.model.models`) and returns the *allowed* final states as
+  a histogram (count 1 each), so operational campaigns and model
+  checking share one request/result shape (cf. GPUMC's unified driver).
+
+Shard seeding.  Shard 0 always uses the spec's own seed with a fresh
+``random.Random`` — for a single-shard run this reproduces the legacy
+``run_litmus`` iteration stream exactly.  Later shards derive their
+seeds from the spec fingerprint and the shard index via SHA-256, so the
+decomposition depends only on the spec and the shard size, never on the
+worker count or execution order.
+"""
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from ..harness.histogram import Histogram
+from ..harness.incantations import efficacy
+from ..litmus.writer import write_litmus
+from ..model.models import MODELS, load_model
+from ..sim.machine import GpuMachine
+
+#: Default iterations per shard.  Small campaign cells (every tier-1
+#: test and the CI-sized benchmarks) fit in one shard and therefore
+#: reproduce the legacy serial iteration stream bit for bit; the paper's
+#: 100k-iteration cells split into four parallelisable shards.
+DEFAULT_SHARD_SIZE = 25000
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One slice of a spec's iterations with its deterministic seed."""
+
+    index: int
+    iterations: int
+    seed: int
+
+
+def shard_seed(spec, index):
+    """The deterministic seed of shard ``index`` of ``spec``.
+
+    Shard 0 is the spec's own seed (legacy-stream parity); later shards
+    hash the fingerprint and index so no two shards share a stream.
+    """
+    if index == 0:
+        return spec.seed
+    digest = hashlib.sha256(
+        ("%s#shard-%d" % (spec.fingerprint(), index)).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+def plan_shards(spec, shard_size=DEFAULT_SHARD_SIZE):
+    """Split ``spec.iterations`` into deterministic shards.
+
+    The decomposition is a pure function of the spec and the shard size
+    — never of the worker count — which is what makes parallel and
+    serial execution merge to bit-identical histograms.
+    """
+    if shard_size < 1:
+        from ..errors import ReproError
+        raise ReproError("shard_size must be >= 1, got %r" % shard_size)
+    shards = []
+    remaining = spec.iterations
+    index = 0
+    while remaining > 0:
+        size = min(shard_size, remaining)
+        shards.append(Shard(index=index, iterations=size,
+                            seed=shard_seed(spec, index)))
+        remaining -= size
+        index += 1
+    return shards
+
+
+class Backend:
+    """Protocol for execution backends.
+
+    ``run`` must be deterministic in the spec.  Backends that set
+    ``supports_sharding`` must implement ``run_shard`` such that merging
+    all shard histograms of :func:`plan_shards` (any order) equals
+    ``run``'s histogram for the same shard size.
+    """
+
+    name = "backend"
+    supports_sharding = False
+
+    def cache_signature(self, spec):
+        """The part of ``spec`` this backend's result depends on.
+
+        Defaults to the full fingerprint; backends whose results ignore
+        some fields override this so equivalent cells share cache
+        entries (e.g. a model verdict does not depend on the chip).
+        """
+        return spec.fingerprint()
+
+    def run(self, spec):
+        """Execute ``spec`` fully; returns a Histogram."""
+        raise NotImplementedError
+
+    def run_shard(self, spec, shard):
+        """Execute one shard of ``spec``; returns a Histogram."""
+        raise NotImplementedError(
+            "%s does not support sharded execution" % self.name)
+
+
+class SimBackend(Backend):
+    """Operational execution on the simulated chips (Sec. 4 campaigns)."""
+
+    name = "sim"
+    supports_sharding = True
+
+    def __init__(self, shard_size=DEFAULT_SHARD_SIZE):
+        self.shard_size = shard_size
+
+    def _machine(self, spec):
+        intensity = efficacy(spec.chip.vendor, spec.test.idiom or "mp",
+                             spec.incantations)
+        return GpuMachine(spec.test, spec.chip, intensity=intensity,
+                          shuffle_placement=spec.incantations.thread_rand)
+
+    def run_shard(self, spec, shard):
+        machine = self._machine(spec)
+        rng = random.Random(shard.seed)
+        histogram = Histogram()
+        for _ in range(shard.iterations):
+            histogram.add(machine.run_once(rng))
+        return histogram
+
+    def run(self, spec):
+        return Histogram.merge(self.run_shard(spec, shard)
+                               for shard in plan_shards(spec, self.shard_size))
+
+
+class ModelBackend(Backend):
+    """Axiomatic model checking behind the campaign API.
+
+    The histogram holds each final state the model *allows* with count
+    1; ``iterations`` in the spec is ignored (enumeration is exhaustive,
+    not statistical).  ``SpecResult.observations > 0`` therefore reads
+    as the paper's Allowed verdict for the test's condition.
+    """
+
+    supports_sharding = False
+
+    def __init__(self, model="ptx", fuel=128):
+        self.model = load_model(model) if isinstance(model, str) else model
+        self.name = "model:%s" % self.model.name
+        self.fuel = fuel
+
+    def cache_signature(self, spec):
+        """Verdicts depend only on the test text (and enumeration fuel)
+        — not chip, iterations or seed — so a campaign across the seven
+        result chips enumerates each test once, not seven times."""
+        payload = "%s\x1e fuel=%d" % (write_litmus(spec.test), self.fuel)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def run(self, spec):
+        allowed = self.model.allowed_outcomes(spec.test, fuel=self.fuel)
+        histogram = Histogram()
+        for state in allowed:
+            histogram.add(state)
+        return histogram
+
+
+def make_backend(backend):
+    """Resolve a backend argument: an instance, ``"sim"``, ``"model"``
+    (the paper's PTX model) or ``"model:<name>"`` for any registered
+    axiomatic model."""
+    if isinstance(backend, Backend):
+        return backend
+    if backend == "sim":
+        return SimBackend()
+    if backend == "model":
+        return ModelBackend()
+    if isinstance(backend, str) and backend.startswith("model:"):
+        return ModelBackend(backend.split(":", 1)[1])
+    from ..errors import ReproError
+    raise ReproError("unknown backend %r (expected 'sim', 'model' or "
+                     "'model:<%s>')" % (backend, "|".join(sorted(MODELS))))

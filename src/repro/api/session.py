@@ -1,0 +1,291 @@
+"""The :class:`Session`: plan, shard, execute, merge, memoise.
+
+A session is the single front door for campaign execution.  It owns
+
+* a :class:`~repro.api.backends.Backend` (sim or model),
+* a worker pool configuration (``jobs`` threads or processes),
+* a shard size (iterations per unit of parallel work), and
+* an optional :class:`~repro.api.cache.ResultCache`.
+
+``Session.run`` executes one cell; ``Session.run_specs`` executes any
+plan; ``Session.campaign`` plans the cartesian product (the old
+``run_matrix`` grid) and returns a
+:class:`~repro.api.result.CampaignResult`.
+
+Determinism.  The shard decomposition and per-shard seeds are pure
+functions of each spec (:func:`~repro.api.backends.plan_shards`), and
+shard histograms are merged in shard-index order — so ``jobs=8``
+produces bit-identical histograms to ``jobs=1`` for the same specs, and
+a single-shard run reproduces the legacy serial iteration stream.
+"""
+
+from concurrent import futures as _futures
+from dataclasses import asdict, dataclass
+
+from ..errors import ReproError
+from ..harness.histogram import Histogram
+from .backends import DEFAULT_SHARD_SIZE, make_backend, plan_shards
+from .cache import ResultCache, cache_key
+from .result import CampaignResult, SpecResult
+from .spec import BEST, RunSpec, matrix
+
+
+def _execute_shard(backend, spec, shard):
+    """Module-level so process pools can pickle the work unit."""
+    return backend.run_shard(spec, shard)
+
+
+def _execute_spec(backend, spec):
+    return backend.run(spec)
+
+
+@dataclass
+class SessionStats:
+    """What a session actually did (the cache test's instrument)."""
+
+    planned: int = 0                #: specs requested
+    executed: int = 0               #: specs that ran on the backend
+    cache_hits: int = 0             #: specs satisfied from the cache
+    deduplicated: int = 0           #: specs satisfied by an in-plan twin
+    shards_executed: int = 0        #: shards run on the backend
+    simulated_iterations: int = 0   #: iterations executed (sharded backends)
+
+    def snapshot(self):
+        return asdict(self)
+
+
+class Session:
+    """A configured execution engine for litmus campaigns.
+
+    Parameters
+    ----------
+    backend:
+        ``"sim"`` (default), ``"model"``, ``"model:<name>"`` or a
+        :class:`~repro.api.backends.Backend` instance.
+    jobs:
+        Worker count.  ``1`` (default) runs in-process and serially;
+        ``>1`` shards specs across a pool.
+    cache:
+        ``True`` (default) attaches an in-memory
+        :class:`~repro.api.cache.ResultCache`; ``False``/``None``
+        disables memoisation; or pass a cache instance to share one
+        across sessions.
+    cache_dir:
+        Adds the on-disk JSON tier (implies caching).
+    shard_size:
+        Iterations per shard (default
+        :data:`~repro.api.backends.DEFAULT_SHARD_SIZE`).  The
+        decomposition determines the per-shard seeds, so it is part of
+        a result's identity: runs (and cache entries) with different
+        *effective* decompositions are distinct, while any two shard
+        sizes that yield the same decomposition (e.g. both at least the
+        iteration count) share results.  Worker count never matters.
+    executor:
+        ``"thread"`` (default) or ``"process"``.  Threads are cheap and
+        deterministic; processes sidestep the GIL for large campaigns
+        (every work unit pickles cleanly).
+    """
+
+    def __init__(self, backend="sim", jobs=1, cache=True, cache_dir=None,
+                 shard_size=DEFAULT_SHARD_SIZE, executor="thread"):
+        self.backend = make_backend(backend)
+        if jobs < 1:
+            raise ReproError("jobs must be >= 1, got %r" % jobs)
+        self.jobs = int(jobs)
+        if shard_size < 1:
+            raise ReproError("shard_size must be >= 1, got %r" % shard_size)
+        self.shard_size = int(shard_size)
+        if executor not in ("thread", "process"):
+            raise ReproError("executor must be 'thread' or 'process', got %r"
+                             % (executor,))
+        self.executor = executor
+        if isinstance(cache, ResultCache):
+            self.cache = cache
+        elif cache_dir or cache:
+            self.cache = ResultCache(cache_dir=cache_dir)
+        else:
+            self.cache = None
+        self.stats = SessionStats()
+
+    # -- public API -------------------------------------------------------
+
+    def run(self, test, chip=None, incantations=BEST, iterations=None,
+            seed=0):
+        """Execute one cell; accepts a prepared :class:`RunSpec` or the
+        (test, chip, ...) fields of one."""
+        if isinstance(test, RunSpec):
+            spec = test
+        else:
+            if chip is None:
+                raise ReproError("Session.run needs a chip unless given a "
+                                 "RunSpec")
+            spec = RunSpec.make(test, chip, incantations=incantations,
+                                iterations=iterations, seed=seed)
+        return self.run_specs([spec])[0]
+
+    def run_specs(self, specs):
+        """Execute a plan; returns results in plan order.
+
+        Duplicate specs within one plan (same backend cache key)
+        execute once; the later occurrences share the first's result.
+        """
+        specs = list(specs)
+        self.stats.planned += len(specs)
+        results = {}
+        pending = []
+        first_seen = {}
+        duplicates = {}
+        for index, spec in enumerate(specs):
+            key = self._cache_key(spec)
+            if key in first_seen:
+                duplicates[index] = first_seen[key]
+                self.stats.deduplicated += 1
+                continue
+            first_seen[key] = index
+            cached = self._lookup(spec)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                results[index] = cached
+            else:
+                pending.append((index, spec))
+        if pending:
+            if self.jobs > 1:
+                executed = self._run_parallel(pending)
+            else:
+                executed = self._run_serial(pending)
+            for index, result in executed:
+                self._store(result)
+                results[index] = result
+        for index, original in duplicates.items():
+            # Each plan position gets its own histogram copy so callers
+            # mutating one result cannot corrupt its duplicates.
+            source = results[original]
+            results[index] = SpecResult(
+                spec=specs[index], backend=source.backend,
+                histogram=Histogram(dict(source.histogram.counts)),
+                cached=True)
+        return [results[index] for index in range(len(specs))]
+
+    def campaign(self, tests, chips, incantations=BEST, iterations=None,
+                 seed=0):
+        """Plan and execute the cartesian product campaign."""
+        specs = matrix(tests, chips, incantations=incantations,
+                       iterations=iterations, seed=seed)
+        campaign = CampaignResult()
+        for result in self.run_specs(specs):
+            campaign.add(result)
+        return campaign
+
+    #: Backwards-friendly alias mirroring the old harness name.
+    run_matrix = campaign
+
+    # -- execution strategies ---------------------------------------------
+
+    def _shards(self, spec):
+        return plan_shards(spec, self.shard_size)
+
+    def _run_serial(self, pending):
+        executed = []
+        for index, spec in pending:
+            if self.backend.supports_sharding:
+                shards = self._shards(spec)
+                histogram = Histogram.merge(
+                    self.backend.run_shard(spec, shard) for shard in shards)
+                self._account(spec, shards)
+            else:
+                histogram = self.backend.run(spec)
+                self._account(spec, None)
+            executed.append((index, self._result(spec, histogram)))
+        return executed
+
+    def _run_parallel(self, pending):
+        with self._pool() as pool:
+            if self.backend.supports_sharding:
+                return self._run_parallel_sharded(pool, pending)
+            return self._run_parallel_whole(pool, pending)
+
+    def _run_parallel_sharded(self, pool, pending):
+        tasks = {}
+        plans = {}
+        for index, spec in pending:
+            shards = self._shards(spec)
+            plans[index] = (spec, shards)
+            for shard in shards:
+                tasks[(index, shard.index)] = pool.submit(
+                    _execute_shard, self.backend, spec, shard)
+        executed = []
+        for index, (spec, shards) in plans.items():
+            # Merge in shard-index order: bit-identical to the serial path
+            # no matter which worker finished first.
+            histogram = Histogram.merge(
+                tasks[(index, shard.index)].result() for shard in shards)
+            self._account(spec, shards)
+            executed.append((index, self._result(spec, histogram)))
+        return executed
+
+    def _run_parallel_whole(self, pool, pending):
+        submitted = [(index, spec, pool.submit(_execute_spec, self.backend,
+                                               spec))
+                     for index, spec in pending]
+        executed = []
+        for index, spec, future in submitted:
+            histogram = future.result()
+            self._account(spec, None)
+            executed.append((index, self._result(spec, histogram)))
+        return executed
+
+    def _pool(self):
+        if self.executor == "process":
+            return _futures.ProcessPoolExecutor(max_workers=self.jobs)
+        return _futures.ThreadPoolExecutor(max_workers=self.jobs)
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def _result(self, spec, histogram):
+        return SpecResult(spec=spec, backend=self.backend.name,
+                          histogram=histogram, cached=False)
+
+    def _account(self, spec, shards):
+        self.stats.executed += 1
+        if shards is not None:
+            self.stats.shards_executed += len(shards)
+            self.stats.simulated_iterations += sum(shard.iterations
+                                                   for shard in shards)
+
+    def _variant(self, spec):
+        """The execution-parameter component of the cache key.
+
+        For sharding backends the histogram depends on the shard
+        decomposition (per-shard seeding), which is fully determined by
+        ``min(shard_size, iterations)`` — two shard sizes that both
+        cover the whole spec produce the identical single shard and may
+        share an entry.
+        """
+        if not self.backend.supports_sharding:
+            return ""
+        return "shard%d" % min(self.shard_size, spec.iterations)
+
+    def _cache_key(self, spec):
+        return cache_key(self.backend.name, self.backend.cache_signature(spec),
+                         self._variant(spec))
+
+    def _lookup(self, spec):
+        if self.cache is None:
+            return None
+        return self.cache.get(self.backend.name, spec,
+                              signature=self.backend.cache_signature(spec),
+                              variant=self._variant(spec))
+
+    def _store(self, result):
+        if self.cache is not None:
+            self.cache.put(result,
+                           signature=self.backend.cache_signature(result.spec),
+                           variant=self._variant(result.spec))
+
+
+def run_campaign(tests, chips, incantations=BEST, iterations=None, seed=0,
+                 backend="sim", jobs=1, cache_dir=None):
+    """One-shot convenience: build a Session, run the campaign."""
+    session = Session(backend=backend, jobs=jobs, cache_dir=cache_dir)
+    return session.campaign(tests, chips, incantations=incantations,
+                            iterations=iterations, seed=seed)

@@ -1,0 +1,182 @@
+"""Execution requests: the :class:`RunSpec` value type and its helpers.
+
+A :class:`RunSpec` pins down everything that determines one execution
+cell of the paper's campaigns — *which* litmus test, *which* chip,
+*which* incantation combination, *how many* iterations and *which* seed
+— and derives a stable content fingerprint from it.  The fingerprint is
+the cache key of :mod:`repro.api.cache` and the base of the
+deterministic per-shard seeds of :mod:`repro.api.backends`: two specs
+with identical content hash identically across processes and sessions
+(no reliance on Python's randomised ``hash``).
+"""
+
+import hashlib
+from dataclasses import dataclass, replace
+
+from ..errors import ReproError
+from ..harness.incantations import Incantations, best_for
+from ..litmus.writer import write_litmus
+from ..sim.chip import CHIPS, ChipProfile
+
+#: Sentinel accepted wherever an incantation combination is expected:
+#: resolve to the most effective combination for the chip's vendor and
+#: the test's idiom (the paper's reporting configuration, Sec. 3).
+BEST = "best"
+
+
+def resolve_chip(chip):
+    """Accept a :class:`ChipProfile` or a Table 1 short name."""
+    if isinstance(chip, ChipProfile):
+        return chip
+    try:
+        return CHIPS[chip]
+    except KeyError:
+        raise ReproError("unknown chip %r; known: %s"
+                         % (chip, ", ".join(sorted(CHIPS)))) from None
+
+
+_INCANTATION_FLAGS = {
+    "stress": "memory_stress", "memory-stress": "memory_stress",
+    "bank-conflicts": "bank_conflicts", "bank": "bank_conflicts",
+    "sync": "thread_sync", "thread-sync": "thread_sync",
+    "random": "thread_rand", "thread-rand": "thread_rand",
+}
+
+
+def parse_incantations(text):
+    """Parse a CLI-style incantation spec.
+
+    Accepted forms: ``best`` (returns the :data:`BEST` sentinel),
+    ``none``, ``all``, a Table 6 column number ``1``..``16``, or a
+    ``+``-separated list of flags such as ``stress+sync+random``
+    (the names printed by ``str(Incantations)``).
+    """
+    text = text.strip().lower()
+    if text == BEST:
+        return BEST
+    if text == "none":
+        return Incantations.none()
+    if text == "all":
+        return Incantations.all()
+    if text.isdigit():
+        try:
+            return Incantations.from_column(int(text))
+        except ValueError:
+            raise ReproError("incantation column must be 1..16, got %s"
+                             % text) from None
+    flags = {}
+    for part in text.split("+"):
+        field_name = _INCANTATION_FLAGS.get(part.strip())
+        if field_name is None:
+            raise ReproError(
+                "unknown incantation %r (expected best, none, all, a Table 6 "
+                "column 1-16, or +-joined flags from: %s)"
+                % (part.strip(), ", ".join(sorted(_INCANTATION_FLAGS))))
+        flags[field_name] = True
+    return Incantations(**flags)
+
+
+def resolve_incantations(incantations, chip, test):
+    """Normalise any accepted incantation spec to an :class:`Incantations`.
+
+    ``None`` means the bare Sec. 4.2 setup; :data:`BEST` (or the string
+    forms of :func:`parse_incantations`) resolve against the chip's
+    vendor and the test's idiom.
+    """
+    if incantations is None:
+        return Incantations.none()
+    if isinstance(incantations, Incantations):
+        return incantations
+    if isinstance(incantations, str):
+        parsed = parse_incantations(incantations)
+        if parsed is not BEST:
+            return parsed
+        return best_for(chip.vendor, test.idiom or "mp")
+    raise ReproError("cannot interpret incantations %r" % (incantations,))
+
+
+def _chip_signature(chip):
+    """Canonical text of everything about a chip that affects simulation.
+
+    The dataclass ``repr`` covers every probability knob and structural
+    switch; field order is fixed by the class definition, so the text is
+    stable across runs and processes.
+    """
+    return repr(chip)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One execution cell: test x chip x incantations x iterations x seed.
+
+    Construct via :meth:`RunSpec.make` (which resolves chip short names
+    and incantation specs) rather than directly, unless all fields are
+    already normalised.
+    """
+
+    test: object                 #: a :class:`~repro.litmus.test.LitmusTest`
+    chip: ChipProfile
+    incantations: Incantations
+    iterations: int
+    seed: int = 0
+
+    @staticmethod
+    def make(test, chip, incantations=BEST, iterations=None, seed=0):
+        from ..harness.runner import default_iterations
+
+        chip = resolve_chip(chip)
+        incantations = resolve_incantations(incantations, chip, test)
+        if iterations is None:
+            iterations = default_iterations()
+        if iterations < 1:
+            raise ReproError("iterations must be positive, got %r" % iterations)
+        return RunSpec(test=test, chip=chip, incantations=incantations,
+                       iterations=int(iterations), seed=int(seed))
+
+    @property
+    def key(self):
+        """The campaign grid key: ``(test name, chip short)``."""
+        return (self.test.name, self.chip.short)
+
+    def with_iterations(self, iterations):
+        return replace(self, iterations=int(iterations))
+
+    def fingerprint(self):
+        """Stable content hash of this spec (hex digest).
+
+        Covers the full litmus text (not just the name), the chip's
+        complete profile (so recalibrated knobs invalidate old cache
+        entries), the incantation column, iterations and seed.  All
+        fields are frozen, so the digest is computed once and memoised
+        (cache lookup, store and every shard seed re-ask for it).
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        payload = "\x1e".join([
+            write_litmus(self.test),
+            _chip_signature(self.chip),
+            "column=%d" % self.incantations.column,
+            "iterations=%d" % self.iterations,
+            "seed=%d" % self.seed,
+        ])
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_fingerprint", digest)
+        return digest
+
+    def __str__(self):
+        return "%s on %s [%s] x%d seed=%d" % (
+            self.test.name, self.chip.short, self.incantations,
+            self.iterations, self.seed)
+
+
+def matrix(tests, chips, incantations=BEST, iterations=None, seed=0):
+    """Cartesian-product campaign plan: one :class:`RunSpec` per
+    (test, chip) cell — the planner behind ``Session.campaign`` and the
+    successor of the old ``run_matrix`` loop."""
+    specs = []
+    for test in tests:
+        for chip in chips:
+            specs.append(RunSpec.make(test, chip, incantations=incantations,
+                                      iterations=iterations, seed=seed))
+    return specs

@@ -3,8 +3,19 @@
 Subcommands::
 
     repro-litmus run TEST --chip Titan [--iterations N] [--seed S]
+                 [--incantations best|none|stress+sync+random|COLUMN]
+                 [--jobs N] [--backend sim|model|model:NAME] [--cache-dir D]
         Run a litmus test (library name or .litmus file) on a simulated
-        chip under the paper's best incantations; print the histogram.
+        chip; print the histogram.  The default incantations are the
+        paper's most effective combination; ``--incantations none``
+        reproduces the bare Sec. 4.2 configuration.
+
+    repro-litmus campaign TEST [TEST ...] [--chips A B ...] [--jobs N]
+                 [--backend ...] [--cache-dir D] [--iterations N]
+        Run a test x chip campaign through one session (sharded across
+        workers, memoised by content fingerprint) and print the
+        paper-style obs/100k summary table.  ``all`` expands to every
+        library test.
 
     repro-litmus model TEST [--model ptx]
         Enumerate candidate executions and print the model's verdict.
@@ -20,11 +31,12 @@ import argparse
 import os
 import sys
 
+from .api import Session
 from .diy import default_pool, generate_tests
-from .harness import run_paper_config
+from .errors import ReproError
 from .litmus import library, parse_litmus, write_litmus
 from .model.models import MODELS, load_model
-from .sim.chip import CHIPS
+from .sim.chip import CHIPS, RESULT_CHIPS
 
 
 def _load_test(spec):
@@ -37,12 +49,65 @@ def _load_test(spec):
                      "see `repro-litmus list`)" % spec)
 
 
+def _load_tests(specs):
+    if list(specs) == ["all"]:
+        return [library.build(name) for name in sorted(library.PAPER_TESTS)]
+    return [_load_test(spec) for spec in specs]
+
+
+def _session(args):
+    try:
+        return Session(backend=args.backend, jobs=args.jobs,
+                       executor=args.executor, cache_dir=args.cache_dir)
+    except ReproError as error:
+        raise SystemExit(str(error))
+
+
+def _session_arguments(parser):
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker count for sharded execution")
+    parser.add_argument("--executor", default="process",
+                        choices=("process", "thread"),
+                        help="worker pool kind for --jobs > 1 (default: "
+                             "process — the simulator is CPU-bound pure "
+                             "Python, so threads cannot speed it up)")
+    parser.add_argument("--backend", default="sim",
+                        help="execution backend: sim (default), model, "
+                             "or model:NAME")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the on-disk result cache")
+
+
 def _cmd_run(args):
     test = _load_test(args.test)
-    result = run_paper_config(test, args.chip, iterations=args.iterations,
-                              seed=args.seed)
+    session = _session(args)
+    try:
+        result = session.run(test, args.chip, incantations=args.incantations,
+                             iterations=args.iterations, seed=args.seed)
+    except ReproError as error:
+        raise SystemExit(str(error))
     print(result.histogram.pretty(test.condition))
     print(result.summary())
+    return 0
+
+
+def _cmd_campaign(args):
+    tests = _load_tests(args.tests)
+    session = _session(args)
+    try:
+        campaign = session.campaign(tests, args.chips,
+                                    incantations=args.incantations,
+                                    iterations=args.iterations,
+                                    seed=args.seed)
+    except ReproError as error:
+        raise SystemExit(str(error))
+    print(campaign.summary_table())
+    print(campaign.summary())
+    stats = session.stats
+    print("session: %d cells executed, %d cache hits, %d deduplicated, "
+          "%d shards, %d simulated iterations"
+          % (stats.executed, stats.cache_hits, stats.deduplicated,
+             stats.shards_executed, stats.simulated_iterations))
     return 0
 
 
@@ -89,7 +154,27 @@ def build_parser():
     run.add_argument("--chip", default="Titan", choices=sorted(CHIPS))
     run.add_argument("--iterations", type=int, default=None)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--incantations", default="best",
+                     help="incantation combination: best (default), none "
+                          "(bare Sec. 4.2 setup), all, a Table 6 column "
+                          "1-16, or flags like stress+sync+random")
+    _session_arguments(run)
     run.set_defaults(func=_cmd_run)
+
+    campaign = sub.add_parser(
+        "campaign", help="run a test x chip campaign through one session")
+    campaign.add_argument("tests", nargs="+",
+                          help="library tests / .litmus files, or 'all'")
+    campaign.add_argument("--chips", nargs="+", default=list(RESULT_CHIPS),
+                          choices=sorted(CHIPS), metavar="CHIP",
+                          help="chips to sweep (default: the paper's "
+                               "result chips)")
+    campaign.add_argument("--iterations", type=int, default=None)
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--incantations", default="best",
+                          help="as for `run`")
+    _session_arguments(campaign)
+    campaign.set_defaults(func=_cmd_campaign)
 
     model = sub.add_parser("model", help="model-check a test")
     model.add_argument("test")

@@ -53,6 +53,11 @@ class FuelExhausted(SimulationError):
     """
 
 
+class ConfigurationError(ReproError):
+    """Raised for invalid environment/configuration values (e.g. a
+    non-integer ``REPRO_ITERS``)."""
+
+
 class CompileError(ReproError):
     """Raised by the CUDA/OpenCL/SASS compilation pipelines."""
 

@@ -38,9 +38,20 @@ class Histogram:
         return self.observations(condition) * 100000.0 / self.total
 
     def merged(self, other):
-        result = Histogram(dict(self.counts))
-        for state, count in other.counts.items():
-            result.add(state, count)
+        return Histogram.merge([self, other])
+
+    @classmethod
+    def merge(cls, histograms):
+        """Merge any iterable of histograms into a new one.
+
+        Counts add per state; merging is commutative and associative,
+        which is what lets the session's sharded runs recombine into the
+        same histogram regardless of completion order.
+        """
+        result = cls()
+        for histogram in histograms:
+            for state, count in histogram.counts.items():
+                result.add(state, count)
         return result
 
     def pretty(self, condition=None):

@@ -6,27 +6,39 @@ observation count of the final condition, under a chosen combination of
 incantations.  ``run_paper_config`` mirrors the paper's reporting: 100k
 executions (scaled by ``REPRO_ITERS`` for CI-sized runs) under the most
 effective incantations.
+
+Since the :mod:`repro.api` redesign these functions are thin
+backwards-compatible wrappers: planning, sharding, parallelism and
+caching live in :class:`repro.api.Session`; the wrappers build one-off
+sessions (no cache, one worker) and repackage the results in the legacy
+:class:`RunResult` shape.  For campaigns, prefer the session API — it
+is the same engine with the knobs exposed.
+
+Determinism note: up to one shard of iterations
+(:data:`repro.api.DEFAULT_SHARD_SIZE`, 25000) the wrappers reproduce
+the pre-1.1 single-RNG-stream histograms bit for bit for a given seed.
+Beyond that, iterations run in deterministically seeded shards: still
+fully reproducible for the same seed, but not the legacy stream.
 """
 
-import os
-import random
 from dataclasses import dataclass
 
+from .._util import env_int
 from ..sim.chip import CHIPS, ChipProfile
-from ..sim.machine import GpuMachine
 from .histogram import Histogram
-from .incantations import Incantations, best_for, efficacy
+from .incantations import Incantations, best_for
 
 #: The paper's iteration count per test.
 PAPER_ITERATIONS = 100000
 
 
 def default_iterations(fallback=10000):
-    """Iteration count for benchmarks: ``REPRO_ITERS`` env or ``fallback``."""
-    value = os.environ.get("REPRO_ITERS")
-    if not value:
-        return fallback
-    return max(int(value), 1)
+    """Iteration count for benchmarks: ``REPRO_ITERS`` env or ``fallback``.
+
+    A non-integer value fails fast with a clear
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    return env_int("REPRO_ITERS", fallback)
 
 
 @dataclass
@@ -63,48 +75,58 @@ def _resolve_chip(chip):
     return CHIPS[chip]
 
 
-def run_litmus(test, chip, incantations=None, iterations=None, seed=0):
+def _session(session):
+    if session is not None:
+        return session
+    from ..api import Session
+    return Session(backend="sim", jobs=1, cache=False)
+
+
+def _legacy_result(result):
+    return RunResult(test=result.spec.test, chip=result.spec.chip,
+                     incantations=result.spec.incantations,
+                     histogram=result.histogram,
+                     iterations=result.spec.iterations)
+
+
+def run_litmus(test, chip, incantations=None, iterations=None, seed=0,
+               session=None):
     """Run ``test`` on ``chip`` under ``incantations``.
 
     ``incantations=None`` means the bare Sec. 4.2 setup (no incantations
     enabled) — which, as the paper reports, rarely witnesses anything on
-    Nvidia chips.
+    Nvidia chips.  Pass ``session`` to reuse a configured
+    :class:`repro.api.Session` (workers, cache) for many calls.
     """
-    chip = _resolve_chip(chip)
-    incantations = incantations or Incantations.none()
-    iterations = iterations or default_iterations()
-    intensity = efficacy(chip.vendor, test.idiom or "mp", incantations)
-    machine = GpuMachine(test, chip, intensity=intensity,
-                         shuffle_placement=incantations.thread_rand)
-    rng = random.Random(seed)
-    histogram = Histogram()
-    for _ in range(iterations):
-        histogram.add(machine.run_once(rng))
-    return RunResult(test=test, chip=chip, incantations=incantations,
-                     histogram=histogram, iterations=iterations)
+    from ..api import RunSpec
+
+    spec = RunSpec.make(test, chip,
+                        incantations=incantations or Incantations.none(),
+                        iterations=iterations, seed=seed)
+    return _legacy_result(_session(session).run(spec))
 
 
-def run_paper_config(test, chip, iterations=None, seed=0):
+def run_paper_config(test, chip, iterations=None, seed=0, session=None):
     """Run with the most effective incantations — the configuration whose
     observation counts the paper's figures report."""
     chip = _resolve_chip(chip)
     incantations = best_for(chip.vendor, test.idiom or "mp")
     return run_litmus(test, chip, incantations=incantations,
-                      iterations=iterations, seed=seed)
+                      iterations=iterations, seed=seed, session=session)
 
 
-def run_matrix(tests, chips, iterations=None, seed=0, paper_config=True):
+def run_matrix(tests, chips, iterations=None, seed=0, paper_config=True,
+               session=None):
     """Run a family of tests across chips.
 
     Returns ``{(test name, chip short): RunResult}``.  Used by the
-    figure-reproduction benchmarks.
+    figure-reproduction benchmarks.  The heavy lifting happens in
+    :meth:`repro.api.Session.campaign`; this wrapper keeps the legacy
+    dict-of-RunResult shape.
     """
-    results = {}
-    for test in tests:
-        for chip in chips:
-            if paper_config:
-                result = run_paper_config(test, chip, iterations, seed)
-            else:
-                result = run_litmus(test, chip, iterations=iterations, seed=seed)
-            results[(test.name, _resolve_chip(chip).short)] = result
-    return results
+    incantations = "best" if paper_config else Incantations.none()
+    campaign = _session(session).campaign(
+        tests, [_resolve_chip(chip) for chip in chips],
+        incantations=incantations, iterations=iterations, seed=seed)
+    return {key: _legacy_result(result)
+            for key, result in campaign.results.items()}

@@ -2,11 +2,12 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.litmus import library
 from repro.litmus.condition import FinalState, parse_condition
 from repro.harness import (ALL_COMBINATIONS, Histogram, Incantations, TABLE6,
-                           best_for, efficacy, run_litmus, run_matrix,
-                           run_paper_config)
+                           best_for, default_iterations, efficacy, run_litmus,
+                           run_matrix, run_paper_config)
 
 
 class TestIncantationColumns:
@@ -118,6 +119,46 @@ class TestHistogram:
         b.add(self._state(0), 2)
         assert a.merged(b).total == 3
 
+    def test_merge_disjoint(self):
+        a, b = Histogram(), Histogram()
+        a.add(self._state(0), 3)
+        b.add(self._state(1), 4)
+        merged = Histogram.merge([a, b])
+        assert merged.counts == {self._state(0): 3, self._state(1): 4}
+        assert merged.total == 7
+
+    def test_merge_overlapping(self):
+        a, b, c = Histogram(), Histogram(), Histogram()
+        a.add(self._state(0), 3)
+        b.add(self._state(0), 2)
+        b.add(self._state(1), 1)
+        c.add(self._state(0), 5)
+        merged = Histogram.merge([a, b, c])
+        assert merged.counts == {self._state(0): 10, self._state(1): 1}
+
+    def test_merge_with_empty_histograms(self):
+        a = Histogram()
+        a.add(self._state(0), 2)
+        merged = Histogram.merge([Histogram(), a, Histogram()])
+        assert merged.counts == a.counts
+        assert Histogram.merge([]).total == 0
+        assert Histogram.merge([Histogram(), Histogram()]).counts == {}
+
+    def test_merge_is_order_independent(self):
+        a, b = Histogram(), Histogram()
+        a.add(self._state(0), 1)
+        a.add(self._state(1), 2)
+        b.add(self._state(1), 3)
+        assert Histogram.merge([a, b]).counts == Histogram.merge([b, a]).counts
+
+    def test_merge_does_not_mutate_inputs(self):
+        a, b = Histogram(), Histogram()
+        a.add(self._state(0), 1)
+        b.add(self._state(0), 2)
+        Histogram.merge([a, b])
+        assert a.counts == {self._state(0): 1}
+        assert b.counts == {self._state(0): 2}
+
     def test_pretty_marks_witnesses(self):
         histogram = Histogram()
         histogram.add(self._state(1), 5)
@@ -155,3 +196,24 @@ class TestRunner:
         monkeypatch.setenv("REPRO_ITERS", "37")
         result = run_litmus(library.build("mp"), "GTX7")
         assert result.iterations == 37
+
+
+class TestDefaultIterations:
+    def test_fallback_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ITERS", raising=False)
+        assert default_iterations(1234) == 1234
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ITERS", "42")
+        assert default_iterations() == 42
+
+    def test_clamped_to_at_least_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ITERS", "-5")
+        assert default_iterations() == 1
+
+    def test_non_integer_fails_with_clear_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ITERS", "lots")
+        with pytest.raises(ConfigurationError) as excinfo:
+            default_iterations()
+        assert "REPRO_ITERS" in str(excinfo.value)
+        assert "lots" in str(excinfo.value)

@@ -74,6 +74,53 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["run", "not-a-test"])
 
+    def test_run_incantations_none_reproduces_bare_setup(self, capsys,
+                                                         monkeypatch):
+        """The bare Sec. 4.2 configuration: no incantations, hence no
+        weak observations on Nvidia chips."""
+        monkeypatch.setenv("REPRO_ITERS", "400")
+        assert main(["run", "mp", "--chip", "Titan",
+                     "--incantations", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "[none]" in out
+        assert "0/400 weak" in out
+
+    def test_run_incantations_flags(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ITERS", "200")
+        assert main(["run", "mp", "--chip", "Titan",
+                     "--incantations", "stress+sync+random"]) == 0
+        assert "[stress+sync+random]" in capsys.readouterr().out
+
+    def test_run_incantations_bad_value_exits(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ITERS", "100")
+        with pytest.raises(SystemExit):
+            main(["run", "mp", "--incantations", "banana"])
+
+    def test_run_with_jobs_and_backend_flags(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ITERS", "200")
+        assert main(["run", "mp", "--chip", "Titan", "--jobs", "2"]) == 0
+        assert "via sim" in capsys.readouterr().out
+
+    def test_campaign_subcommand(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ITERS", "200")
+        argv = ["campaign", "mp", "lb", "--chips", "Titan", "HD7970",
+                "--jobs", "2", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "obs/100k" in out and "Titan" in out and "HD7970" in out
+        assert "4 cells" in out
+
+        # Warm disk cache: the rerun performs zero new simulations.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated iterations" in out
+
+    def test_campaign_model_backend(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ITERS", "50")
+        assert main(["campaign", "mp", "--chips", "Titan",
+                     "--backend", "model"]) == 0
+        assert "obs/100k" in capsys.readouterr().out
+
     def test_generate(self, capsys):
         assert main(["generate", "--length", "3", "--max", "5"]) == 0
         out = capsys.readouterr().out
