@@ -38,6 +38,26 @@ def session():
             cache_dir=os.environ.get("REPRO_CACHE_DIR") or None)
     return _SESSION
 
+#: The Sec. 5.4 soundness corpus shape shared by the conformance-driven
+#: benchmarks (bench_sec44_optcheck feeds its cleared binaries through the
+#: same cells bench_sec54_soundness validates, so the shared session's
+#: cache serves the overlap once).  The chip sweep is the conformance
+#: subsystem's canonical one — also the `repro-litmus soundness` default.
+from repro.api.conformance import SOUNDNESS_CHIPS  # noqa: F401  (re-export)
+
+LIBRARY_CG_TESTS = ["mp", "sb", "lb", "coRR", "dlb-lb", "cas-sl",
+                    "sl-future", "exch-sl", "lb+membar.ctas",
+                    "mp+membar.gls", "dlb-lb+membar.gls"]
+SOUNDNESS_SEED = 17
+
+
+def soundness_runs():
+    """Sim iterations per soundness cell (env ``REPRO_SOUNDNESS_RUNS``)."""
+    from repro._util import env_int
+
+    return env_int("REPRO_SOUNDNESS_RUNS", 120)
+
+
 #: Noise allowance (per 100k) for cells the paper reports as zero.
 ZERO_CELL_SLACK = 25.0
 #: Paper counts below this are too rare to demand at scaled iterations.

@@ -2,9 +2,13 @@
 
 The paper generated 10930 tests with diy, ran each 100k times on six
 Nvidia chips, and confirmed the PTX model allows every observed
-behaviour.  We reproduce the workflow at benchmark scale: a diy-generated
-family plus the paper's own tests, each run on simulated chips, with
-every observed final state checked against the model's allowed set.
+behaviour.  We reproduce the workflow at benchmark scale through the
+conformance pipeline (:func:`repro.api.conformance.run_soundness`): a
+diy-generated family plus the paper's own tests, streamed in chunks
+through the shared memoising session, every observed final state checked
+against the model's allowed set — with model verdicts enumerated once
+per test (the model session's cache signature ignores the chip), not
+once per chip.
 
 The model covers ``.cg`` accesses (Sec. 5.5), so generated tests are all
 ``.cg`` — exactly the corpus shape the paper validates on.
@@ -13,62 +17,54 @@ The model covers ``.cg`` accesses (Sec. 5.5), so generated tests are all
 import os
 
 from repro._util import format_table
+from repro.api.conformance import run_soundness, uniquify_tests
 from repro.diy import default_pool, generate_tests
-from repro.harness import run_paper_config
 from repro.litmus import library
-from repro.model.enumerate import allowed_final_states, enumerate_executions
-from repro.model.models import ptx_model
 from repro.ptx.types import Scope
 
-from _common import report
-
-_LIBRARY_CG_TESTS = ["mp", "sb", "lb", "coRR", "dlb-lb", "cas-sl",
-                     "sl-future", "exch-sl", "lb+membar.ctas",
-                     "mp+membar.gls", "dlb-lb+membar.gls"]
-_CHIPS = ["TesC", "GTX6", "Titan", "GTX7"]
+from _common import (LIBRARY_CG_TESTS, SOUNDNESS_CHIPS, SOUNDNESS_SEED,
+                     report, session, soundness_runs)
 
 
 def _family_size():
     return int(os.environ.get("REPRO_FAMILY", "120"))
 
 
-def _runs_per_test():
-    return int(os.environ.get("REPRO_SOUNDNESS_RUNS", "120"))
-
-
 def test_sec54_model_soundness(benchmark):
-    model = ptx_model()
-    family = generate_tests(default_pool(fences=(Scope.CTA, Scope.GL)),
-                            max_length=4, max_tests=_family_size())
-    family += [library.build(name) for name in _LIBRARY_CG_TESTS]
+    # Library + extended tests first: uniquify_tests keeps the first
+    # occurrence of a name, so the paper's tests keep their canonical
+    # names (and their cache identity, shared with bench_sec44) while
+    # the generated classics (mp, sb, ...) get ordinal suffixes.
+    family = [library.build(name) for name in LIBRARY_CG_TESTS]
     from repro.litmus.extended import EXTENDED_TESTS, build_extended
     family += [build_extended(name) for name in sorted(EXTENDED_TESTS)]
-    runs = _runs_per_test()
+    family += generate_tests(default_pool(fences=(Scope.CTA, Scope.GL)),
+                             max_length=4, max_tests=_family_size())
+    family = uniquify_tests(family)
+    runs = soundness_runs()
 
     def validate():
-        checked = observed_states = violations = 0
-        for test in family:
-            allowed = allowed_final_states(enumerate_executions(test),
-                                           model=model)
-            for chip in _CHIPS:
-                result = run_paper_config(test, chip, iterations=runs,
-                                          seed=17)
-                for state in result.histogram.counts:
-                    observed_states += 1
-                    if state not in allowed:
-                        violations += 1
-                checked += 1
-        return checked, observed_states, violations
+        return run_soundness(family, SOUNDNESS_CHIPS, iterations=runs,
+                             seed=SOUNDNESS_SEED, sim_session=session())
 
-    checked, observed, violations = benchmark.pedantic(validate, rounds=1,
-                                                       iterations=1)
+    result = benchmark.pedantic(validate, rounds=1, iterations=1)
+    observed = sum(cell.distinct_states for cell in result.cells)
     report("sec54_soundness", format_table(
         ["metric", "value"],
         [["tests in family (diy + library)", len(family)],
-         ["(test, chip) cells checked", checked],
+         ["(test, chip) cells checked", len(result.cells)],
          ["runs per cell", runs],
          ["distinct observed final states", observed],
-         ["states forbidden by the model (must be 0)", violations],
+         ["states forbidden by the model (must be 0)",
+          len(result.violations)],
+         ["model enumerations (memoised per test)",
+          result.model_stats["executed"]],
          ["paper's corpus", "10930 tests x 100k runs x 6 chips"]]))
-    assert violations == 0, "the PTX model must allow every observation"
-    assert checked == len(family) * len(_CHIPS)
+    assert result.ok, ("the PTX model must allow every observation:\n"
+                       + "\n".join(result.violation_lines()))
+    assert len(result.cells) == len(family) * len(SOUNDNESS_CHIPS)
+    # One enumeration per test text, never one per chip: executions plus
+    # cache hits account for every planned model spec.
+    assert result.model_stats["executed"] <= len(family)
+    assert (result.model_stats["executed"] + result.model_stats["cache_hits"]
+            + result.model_stats["deduplicated"] == len(family))

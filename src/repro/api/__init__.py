@@ -23,13 +23,22 @@ Quick tour::
     # Same request shape against the axiomatic model:
     checker = Session(backend="model:ptx")
     print(checker.run(library.build("mp"), "Titan").allowed)
+
+    # The Sec. 5.4 soundness campaign — sim vs model over a corpus:
+    from repro.api.conformance import run_soundness
+    report = run_soundness(tests, ["TesC", "GTX6", "Titan", "GTX7"],
+                           jobs=4, cache_dir=".repro-cache")
+    assert report.ok, report.violation_lines()
 """
 
 from .backends import (Backend, DEFAULT_SHARD_SIZE, ModelBackend, Shard,
                        SimBackend, make_backend, plan_shards, shard_seed)
 from .cache import ResultCache, cache_key
+from .conformance import (CellConformance, ConformanceReport, Violation,
+                          run_soundness, uniquify_tests)
 from .result import CampaignResult, SpecResult
-from .session import Session, SessionStats, run_campaign
+from .session import (DEFAULT_CHUNK_SIZE, Session, SessionStats,
+                      run_campaign)
 from .spec import (BEST, RunSpec, matrix, parse_incantations,
                    resolve_chip, resolve_incantations)
 
@@ -37,8 +46,10 @@ __all__ = [
     "Backend", "DEFAULT_SHARD_SIZE", "ModelBackend", "Shard", "SimBackend",
     "make_backend", "plan_shards", "shard_seed",
     "ResultCache", "cache_key",
+    "CellConformance", "ConformanceReport", "Violation", "run_soundness",
+    "uniquify_tests",
     "CampaignResult", "SpecResult",
-    "Session", "SessionStats", "run_campaign",
+    "DEFAULT_CHUNK_SIZE", "Session", "SessionStats", "run_campaign",
     "BEST", "RunSpec", "matrix", "parse_incantations", "resolve_chip",
     "resolve_incantations",
 ]

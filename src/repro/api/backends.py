@@ -155,10 +155,11 @@ class ModelBackend(Backend):
 
     supports_sharding = False
 
-    def __init__(self, model="ptx", fuel=128):
+    def __init__(self, model="ptx", fuel=128, max_executions=None):
         self.model = load_model(model) if isinstance(model, str) else model
         self.name = "model:%s" % self.model.name
         self.fuel = fuel
+        self.max_executions = max_executions
 
     def cache_signature(self, spec):
         """Verdicts depend only on the test text (and enumeration fuel)
@@ -168,7 +169,15 @@ class ModelBackend(Backend):
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def run(self, spec):
-        allowed = self.model.allowed_outcomes(spec.test, fuel=self.fuel)
+        # on_limit="error" is non-negotiable here: the campaign layer
+        # treats this histogram as the *complete* allowed set, and a
+        # truncated enumeration would manufacture false "violations" in
+        # soundness campaigns.  ``max_executions`` therefore acts as a
+        # safety valve (refuse combinatorial blow-ups loudly), never as a
+        # silent sampler.
+        allowed = self.model.allowed_outcomes(
+            spec.test, fuel=self.fuel, max_executions=self.max_executions,
+            on_limit="error")
         histogram = Histogram()
         for state in allowed:
             histogram.add(state)

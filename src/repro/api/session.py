@@ -19,6 +19,7 @@ produces bit-identical histograms to ``jobs=1`` for the same specs, and
 a single-shard run reproduces the legacy serial iteration stream.
 """
 
+import contextlib
 from concurrent import futures as _futures
 from dataclasses import asdict, dataclass
 
@@ -28,6 +29,25 @@ from .backends import DEFAULT_SHARD_SIZE, make_backend, plan_shards
 from .cache import ResultCache, cache_key
 from .result import CampaignResult, SpecResult
 from .spec import BEST, RunSpec, matrix
+
+#: Specs per :meth:`Session.run_stream` execution chunk.  Large enough to
+#: keep a worker pool busy and let in-plan deduplication catch twins,
+#: small enough that a 10k-test corpus never holds more than a chunk of
+#: histograms in memory at once.
+DEFAULT_CHUNK_SIZE = 64
+
+
+def chunked(iterable, size):
+    """Yield lists of up to ``size`` items — the streaming unit shared by
+    :meth:`Session.run_stream` and the conformance pipeline."""
+    chunk = []
+    for item in iterable:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
 
 
 def _execute_shard(backend, spec, shard):
@@ -84,10 +104,16 @@ class Session:
         ``"thread"`` (default) or ``"process"``.  Threads are cheap and
         deterministic; processes sidestep the GIL for large campaigns
         (every work unit pickles cleanly).
+    pool:
+        An externally managed ``concurrent.futures`` executor to submit
+        parallel work to instead of creating one per plan.  The caller
+        owns its lifetime (the session never shuts it down), which lets
+        several sessions — e.g. the sim and model halves of a
+        conformance pipeline — share one worker pool.
     """
 
     def __init__(self, backend="sim", jobs=1, cache=True, cache_dir=None,
-                 shard_size=DEFAULT_SHARD_SIZE, executor="thread"):
+                 shard_size=DEFAULT_SHARD_SIZE, executor="thread", pool=None):
         self.backend = make_backend(backend)
         if jobs < 1:
             raise ReproError("jobs must be >= 1, got %r" % jobs)
@@ -99,6 +125,7 @@ class Session:
             raise ReproError("executor must be 'thread' or 'process', got %r"
                              % (executor,))
         self.executor = executor
+        self.pool = pool
         if isinstance(cache, ResultCache):
             self.cache = cache
         elif cache_dir or cache:
@@ -176,6 +203,39 @@ class Session:
             campaign.add(result)
         return campaign
 
+    def plan(self, tests, chips, incantations=BEST, iterations=None, seed=0):
+        """Lazily yield the cartesian-product plan of :meth:`campaign`.
+
+        The generator twin of :func:`~repro.api.spec.matrix`: ``tests``
+        may itself be a generator (e.g. a diy corpus being synthesised on
+        the fly) — specs are built test by test, so a 10k-test corpus
+        never materialises as a spec list.  Feed the result to
+        :meth:`run_stream`.
+        """
+        chips = list(chips)
+        for test in tests:
+            for chip in chips:
+                yield RunSpec.make(test, chip, incantations=incantations,
+                                   iterations=iterations, seed=seed)
+
+    def run_stream(self, specs, chunk_size=DEFAULT_CHUNK_SIZE):
+        """Execute a plan in chunks; yields results in plan order.
+
+        The streaming twin of :meth:`run_specs`: ``specs`` is any
+        iterable (including a generator from :meth:`plan`), consumed
+        ``chunk_size`` specs at a time, so at most one chunk of
+        histograms is in flight at once.  Within a chunk the usual
+        machinery applies — parallel sharding, cache lookups, in-plan
+        deduplication; across chunks the result cache still catches
+        repeats.  Bit-identical results to :meth:`run_specs` on the same
+        plan.
+        """
+        if chunk_size < 1:
+            raise ReproError("chunk_size must be >= 1, got %r" % (chunk_size,))
+        for chunk in chunked(specs, chunk_size):
+            for result in self.run_specs(chunk):
+                yield result
+
     #: Backwards-friendly alias mirroring the old harness name.
     run_matrix = campaign
 
@@ -235,6 +295,10 @@ class Session:
         return executed
 
     def _pool(self):
+        if self.pool is not None:
+            # Shared pool: the with-block in _run_parallel must not
+            # shut it down, so hand back a non-closing view.
+            return contextlib.nullcontext(self.pool)
         if self.executor == "process":
             return _futures.ProcessPoolExecutor(max_workers=self.jobs)
         return _futures.ThreadPoolExecutor(max_workers=self.jobs)

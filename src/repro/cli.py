@@ -23,8 +23,23 @@ Subcommands::
     repro-litmus list
         List the library tests, chips and models.
 
-    repro-litmus generate --length 4 [--max N]
-        Generate litmus tests with diy and print them.
+    repro-litmus generate [--length 4] [--max-tests N] [--fences cta gl sys]
+                 [--scopes dev cta]
+        Generate litmus tests with diy and print them in deterministic
+        (name-sorted) order.  The corpus-shaping flags pick the edge
+        pool: ``--fences`` the membar scopes, ``--scopes`` the
+        communication-edge scope annotations.
+
+    repro-litmus soundness [corpus flags as for generate, default
+                 --fences cta gl] [--chips A B ...] [--iterations N]
+                 [--seed S] [--model ptx] [--jobs N] [--cache-dir D]
+                 [--chunk-size N]
+        The Sec. 5.4 validation campaign: generate the diy corpus, run
+        every test on every chip through the sharded session pool, check
+        each observed final state against the model's allowed set
+        (enumerated once per test, memoised across chips and runs), and
+        print the conformance report.  Exits non-zero if any observation
+        is model-forbidden.
 """
 
 import argparse
@@ -32,8 +47,11 @@ import os
 import sys
 
 from .api import Session
-from .diy import default_pool, generate_tests
+from .api.conformance import SOUNDNESS_CHIPS, run_soundness
+from .diy import (default_pool, fences_from_names, generate_tests,
+                  scopes_from_names)
 from .errors import ReproError
+from .harness.runner import default_iterations
 from .litmus import library, parse_litmus, write_litmus
 from .model.models import MODELS, load_model
 from .sim.chip import CHIPS, RESULT_CHIPS
@@ -134,13 +152,74 @@ def _cmd_list(args):
     return 0
 
 
+def _corpus_arguments(parser, default_fences, default_max):
+    """The corpus-shaping flags shared by ``generate`` and ``soundness``."""
+    parser.add_argument("--length", type=int, default=4,
+                        help="maximum relaxation-cycle length (default 4)")
+    parser.add_argument("--max-tests", "--max", dest="max_tests", type=int,
+                        default=default_max,
+                        help="cap on generated tests (default %s)"
+                             % (default_max if default_max is not None
+                                else "unbounded"))
+    parser.add_argument("--fences", nargs="*", default=list(default_fences),
+                        metavar="SCOPE",
+                        help="membar scopes in the edge pool: cta/gl/sys, "
+                             "or all/none (default: %s)"
+                             % " ".join(default_fences))
+    parser.add_argument("--scopes", nargs="*", default=["dev", "cta"],
+                        metavar="SCOPE",
+                        help="communication-edge scope annotations: dev "
+                             "(inter-CTA) and/or cta (default: both)")
+
+
+def _corpus(args):
+    """Build the diy corpus an invocation's corpus flags describe,
+    sorted by (unique) test name for deterministic output."""
+    try:
+        pool = default_pool(scopes=scopes_from_names(args.scopes),
+                            fences=fences_from_names(args.fences))
+        tests = generate_tests(pool, max_length=args.length,
+                               max_tests=args.max_tests)
+    except ReproError as error:
+        raise SystemExit(str(error))
+    return sorted(tests, key=lambda test: test.name)
+
+
 def _cmd_generate(args):
-    tests = generate_tests(default_pool(), max_length=args.length,
-                           max_tests=args.max)
+    tests = _corpus(args)
     for test in tests:
         print(write_litmus(test))
     print("// %d tests" % len(tests), file=sys.stderr)
     return 0
+
+
+def _cmd_soundness(args):
+    tests = _corpus(args)
+    if not tests:
+        raise SystemExit("the corpus flags generated no tests")
+    iterations = (args.iterations if args.iterations is not None
+                  else default_iterations(2500))
+    try:
+        report = run_soundness(
+            tests, args.chips, model=args.model,
+            incantations=args.incantations, iterations=iterations,
+            seed=args.seed, jobs=args.jobs, executor=args.executor,
+            cache_dir=args.cache_dir, chunk_size=args.chunk_size)
+    except ReproError as error:
+        raise SystemExit(str(error))
+    print(report.summary_table(max_rows=args.max_rows))
+    print()
+    print(report.coverage_table())
+    print()
+    print(report.summary())
+    for line in report.violation_lines():
+        print("VIOLATION: %s" % line)
+    sim, model = report.sim_stats, report.model_stats
+    print("sim session: %d cells executed, %d cache hits, %d shards"
+          % (sim["executed"], sim["cache_hits"], sim["shards_executed"]))
+    print("model session: %d enumerations, %d cache hits (%d tests)"
+          % (model["executed"], model["cache_hits"], len(tests)))
+    return 0 if report.ok else 1
 
 
 def build_parser():
@@ -185,9 +264,46 @@ def build_parser():
     lst.set_defaults(func=_cmd_list)
 
     gen = sub.add_parser("generate", help="generate tests with diy")
-    gen.add_argument("--length", type=int, default=4)
-    gen.add_argument("--max", type=int, default=20)
+    _corpus_arguments(gen, default_fences=("cta", "gl", "sys"),
+                      default_max=20)
     gen.set_defaults(func=_cmd_generate)
+
+    soundness = sub.add_parser(
+        "soundness",
+        help="Sec. 5.4: check a diy corpus's observations against a model")
+    _corpus_arguments(soundness, default_fences=("cta", "gl"),
+                      default_max=None)
+    soundness.add_argument("--chips", nargs="+",
+                           default=list(SOUNDNESS_CHIPS),
+                           choices=sorted(CHIPS), metavar="CHIP",
+                           help="chips to validate on (default: %s)"
+                                % " ".join(SOUNDNESS_CHIPS))
+    soundness.add_argument("--iterations", type=int, default=None,
+                           help="sim iterations per cell (default: "
+                                "REPRO_ITERS or 2500; the paper used 100k)")
+    soundness.add_argument("--seed", type=int, default=0)
+    soundness.add_argument("--model", default="ptx", choices=sorted(MODELS),
+                           help="axiomatic reference model (default: ptx)")
+    soundness.add_argument("--incantations", default="best",
+                           help="as for `run`")
+    soundness.add_argument("--chunk-size", type=int, default=64,
+                           help="tests per streaming chunk (default 64)")
+    soundness.add_argument("--max-rows", type=int, default=40,
+                           help="summary-table row cap; violations always "
+                                "shown (default 40)")
+    # The session knobs of _session_arguments minus --backend: the
+    # soundness pipeline is inherently dual-backend (sim + model).
+    soundness.add_argument("--jobs", type=int, default=1,
+                           help="worker count shared by the sim shards and "
+                                "the model enumerations")
+    soundness.add_argument("--executor", default="process",
+                           choices=("process", "thread"),
+                           help="worker pool kind for --jobs > 1")
+    soundness.add_argument("--cache-dir", default=None,
+                           help="on-disk result cache shared by both "
+                                "backends; a second identical run is "
+                                "served from it")
+    soundness.set_defaults(func=_cmd_soundness)
     return parser
 
 

@@ -2,14 +2,16 @@
 
 from .cycles import Cycle, cycles_up_to, enumerate_cycles, try_cycle
 from .edges import (DIFF_CTA, Edge, SAME_CTA, coe, default_pool, dp, fenced,
-                    fre, parse_edge, po, rfe)
+                    fences_from_names, fre, parse_edge, po, rfe,
+                    scopes_from_names)
 from .generate import cycle_to_test, generate_tests
-from .naming import classify, idiom_of
+from .naming import NameAllocator, classify, idiom_of
 
 __all__ = [
     "Cycle", "cycles_up_to", "enumerate_cycles", "try_cycle",
     "DIFF_CTA", "Edge", "SAME_CTA", "coe", "default_pool", "dp", "fenced",
-    "fre", "parse_edge", "po", "rfe",
+    "fences_from_names", "fre", "parse_edge", "po", "rfe",
+    "scopes_from_names",
     "cycle_to_test", "generate_tests",
-    "classify", "idiom_of",
+    "NameAllocator", "classify", "idiom_of",
 ]

@@ -136,6 +136,49 @@ def default_pool(scopes=(DIFF_CTA, SAME_CTA), fences=tuple(Scope)):
     return pool
 
 
+def fences_from_names(names):
+    """Map CLI-style fence names to a tuple of :class:`Scope` values.
+
+    Accepts an iterable of scope names (``"cta"``, ``"gl"``, ``"sys"``),
+    the single words ``"all"``/``"none"``, or an empty iterable (no
+    fence edges in the pool).  This is the ``--fences`` vocabulary of
+    ``repro-litmus generate``/``soundness``; Sec. 5.4's corpus uses
+    ``("cta", "gl")``.
+    """
+    names = [names] if isinstance(names, str) else list(names)
+    if names == ["all"]:
+        return tuple(Scope)
+    if names == ["none"] or not names:
+        return ()
+    try:
+        return tuple(Scope(name) for name in names)
+    except ValueError:
+        raise GenerationError(
+            "unknown fence scope in %r (expected cta/gl/sys, or all/none)"
+            % (names,)) from None
+
+
+#: ``--scopes`` vocabulary: communication-edge scope annotations.
+_SCOPE_NAMES = {"dev": DIFF_CTA, "device": DIFF_CTA, "cta": SAME_CTA}
+
+
+def scopes_from_names(names):
+    """Map CLI-style scope names to communication-edge annotations.
+
+    ``"dev"`` (inter-CTA) and ``"cta"`` (intra-CTA) select which scope
+    annotations the pool's ``Rfe``/``Fre``/``Coe`` edges carry.
+    """
+    names = [names] if isinstance(names, str) else list(names)
+    if not names:
+        raise GenerationError("at least one communication scope is required")
+    try:
+        return tuple(dict.fromkeys(_SCOPE_NAMES[name] for name in names))
+    except KeyError:
+        raise GenerationError(
+            "unknown communication scope in %r (expected dev or cta)"
+            % (names,)) from None
+
+
 def parse_edge(text):
     """Parse a diy-style edge name (inverse of :attr:`Edge.name`)."""
     text = text.strip()

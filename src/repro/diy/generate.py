@@ -27,7 +27,7 @@ from ..ptx.operands import Addr, Imm, Loc, Reg
 from ..ptx.program import ThreadProgram
 from ..ptx.types import CacheOp, TypeSpec
 from ..ptx.types import MemorySpace
-from .naming import classify
+from .naming import NameAllocator, classify
 
 #: The always-false mask of Fig. 13(b): and-ing a small positive value
 #: with the high bit yields 0, but only an inter-thread analysis can know.
@@ -298,16 +298,30 @@ def generate_tests(pool, max_length, max_tests=None, regions=None):
 
     Cycles whose conditions are contradictory (unsatisfiable reads,
     conflicting coherence) are skipped, mirroring diy.  Returns a list of
-    litmus tests.
+    litmus tests with corpus-unique names: distinct cycles that classify
+    to the same idiom (e.g. inter- and intra-CTA ``coRR``) are
+    disambiguated with deterministic ordinal suffixes, so name-keyed
+    campaign tables never merge rows silently.
     """
+    from dataclasses import replace
+
     from .cycles import cycles_up_to
 
+    names = NameAllocator()
     tests = []
     for cycle in cycles_up_to(pool, max_length):
         if max_tests is not None and len(tests) >= max_tests:
             break
         try:
-            tests.append(cycle_to_test(cycle, regions=regions))
+            test = cycle_to_test(cycle, regions=regions)
         except GenerationError:
             continue
+        # Allocate only for cycles that actually produced a test, so
+        # skipped cycles never consume an ordinal.
+        unique = names.assign(test.name)
+        if unique != test.name:
+            test = replace(test, name=unique)
+        tests.append(test)
+    assert len({test.name for test in tests}) == len(tests), \
+        "generate_tests produced colliding names"
     return tests

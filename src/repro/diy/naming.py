@@ -81,3 +81,31 @@ def _rotations(names):
 def idiom_of(cycle):
     """The bare idiom (Table 3 glossary entry) of a cycle."""
     return classify(cycle).split("+")[0]
+
+
+class NameAllocator:
+    """Hand out corpus-unique test names from classified base names.
+
+    :func:`classify` is deliberately many-to-one — scope annotations are
+    stripped, so e.g. the inter-CTA and intra-CTA ``coRR`` cycles share a
+    base name — which silently merges rows in any name-keyed campaign
+    table.  The allocator keeps the first cycle's base name untouched and
+    appends a deterministic ordinal suffix (``coRR-2``, ``coRR-3``, ...)
+    to later distinct cycles, in allocation order; allocation order is
+    enumeration order, so a given pool always yields the same names.
+    """
+
+    def __init__(self):
+        self._next_ordinal = {}
+        self._taken = set()
+
+    def assign(self, base):
+        """A unique name for the next test whose base name is ``base``."""
+        ordinal = self._next_ordinal.get(base, 0)
+        while True:
+            ordinal += 1
+            candidate = base if ordinal == 1 else "%s-%d" % (base, ordinal)
+            if candidate not in self._taken:
+                self._next_ordinal[base] = ordinal
+                self._taken.add(candidate)
+                return candidate

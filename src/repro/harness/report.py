@@ -28,6 +28,33 @@ def figure_table(title, rows, chips, results, paper=None):
     return "%s\n%s" % (title, format_table(headers, body))
 
 
+def conformance_table(tests, chips, cells):
+    """Render a Sec. 5.4 soundness grid: one row per test, one column per
+    chip.
+
+    ``cells`` maps ``(test name, chip short)`` to any object with a
+    ``per_100k`` float and a ``violations`` sequence (the shape of
+    :class:`repro.api.conformance.CellConformance`).  Sound cells render
+    their obs/100k rate like the figure tables; unsound cells are flagged
+    with the number of model-forbidden final states observed.
+    """
+    headers = ["obs/100k"] + list(chips)
+    body = []
+    for name in tests:
+        row = [name]
+        for chip in chips:
+            cell = cells.get((name, chip))
+            if cell is None:
+                row.append("n/a")
+            elif cell.violations:
+                row.append("%.0f !%d forbidden"
+                           % (cell.per_100k, len(cell.violations)))
+            else:
+                row.append("%.0f" % cell.per_100k)
+        body.append(row)
+    return format_table(headers, body)
+
+
 def comparison_line(name, chip, measured, published):
     """One EXPERIMENTS.md-style comparison line."""
     if published == "n/a":

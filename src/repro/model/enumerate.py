@@ -19,14 +19,39 @@ from .relation import Relation
 from .symbolic import resolve
 
 
+class ExecutionEnumeration(list):
+    """The enumerated candidate executions plus completeness metadata.
+
+    Behaves exactly like the plain list it used to be, with one extra
+    attribute: ``truncated`` is True when the enumeration is known to be
+    *incomplete* — the ``max_executions`` cap was hit while more
+    executions remained, or a thread path was cut short by fuel
+    (``on_fuel="truncate"``).  A truncated enumeration
+    under-approximates the allowed set, so consumers deriving "the model
+    forbids this state" from it (soundness checking) must refuse it.
+    """
+
+    truncated = False
+
+
 def enumerate_executions(test, fuel=DEFAULT_FUEL, on_fuel="error",
-                         max_executions=None):
+                         max_executions=None, on_limit="error"):
     """Enumerate the candidate executions of ``test``.
 
     ``fuel`` bounds loop unrolling per thread; ``on_fuel`` selects what to
     do when it runs out ("error", "discard" or "truncate").
-    ``max_executions`` caps the total (None = unbounded).
+    ``max_executions`` caps the total (None = unbounded); ``on_limit``
+    selects what to do when the cap cuts the enumeration short:
+    ``"error"`` (default) raises :class:`~repro.errors.EnumerationError`,
+    since a silently truncated enumeration under-approximates the
+    allowed set and turns soundness checking into false violations;
+    ``"truncate"`` returns the partial enumeration with its
+    ``truncated`` flag set.  A cap that the full enumeration fits inside
+    is not a truncation.
     """
+    if on_limit not in ("error", "truncate"):
+        raise ValueError("on_limit must be 'error' or 'truncate', got %r"
+                         % (on_limit,))
     address_map = test.address_map()
     var_counter = itertools.count()
     per_thread = [
@@ -37,12 +62,26 @@ def enumerate_executions(test, fuel=DEFAULT_FUEL, on_fuel="error",
     if any(not paths for paths in per_thread):
         raise EnumerationError("a thread of %s has no feasible path" % test.name)
 
-    executions = []
+    executions = ExecutionEnumeration()
+    capped = False
     for combo in itertools.product(*per_thread):
         for execution in _solve_combo(test, combo, address_map):
-            executions.append(execution)
+            # Only stop once an execution *beyond* the cap shows up, so a
+            # cap equal to the total count is a complete enumeration.
             if max_executions is not None and len(executions) >= max_executions:
-                return executions
+                capped = True
+                break
+            executions.append(execution)
+        if capped:
+            break
+    if capped and on_limit == "error":
+        raise EnumerationError(
+            "%s has more than max_executions=%d candidate executions; the "
+            "allowed set would be under-approximated (raise the cap or pass "
+            "on_limit='truncate' to accept a partial enumeration)"
+            % (test.name, max_executions))
+    executions.truncated = capped or any(
+        path.truncated for paths in per_thread for path in paths)
     return executions
 
 
@@ -91,7 +130,9 @@ class _Combo:
 
 def _solve_combo(test, paths, address_map):
     combo = _Combo(test, paths, address_map)
-    yield from _solve_rf(combo, env={}, rf_assign={}, remaining=list(combo.reads))
+    yield from _solve_rf(combo, env={}, rf_assign={},
+                         remaining=list(combo.reads), deferred={},
+                         pending_addr=[])
 
 
 def _constraints_ok(combo, env):
@@ -109,14 +150,25 @@ def _resolved_addr(combo, key, env):
 
 
 def _candidate_writes(combo, read_key, read_addr, env):
-    """Same-address writes with resolved values, plus the init write.
+    """The candidate rf sources of a read at ``read_addr``.
 
-    Returns (resolved, has_unresolved): the second flag reports that some
-    same-address write's value could not be resolved yet (used to order
-    read picks for completeness).
+    Each candidate is ``(write_key, value, addr_pending)``.  Writes with
+    a resolved address join only if it matches; writes whose address is
+    still symbolic (the target of an address dependency) join
+    *provisionally* with ``addr_pending=True`` — choosing one defers an
+    address-equality check until more reads are bound.  A candidate's
+    ``value`` may likewise be ``None`` (a data-dependent store whose
+    source read is unbound); choosing it defers the read's binding.
+    Keeping such writes in the candidate set is what makes the
+    enumeration complete regardless of the order reads are solved in —
+    dropping them silently under-approximated the allowed set for the
+    ``lb+addr``/``lb+data`` double-dependency families.
+
+    Returns (candidates, fully_resolved); the flag steers the solver
+    toward reads whose branches prune immediately.
     """
     read_sym = combo.sym_events[read_key]
-    resolved, has_unresolved = [], False
+    candidates, fully_resolved = [], True
     for write_key in combo.writes:
         write_sym = combo.sym_events[write_key]
         if (write_key[0] == read_key[0]
@@ -124,56 +176,114 @@ def _candidate_writes(combo, read_key, read_addr, env):
                 and write_sym.rmw_group == read_sym.rmw_group):
             continue  # an RMW cannot read its own write
         write_addr = resolve(write_sym.addr_term, env)
-        if write_addr is None:
-            has_unresolved = True
-            continue
-        if write_addr != read_addr:
+        if write_addr is not None and write_addr != read_addr:
             continue
         value = resolve(write_sym.value_term, env)
-        if value is None:
-            has_unresolved = True
-        else:
-            resolved.append((write_key, value))
+        addr_pending = write_addr is None
+        if addr_pending or value is None:
+            fully_resolved = False
+        candidates.append((write_key, value, addr_pending))
     location = combo.location_of(read_addr)
-    resolved.append((("init", location), combo.test.initial_value(location)))
-    return resolved, has_unresolved
+    candidates.append(
+        (("init", location), combo.test.initial_value(location), False))
+    return candidates, fully_resolved
 
 
-def _solve_rf(combo, env, rf_assign, remaining):
+def _propagate(combo, env, deferred, pending_addr):
+    """Settle deferred bindings as far as the environment allows.
+
+    ``deferred`` maps a read key to the write it provisionally reads
+    from while that write's value is still symbolic; ``pending_addr``
+    lists ``(read_key, write_key, read_addr)`` address-equality checks
+    for rf choices made before the write's address resolved.  Each new
+    binding can unlock further ones, so iterate to a fixpoint.  Returns
+    False when a pending address check resolves to a *mismatch* — the
+    branch is contradictory and must be pruned.
+    """
+    progress = True
+    while progress:
+        progress = False
+        for read_key, write_key in list(deferred.items()):
+            value = resolve(combo.sym_events[write_key].value_term, env)
+            if value is not None:
+                env[combo.sym_events[read_key].var] = value
+                del deferred[read_key]
+                progress = True
+        for check in list(pending_addr):
+            _, write_key, read_addr = check
+            addr = resolve(combo.sym_events[write_key].addr_term, env)
+            if addr is not None:
+                if addr != read_addr:
+                    return False
+                pending_addr.remove(check)
+                progress = True
+    return True
+
+
+def _solve_rf(combo, env, rf_assign, remaining, deferred, pending_addr):
     """Depth-first assignment of read-from edges."""
     if not _constraints_ok(combo, env):
         return
     if not remaining:
+        if deferred:
+            # Mutually dependent value bindings with no resolution order
+            # (each read provisionally sourced from a store whose value
+            # needs the other read): a dp|rf cycle.  No operational
+            # execution realises such thin-air values, and no-thin-air
+            # forbids the shape — discard the branch.
+            return
+        if pending_addr:
+            raise EnumerationError(
+                "address checks unresolved with all reads bound")
         if any(c.status(env) is not True for c in combo.constraints):
             raise EnumerationError("constraints undecided with all reads bound")
         yield from _enumerate_co(combo, env, rf_assign)
         return
 
-    # Prefer reads whose candidate set is fully resolved, for completeness.
+    # Candidate sets are complete for any pick (provisional candidates
+    # included), so the order is a pruning heuristic only: prefer reads
+    # whose candidates are fully resolved — their branches bind a
+    # concrete value immediately and contradictions surface early.
     best_index, best = None, None
     for index, key in enumerate(remaining):
         addr = _resolved_addr(combo, key, env)
         if addr is None:
             continue
-        candidates, has_unresolved = _candidate_writes(combo, key, addr, env)
-        rank = (has_unresolved, len(candidates))
+        candidates, fully_resolved = _candidate_writes(combo, key, addr, env)
+        rank = (not fully_resolved, len(candidates))
         if best is None or rank < best[0]:
             best_index, best = index, (rank, key, candidates)
-        if not has_unresolved:
+        if fully_resolved:
             break
     if best is None:
+        if deferred:
+            # Every remaining read waits on a deferred value (an address
+            # dependency chained behind a thin-air value cycle); no
+            # realisable execution down this branch.
+            return
         raise EnumerationError(
             "no read with a resolvable address; cyclic address dependency?")
 
     _, read_key, candidates = best
     rest = remaining[:best_index] + remaining[best_index + 1:]
     read_sym = combo.sym_events[read_key]
-    for write_key, value in candidates:
+    for write_key, value, addr_pending in candidates:
         new_env = dict(env)
-        new_env[read_sym.var] = value
+        new_deferred = dict(deferred)
+        new_pending = list(pending_addr)
+        if value is not None:
+            new_env[read_sym.var] = value
+        else:
+            new_deferred[read_key] = write_key
+        if addr_pending:
+            new_pending.append((read_key, write_key,
+                                _resolved_addr(combo, read_key, env)))
+        if not _propagate(combo, new_env, new_deferred, new_pending):
+            continue
         new_rf = dict(rf_assign)
         new_rf[read_key] = write_key
-        yield from _solve_rf(combo, new_env, new_rf, rest)
+        yield from _solve_rf(combo, new_env, new_rf, rest, new_deferred,
+                             new_pending)
 
 
 # ---------------------------------------------------------------------------

@@ -95,9 +95,17 @@ class AxiomaticModel:
     def failed_checks(self, execution):
         return self.cat.failed_checks(execution)
 
-    def allowed_outcomes(self, test, fuel=128, on_fuel="error"):
-        """The set of final states allowed for ``test``."""
-        executions = enumerate_executions(test, fuel=fuel, on_fuel=on_fuel)
+    def allowed_outcomes(self, test, fuel=128, on_fuel="error",
+                         max_executions=None, on_limit="error"):
+        """The set of final states allowed for ``test``.
+
+        With ``on_limit="error"`` (the default, mirroring ``on_fuel``) a
+        ``max_executions`` cap that cuts the enumeration short raises
+        instead of silently under-approximating the allowed set.
+        """
+        executions = enumerate_executions(test, fuel=fuel, on_fuel=on_fuel,
+                                          max_executions=max_executions,
+                                          on_limit=on_limit)
         return allowed_final_states(executions, model=self)
 
     def allows_condition(self, test, fuel=128, on_fuel="error"):

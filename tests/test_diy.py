@@ -194,3 +194,39 @@ class TestFamilyGeneration:
         pool = default_pool(fences=(Scope.GL,))
         for test in generate_tests(pool, max_length=3, max_tests=40):
             assert test.validate() == [], test.name
+
+
+class TestNameUniqueness:
+    """Distinct cycles classifying to one idiom must not share a name
+    (they would silently merge rows in name-keyed campaign tables)."""
+
+    def test_length3_collision_gets_deterministic_suffix(self):
+        # The default pool at max_length=3 yields 4 distinct bodies; the
+        # inter- and intra-CTA coRR cycles both classify as "coRR".
+        tests = generate_tests(default_pool(), max_length=3)
+        names = [test.name for test in tests]
+        assert len(names) == len(set(names))
+        assert "coRR" in names and "coRR-2" in names
+        from repro.litmus.writer import write_litmus
+        bodies = {write_litmus(test) for test in tests}
+        assert len(bodies) == len(tests)
+
+    def test_full_length4_pool_names_unique(self):
+        tests = generate_tests(default_pool(), max_length=4)
+        names = [test.name for test in tests]
+        assert len(names) == len(set(names))
+
+    def test_suffixes_are_deterministic_across_runs(self):
+        first = [t.name for t in generate_tests(default_pool(), max_length=3)]
+        second = [t.name for t in generate_tests(default_pool(), max_length=3)]
+        assert first == second
+
+    def test_allocator_never_collides_with_taken_names(self):
+        from repro.diy import NameAllocator
+
+        allocator = NameAllocator()
+        assert allocator.assign("mp-2") == "mp-2"
+        assert allocator.assign("mp") == "mp"
+        # The ordinal skips the already-taken "mp-2".
+        assert allocator.assign("mp") == "mp-3"
+        assert allocator.assign("mp") == "mp-4"

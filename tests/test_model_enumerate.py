@@ -22,8 +22,99 @@ class TestBasicCounts:
     def test_corr_four_combinations(self):
         assert len(enumerate_executions(library.build("coRR"))) == 4
 
-    def test_max_executions_cap(self):
-        assert len(enumerate_executions(library.build("sb"), max_executions=2)) == 2
+    def test_max_executions_cap_errors_by_default(self):
+        # A silently truncated enumeration under-approximates the allowed
+        # set (on mp, max_executions=2 used to return 2 of 4 allowed
+        # outcomes with no signal) — the default policy now refuses.
+        with pytest.raises(EnumerationError, match="under-approximated"):
+            enumerate_executions(library.build("sb"), max_executions=2)
+
+    def test_max_executions_truncate_policy_is_flagged(self):
+        executions = enumerate_executions(library.build("sb"),
+                                          max_executions=2,
+                                          on_limit="truncate")
+        assert len(executions) == 2
+        assert executions.truncated
+
+    def test_cap_equal_to_total_is_complete(self):
+        executions = enumerate_executions(library.build("sb"),
+                                          max_executions=4)
+        assert len(executions) == 4
+        assert not executions.truncated
+
+    def test_unbounded_enumeration_not_truncated(self):
+        assert not enumerate_executions(library.build("mp")).truncated
+
+    def test_truncated_allowed_set_under_approximates(self):
+        test = library.build("mp")
+        full = allowed_final_states(enumerate_executions(test))
+        partial = allowed_final_states(
+            enumerate_executions(test, max_executions=2,
+                                 on_limit="truncate"))
+        assert partial < full  # strictly fewer states: the bug's hazard
+
+    def test_bad_on_limit_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_executions(library.build("sb"), on_limit="ignore")
+
+    def test_addr_dependent_store_candidates_not_dropped(self):
+        # lb+addr: T1's store address is an addr-dependency computation,
+        # symbolic until T1's read is bound.  The rf solver must bind
+        # T1's read first — solving T0's read against only the resolved
+        # (init) candidate used to drop every execution where T0 reads
+        # from T1's store, under-approximating the allowed set and
+        # producing false soundness violations.
+        from repro.diy import Cycle, cycle_to_test, dp, po, rfe
+
+        test = cycle_to_test(Cycle([po("R", "W"), rfe(),
+                                    dp("addr", "W"), rfe()]))
+        finals = {(state.reg(0, "r0"), state.reg(1, "r0"))
+                  for state in allowed_final_states(
+                      enumerate_executions(test))}
+        assert finals == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_double_dependency_candidates_not_dropped(self):
+        # lb+addr+addr: BOTH stores' addresses are dependency
+        # computations, so whichever read is solved first sees the other
+        # store unresolved.  Provisional candidates (with the address
+        # check deferred) must keep those executions; ordering alone
+        # cannot.
+        from repro.diy import Cycle, cycle_to_test, dp, rfe
+
+        test = cycle_to_test(Cycle([dp("addr", "W"), rfe(),
+                                    dp("addr", "W"), rfe()]))
+        finals = {(state.reg(0, "r0"), state.reg(1, "r0"))
+                  for state in allowed_final_states(
+                      enumerate_executions(test))}
+        assert finals == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_thin_air_value_cycle_discarded_not_invented(self):
+        # lb+data+data: each store's *value* needs the other thread's
+        # read.  The rf combination where both reads source the
+        # dependent stores is a dp|rf cycle — values out of thin air —
+        # which no operational execution realises and no-thin-air
+        # forbids; the enumerator discards it and keeps the three
+        # realisable combinations.
+        from repro.diy import Cycle, cycle_to_test, dp, rfe
+
+        test = cycle_to_test(Cycle([dp("data", "W"), rfe(),
+                                    dp("data", "W"), rfe()]))
+        executions = enumerate_executions(test)
+        assert len(executions) == 3
+        finals = {(state.reg(0, "r0"), state.reg(1, "r0"))
+                  for state in allowed_final_states(executions)}
+        assert finals == {(0, 0), (0, 1), (1, 0)}
+
+    def test_model_backend_refuses_truncated_enumeration(self):
+        from repro.api import ModelBackend, RunSpec
+
+        backend = ModelBackend(max_executions=2)
+        spec = RunSpec.make(library.build("mp"), "Titan", iterations=100)
+        with pytest.raises(EnumerationError):
+            backend.run(spec)
+        # A cap the enumeration fits inside behaves like no cap.
+        roomy = ModelBackend(max_executions=64)
+        assert roomy.run(spec).counts == ModelBackend().run(spec).counts
 
 
 class TestFinalStates:
