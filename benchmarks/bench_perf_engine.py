@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Engine perf benchmark: reference vs fast, tracked in BENCH_engine.json.
+
+Times both simulation engines on a pinned ``(test, chip)`` corpus
+(:data:`repro.perf.PINNED_CORPUS`; ``--corpus tiny`` for the CI smoke
+subset), prints the comparison table and writes the machine-readable
+trajectory file.  Exits non-zero if
+
+* the fast engine's *warm* (steady-state) rate falls below
+  ``--min-speedup`` times the reference rate on any cell, or
+* any cell's same-seed histograms diverge between the engines (the
+  bit-identity contract; also property-tested in
+  ``tests/test_sim_compile.py``).
+
+Usage::
+
+    python benchmarks/bench_perf_engine.py                 # pinned corpus
+    python benchmarks/bench_perf_engine.py --corpus tiny \\
+        --iterations 500 --min-speedup 1.0 --output BENCH_engine.json
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.errors import ReproError  # noqa: E402
+from repro.perf import (bench_engines, corpus_by_name, render_table,  # noqa: E402
+                        summarize, write_report)
+
+#: Default output: the tracked trajectory file at the repo root.
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "..",
+                              "BENCH_engine.json")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--corpus", default="pinned",
+                        choices=("pinned", "tiny"),
+                        help="cell set: pinned (default) or the CI-sized "
+                             "tiny subset")
+    parser.add_argument("--iterations", type=int, default=2000,
+                        help="iterations per engine per cell (default 2000)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing repeats (default 3)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="fail if any cell's warm speedup is below "
+                             "this (default 1.0: the fast engine must "
+                             "never lose to the reference engine)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write BENCH_engine.json "
+                             "(default: repo root)")
+    args = parser.parse_args(argv)
+
+    try:
+        corpus = corpus_by_name(args.corpus)
+        cells = bench_engines(corpus, iterations=args.iterations,
+                              seed=args.seed, repeats=args.repeats)
+    except ReproError as error:
+        raise SystemExit(str(error))
+    summary = summarize(cells)
+    print(render_table(cells))
+    print("geomean speedup: %.2fx warm, %.2fx cold (min warm %.2fx)"
+          % (summary["geomean_speedup_warm"],
+             summary["geomean_speedup_cold"],
+             summary["min_speedup_warm"]))
+    write_report(args.output, cells, args.corpus, args.iterations,
+                 args.seed, extra={"repeats": args.repeats})
+    print("wrote %s" % os.path.relpath(args.output))
+
+    failures = []
+    if not summary["all_identical"]:
+        failures.append("engines diverged: some cell's histograms are not "
+                        "bit-identical")
+    slow = [cell for cell in cells if cell.speedup_warm < args.min_speedup]
+    for cell in slow:
+        failures.append("%s on %s: warm speedup %.2fx < %.2fx"
+                        % (cell.test, cell.chip, cell.speedup_warm,
+                           args.min_speedup))
+    for failure in failures:
+        print("FAIL: %s" % failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

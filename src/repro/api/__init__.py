@@ -15,6 +15,11 @@ Quick tour::
     result = session.run(library.build("mp"), "Titan", iterations=100000)
     print(result.summary())
 
+    # The simulation engine is switchable per session, per call or per
+    # spec ("fast" compiled cells by default, "reference" for the
+    # generic interpreter); histograms are bit-identical either way.
+    slow = Session(engine="reference")
+
     campaign = session.campaign(
         [library.build(name) for name in ("mp", "lb", "sb")],
         ["Titan", "GTX6", "HD7970"])

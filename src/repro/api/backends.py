@@ -5,11 +5,14 @@ A :class:`Backend` turns a :class:`~repro.api.spec.RunSpec` into a
 implementations ship:
 
 * :class:`SimBackend` — "run it on silicon": executes the spec on the
-  operational GPU simulator (:class:`~repro.sim.machine.GpuMachine`),
-  iteration by iteration.  Supports *sharding*: a spec's iterations are
-  split into fixed-size shards, each with a deterministic seed, so a
-  pool can run them in parallel and merge the histograms bit-identically
-  to the serial order.
+  operational GPU simulator, iteration by iteration, on the engine the
+  spec names (``fast``: a memoised
+  :class:`~repro.sim.compile.CompiledCell`; ``reference``:
+  :class:`~repro.sim.machine.GpuMachine` — bit-identical histograms
+  either way).  Supports *sharding*: a spec's iterations are split into
+  fixed-size shards, each with a deterministic seed, so a pool can run
+  them in parallel and merge the histograms bit-identically to the
+  serial order.
 * :class:`ModelBackend` — "check it against the model": enumerates the
   candidate executions of an axiomatic model
   (:mod:`repro.model.models`) and returns the *allowed* final states as
@@ -26,12 +29,15 @@ worker count or execution order.
 
 import hashlib
 import random
+import threading
 from dataclasses import dataclass
 
 from ..harness.histogram import Histogram
 from ..harness.incantations import efficacy
 from ..litmus.writer import write_litmus
 from ..model.models import MODELS, load_model
+from ..sim.compile import compile_cell
+from ..sim.engine import run_batch
 from ..sim.machine import GpuMachine
 
 #: Default iterations per shard.  Small campaign cells (every tier-1
@@ -117,27 +123,84 @@ class Backend:
 
 
 class SimBackend(Backend):
-    """Operational execution on the simulated chips (Sec. 4 campaigns)."""
+    """Operational execution on the simulated chips (Sec. 4 campaigns).
+
+    ``spec.engine`` picks the execution engine per cell: ``"fast"``
+    lowers the cell once through :func:`repro.sim.compile.compile_cell`
+    and reuses the compiled machine for every shard this process runs
+    (the memo is process-local — compiled cells hold closures and do not
+    pickle, so process-pool workers each compile their own, amortised
+    over a shard's iterations); ``"reference"`` interprets through
+    :class:`~repro.sim.machine.GpuMachine`.  Both produce bit-identical
+    histograms for the same shard seeds, which the cache signature
+    nevertheless keeps apart (see :meth:`cache_signature`).
+    """
 
     name = "sim"
     supports_sharding = True
 
+    #: Compiled-cell memo cap; a long-lived session (e.g. the benchmark
+    #: suite's shared one) must not accumulate closures without bound.
+    MAX_COMPILED = 512
+
     def __init__(self, shard_size=DEFAULT_SHARD_SIZE):
         self.shard_size = shard_size
+        # Per-*thread* memo: a CompiledCell mutates its own machine
+        # state during run_once, so two pool threads must never share
+        # one.  (Process pools sidestep this via pickling, which drops
+        # the memo entirely — see __getstate__.)
+        self._local = threading.local()
+
+    def __getstate__(self):
+        # Compiled cells hold closures; drop the memo when a process
+        # pool pickles the backend into its workers.
+        state = self.__dict__.copy()
+        del state["_local"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._local = threading.local()
+
+    def cache_signature(self, spec):
+        """Fingerprint plus engine.
+
+        The engines are bit-identical by contract, but their results
+        must not share cache entries: a histogram cached by one engine
+        would otherwise satisfy (and silently mask) a run requested on
+        the other, including the equivalence tests that enforce the
+        contract in the first place.
+        """
+        return "%s-%s" % (spec.fingerprint(), spec.engine)
 
     def _machine(self, spec):
         intensity = efficacy(spec.chip.vendor, spec.test.idiom or "mp",
                              spec.incantations)
+        if spec.engine == "fast":
+            cells = getattr(self._local, "cells", None)
+            if cells is None:
+                cells = self._local.cells = {}
+            # Key on what the compiled cell actually depends on — test
+            # text, chip profile, incantation column — not the full
+            # fingerprint, so iteration/seed variants of one cell share
+            # a single compilation.
+            key = (spec.test.name, write_litmus(spec.test),
+                   repr(spec.chip), spec.incantations.column)
+            machine = cells.get(key)
+            if machine is None:
+                if len(cells) >= self.MAX_COMPILED:
+                    cells.clear()
+                machine = compile_cell(
+                    spec.test, spec.chip, intensity=intensity,
+                    shuffle_placement=spec.incantations.thread_rand)
+                cells[key] = machine
+            return machine
         return GpuMachine(spec.test, spec.chip, intensity=intensity,
                           shuffle_placement=spec.incantations.thread_rand)
 
     def run_shard(self, spec, shard):
-        machine = self._machine(spec)
-        rng = random.Random(shard.seed)
-        histogram = Histogram()
-        for _ in range(shard.iterations):
-            histogram.add(machine.run_once(rng))
-        return histogram
+        return run_batch(self._machine(spec), shard.iterations,
+                         random.Random(shard.seed), Histogram())
 
     def run(self, spec):
         return Histogram.merge(self.run_shard(spec, shard)

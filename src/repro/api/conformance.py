@@ -266,15 +266,23 @@ def run_soundness(tests, chips, model="ptx", incantations=BEST,
                   iterations=None, seed=0, jobs=1, executor="thread",
                   cache=True, cache_dir=None, chunk_size=DEFAULT_CHUNK_SIZE,
                   fuel=128, sim_session=None, model_session=None,
-                  progress=None):
+                  progress=None, engine=None):
     """Run the Sec. 5.4 conformance campaign over ``tests`` x ``chips``.
 
     ``tests`` is any iterable of litmus tests (a generator streams —
     chunked planning holds at most ``chunk_size`` tests' histograms at
     once); names must be corpus-unique (see :func:`uniquify_tests`).
     ``model`` names the axiomatic reference (``"ptx"`` is the paper's).
-    Sim cells use ``incantations``/``iterations``/``seed`` exactly like
-    :meth:`Session.campaign`.
+    Sim cells use ``incantations``/``iterations``/``seed``/``engine``
+    exactly like :meth:`Session.campaign` (``engine`` matters only for
+    wall-clock: both engines yield bit-identical observations).
+
+    Example — validate a small generated corpus on two chips::
+
+        from repro.diy import default_pool, generate_tests
+        tests = generate_tests(default_pool(), max_length=4, max_tests=20)
+        report = run_soundness(tests, ["Titan", "GTX7"], iterations=1000)
+        assert report.ok, report.violation_lines()
 
     ``jobs``/``executor``/``cache``/``cache_dir`` configure the two
     internally built sessions, which share one worker pool and one
@@ -300,7 +308,8 @@ def run_soundness(tests, chips, model="ptx", incantations=BEST,
         if sim_session is None:
             sim_session = Session(backend="sim", jobs=jobs,
                                   executor=executor, cache=cache,
-                                  cache_dir=cache_dir, pool=own_pool)
+                                  cache_dir=cache_dir, pool=own_pool,
+                                  engine=engine)
         if model_session is None:
             # Share the sim session's cache object so one cache_dir (and
             # one in-memory tier) serves both backends; keys never
@@ -332,7 +341,9 @@ def run_soundness(tests, chips, model="ptx", incantations=BEST,
                 allowed[test.name] = frozenset(result.histogram.counts)
                 report.add_test(test.name, len(allowed[test.name]))
             sim_specs = matrix(chunk, chips, incantations=incantations,
-                               iterations=iterations, seed=seed)
+                               iterations=iterations, seed=seed,
+                               engine=(engine if engine is not None
+                                       else sim_session.engine))
             for result in sim_session.run_specs(sim_specs):
                 cell = _join_cell(result, allowed[result.test.name])
                 report.add_cell(cell)

@@ -110,10 +110,25 @@ class Session:
         owns its lifetime (the session never shuts it down), which lets
         several sessions — e.g. the sim and model halves of a
         conformance pipeline — share one worker pool.
+    engine:
+        Default simulation engine for specs this session builds:
+        ``"fast"`` (compiled cells, the default) or ``"reference"``
+        (the generic interpreter) — bit-identical histograms either
+        way.  ``None`` defers to the ``REPRO_ENGINE`` environment
+        variable; a prepared :class:`RunSpec` always keeps its own
+        ``engine``.
+
+    Example::
+
+        session = Session(jobs=4, engine="fast")
+        result = session.run(library.build("mp"), "Titan",
+                             iterations=100000)
+        print(result.summary())
     """
 
     def __init__(self, backend="sim", jobs=1, cache=True, cache_dir=None,
-                 shard_size=DEFAULT_SHARD_SIZE, executor="thread", pool=None):
+                 shard_size=DEFAULT_SHARD_SIZE, executor="thread", pool=None,
+                 engine=None):
         self.backend = make_backend(backend)
         if jobs < 1:
             raise ReproError("jobs must be >= 1, got %r" % jobs)
@@ -126,6 +141,10 @@ class Session:
                              % (executor,))
         self.executor = executor
         self.pool = pool
+        if engine is not None:
+            from ..sim.engine import resolve_engine
+            engine = resolve_engine(engine)
+        self.engine = engine
         if isinstance(cache, ResultCache):
             self.cache = cache
         elif cache_dir or cache:
@@ -137,9 +156,18 @@ class Session:
     # -- public API -------------------------------------------------------
 
     def run(self, test, chip=None, incantations=BEST, iterations=None,
-            seed=0):
+            seed=0, engine=None):
         """Execute one cell; accepts a prepared :class:`RunSpec` or the
-        (test, chip, ...) fields of one."""
+        (test, chip, ...) fields of one.
+
+        >>> from repro.api import Session
+        >>> from repro.litmus import library
+        >>> session = Session(cache=False)
+        >>> result = session.run(library.build("mp"), "Titan",
+        ...                      iterations=500, seed=1)
+        >>> result.iterations
+        500
+        """
         if isinstance(test, RunSpec):
             spec = test
         else:
@@ -147,7 +175,8 @@ class Session:
                 raise ReproError("Session.run needs a chip unless given a "
                                  "RunSpec")
             spec = RunSpec.make(test, chip, incantations=incantations,
-                                iterations=iterations, seed=seed)
+                                iterations=iterations, seed=seed,
+                                engine=self._engine(engine))
         return self.run_specs([spec])[0]
 
     def run_specs(self, specs):
@@ -194,16 +223,18 @@ class Session:
         return [results[index] for index in range(len(specs))]
 
     def campaign(self, tests, chips, incantations=BEST, iterations=None,
-                 seed=0):
+                 seed=0, engine=None):
         """Plan and execute the cartesian product campaign."""
         specs = matrix(tests, chips, incantations=incantations,
-                       iterations=iterations, seed=seed)
+                       iterations=iterations, seed=seed,
+                       engine=self._engine(engine))
         campaign = CampaignResult()
         for result in self.run_specs(specs):
             campaign.add(result)
         return campaign
 
-    def plan(self, tests, chips, incantations=BEST, iterations=None, seed=0):
+    def plan(self, tests, chips, incantations=BEST, iterations=None, seed=0,
+             engine=None):
         """Lazily yield the cartesian-product plan of :meth:`campaign`.
 
         The generator twin of :func:`~repro.api.spec.matrix`: ``tests``
@@ -213,10 +244,12 @@ class Session:
         :meth:`run_stream`.
         """
         chips = list(chips)
+        engine = self._engine(engine)
         for test in tests:
             for chip in chips:
                 yield RunSpec.make(test, chip, incantations=incantations,
-                                   iterations=iterations, seed=seed)
+                                   iterations=iterations, seed=seed,
+                                   engine=engine)
 
     def run_stream(self, specs, chunk_size=DEFAULT_CHUNK_SIZE):
         """Execute a plan in chunks; yields results in plan order.
@@ -238,6 +271,11 @@ class Session:
 
     #: Backwards-friendly alias mirroring the old harness name.
     run_matrix = campaign
+
+    def _engine(self, engine):
+        """Per-call engine override, else the session default (which may
+        itself be ``None`` = environment default)."""
+        return engine if engine is not None else self.engine
 
     # -- execution strategies ---------------------------------------------
 
@@ -348,8 +386,9 @@ class Session:
 
 
 def run_campaign(tests, chips, incantations=BEST, iterations=None, seed=0,
-                 backend="sim", jobs=1, cache_dir=None):
+                 backend="sim", jobs=1, cache_dir=None, engine=None):
     """One-shot convenience: build a Session, run the campaign."""
-    session = Session(backend=backend, jobs=jobs, cache_dir=cache_dir)
+    session = Session(backend=backend, jobs=jobs, cache_dir=cache_dir,
+                      engine=engine)
     return session.campaign(tests, chips, incantations=incantations,
                             iterations=iterations, seed=seed)

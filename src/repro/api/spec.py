@@ -17,6 +17,7 @@ from ..errors import ReproError
 from ..harness.incantations import Incantations, best_for
 from ..litmus.writer import write_litmus
 from ..sim.chip import CHIPS, ChipProfile
+from ..sim.engine import resolve_engine
 
 #: Sentinel accepted wherever an incantation combination is expected:
 #: resolve to the most effective combination for the chip's vendor and
@@ -119,9 +120,33 @@ class RunSpec:
     incantations: Incantations
     iterations: int
     seed: int = 0
+    #: Simulation engine for sim backends: ``"fast"`` (the compiled
+    #: cells of :mod:`repro.sim.compile`) or ``"reference"`` (the
+    #: generic interpreter).  The two are bit-identical by
+    #: property-tested contract, so the engine is *not* part of the
+    #: content fingerprint (and therefore never perturbs shard seeds) —
+    #: but it *is* part of the sim backend's cache signature, so cached
+    #: histograms never cross engines (a cached reference result must
+    #: not mask a fast-engine bug, and vice versa).
+    engine: str = "fast"
 
     @staticmethod
-    def make(test, chip, incantations=BEST, iterations=None, seed=0):
+    def make(test, chip, incantations=BEST, iterations=None, seed=0,
+             engine=None):
+        """Build a normalised spec.
+
+        ``engine=None`` resolves through
+        :func:`repro.sim.engine.resolve_engine` (the ``REPRO_ENGINE``
+        environment variable, default ``"fast"``).
+
+        >>> from repro.litmus import library
+        >>> spec = RunSpec.make(library.build("mp"), "Titan",
+        ...                     iterations=1000, seed=7)
+        >>> spec.key
+        ('mp', 'Titan')
+        >>> spec.engine
+        'fast'
+        """
         from ..harness.runner import default_iterations
 
         chip = resolve_chip(chip)
@@ -131,7 +156,8 @@ class RunSpec:
         if iterations < 1:
             raise ReproError("iterations must be positive, got %r" % iterations)
         return RunSpec(test=test, chip=chip, incantations=incantations,
-                       iterations=int(iterations), seed=int(seed))
+                       iterations=int(iterations), seed=int(seed),
+                       engine=resolve_engine(engine))
 
     @property
     def key(self):
@@ -141,14 +167,21 @@ class RunSpec:
     def with_iterations(self, iterations):
         return replace(self, iterations=int(iterations))
 
+    def with_engine(self, engine):
+        return replace(self, engine=resolve_engine(engine))
+
     def fingerprint(self):
         """Stable content hash of this spec (hex digest).
 
         Covers the full litmus text (not just the name), the chip's
         complete profile (so recalibrated knobs invalidate old cache
-        entries), the incantation column, iterations and seed.  All
-        fields are frozen, so the digest is computed once and memoised
-        (cache lookup, store and every shard seed re-ask for it).
+        entries), the incantation column, iterations and seed.  The
+        ``engine`` is deliberately **excluded**: per-shard seeds derive
+        from this digest, and engine-independent seeding is exactly what
+        makes the fast/reference bit-identity contract testable (and the
+        histograms interchangeable).  All fields are frozen, so the
+        digest is computed once and memoised (cache lookup, store and
+        every shard seed re-ask for it).
         """
         cached = self.__dict__.get("_fingerprint")
         if cached is not None:
@@ -170,7 +203,8 @@ class RunSpec:
             self.iterations, self.seed)
 
 
-def matrix(tests, chips, incantations=BEST, iterations=None, seed=0):
+def matrix(tests, chips, incantations=BEST, iterations=None, seed=0,
+           engine=None):
     """Cartesian-product campaign plan: one :class:`RunSpec` per
     (test, chip) cell — the planner behind ``Session.campaign`` and the
     successor of the old ``run_matrix`` loop."""
@@ -178,5 +212,6 @@ def matrix(tests, chips, incantations=BEST, iterations=None, seed=0):
     for test in tests:
         for chip in chips:
             specs.append(RunSpec.make(test, chip, incantations=incantations,
-                                      iterations=iterations, seed=seed))
+                                      iterations=iterations, seed=seed,
+                                      engine=engine))
     return specs

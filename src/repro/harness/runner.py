@@ -90,33 +90,37 @@ def _legacy_result(result):
 
 
 def run_litmus(test, chip, incantations=None, iterations=None, seed=0,
-               session=None):
+               session=None, engine=None):
     """Run ``test`` on ``chip`` under ``incantations``.
 
     ``incantations=None`` means the bare Sec. 4.2 setup (no incantations
     enabled) — which, as the paper reports, rarely witnesses anything on
     Nvidia chips.  Pass ``session`` to reuse a configured
-    :class:`repro.api.Session` (workers, cache) for many calls.
+    :class:`repro.api.Session` (workers, cache) for many calls, and
+    ``engine`` to pick the simulation engine (``"fast"``/``"reference"``,
+    bit-identical histograms).
     """
     from ..api import RunSpec
 
     spec = RunSpec.make(test, chip,
                         incantations=incantations or Incantations.none(),
-                        iterations=iterations, seed=seed)
+                        iterations=iterations, seed=seed, engine=engine)
     return _legacy_result(_session(session).run(spec))
 
 
-def run_paper_config(test, chip, iterations=None, seed=0, session=None):
+def run_paper_config(test, chip, iterations=None, seed=0, session=None,
+                     engine=None):
     """Run with the most effective incantations — the configuration whose
     observation counts the paper's figures report."""
     chip = _resolve_chip(chip)
     incantations = best_for(chip.vendor, test.idiom or "mp")
     return run_litmus(test, chip, incantations=incantations,
-                      iterations=iterations, seed=seed, session=session)
+                      iterations=iterations, seed=seed, session=session,
+                      engine=engine)
 
 
 def run_matrix(tests, chips, iterations=None, seed=0, paper_config=True,
-               session=None):
+               session=None, engine=None):
     """Run a family of tests across chips.
 
     Returns ``{(test name, chip short): RunResult}``.  Used by the
@@ -127,6 +131,7 @@ def run_matrix(tests, chips, iterations=None, seed=0, paper_config=True,
     incantations = "best" if paper_config else Incantations.none()
     campaign = _session(session).campaign(
         tests, [_resolve_chip(chip) for chip in chips],
-        incantations=incantations, iterations=iterations, seed=seed)
+        incantations=incantations, iterations=iterations, seed=seed,
+        engine=engine)
     return {key: _legacy_result(result)
             for key, result in campaign.results.items()}

@@ -1,0 +1,16 @@
+"""repro.perf — the performance-measurement subsystem.
+
+Times the simulation engines against each other on a pinned corpus and
+records the repo's perf trajectory in ``BENCH_engine.json`` (written by
+``benchmarks/bench_perf_engine.py``, checked in CI's perf-smoke job).
+"""
+
+from .enginebench import (EngineBenchCell, PINNED_CORPUS, TINY_CORPUS,
+                          bench_engines, corpus_by_name, render_table,
+                          summarize, write_report)
+
+__all__ = [
+    "EngineBenchCell", "PINNED_CORPUS", "TINY_CORPUS",
+    "bench_engines", "corpus_by_name", "render_table", "summarize",
+    "write_report",
+]

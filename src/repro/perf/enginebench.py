@@ -1,0 +1,218 @@
+"""Timing harness for the simulation engines (``BENCH_engine.json``).
+
+Measures, per cell of a pinned ``(test, chip)`` corpus, how many
+iterations per second each engine sustains:
+
+* ``reference`` — the generic interpreter of
+  :class:`~repro.sim.machine.GpuMachine`;
+* ``fast (cold)`` — one :func:`~repro.sim.compile.compile_cell` pass
+  *plus* the run, i.e. what a process-pool worker pays on its first
+  shard of a cell;
+* ``fast (warm)`` — the compiled cell reused, i.e. the steady state of
+  every campaign (all shards after the first, and every cell a
+  session's in-process memo already holds).
+
+Each timed run also cross-checks the bit-identity contract: the two
+engines must produce the same histogram from the same seed, so a perf
+number can never come from a semantically diverged fast path.
+
+The output schema (:func:`write_report`) is the repo's perf trajectory:
+``benchmarks/bench_perf_engine.py`` emits it as ``BENCH_engine.json``,
+CI uploads it as an artifact and fails if the fast engine loses to the
+reference engine, and the README's Performance section quotes it.
+"""
+
+import json
+import random
+import time
+from dataclasses import asdict, dataclass
+
+from ..errors import ReproError
+from ..harness.incantations import best_for, efficacy
+from ..litmus import library
+from ..sim.chip import CHIPS
+from ..sim.compile import compile_cell
+from ..sim.engine import run_batch
+from ..sim.machine import GpuMachine
+
+#: Report schema version (bump on layout changes).
+SCHEMA_VERSION = 1
+
+#: The pinned perf corpus: one cell per behaviour class the simulator
+#: spends its cycles on — plain message passing, the load-load hazard,
+#: AMD's R->W reordering, store buffering, atomics, the L1-staleness
+#: machinery (the memory-system-heavy worst case for the fast path) and
+#: a spin-loop test.  Chips chosen so every vendor/architecture family
+#: with distinct switch sets is represented.
+PINNED_CORPUS = (
+    ("mp", "Titan"),
+    ("coRR", "GTX5"),
+    ("lb", "HD7970"),
+    ("sb", "TesC"),
+    ("cas-sl", "GTX6"),
+    ("dlb-mp", "Titan"),
+    ("mp-L1", "TesC"),
+    ("sl-future", "Titan"),
+)
+
+#: CI-sized subset for the perf-smoke job.
+TINY_CORPUS = (
+    ("mp", "Titan"),
+    ("coRR", "GTX5"),
+    ("lb", "HD7970"),
+    ("mp-L1", "TesC"),
+)
+
+_CORPORA = {"pinned": PINNED_CORPUS, "tiny": TINY_CORPUS}
+
+
+def corpus_by_name(name):
+    """Resolve a corpus name (``pinned``/``tiny``) to cell pairs."""
+    try:
+        return _CORPORA[name]
+    except KeyError:
+        raise ReproError("unknown perf corpus %r (expected %s)"
+                         % (name, "/".join(sorted(_CORPORA)))) from None
+
+
+@dataclass(frozen=True)
+class EngineBenchCell:
+    """Measured rates for one (test, chip) cell, iterations/second."""
+
+    test: str
+    chip: str
+    iterations: int
+    reference_ips: float
+    fast_cold_ips: float      #: includes the one-off compile
+    fast_warm_ips: float      #: compiled cell reused (steady state)
+    speedup_cold: float
+    speedup_warm: float
+    identical: bool           #: same-seed histograms matched exactly
+
+
+def _timed(machine, iterations, seed, setup=None, repeats=1):
+    """Best-of-``repeats`` timing of ``iterations`` runs.
+
+    ``setup`` (when given) builds the machine *inside* the timed region
+    — that is how the cold-compile cost is charged.  Every repeat
+    reseeds identically, so the returned histogram counts are the same
+    each time and the minimum wall-clock is a fair noise filter.
+    """
+    best = None
+    counts = None
+    for _ in range(max(repeats, 1)):
+        rng = random.Random(seed)
+        start = time.perf_counter()
+        timed_machine = setup() if setup is not None else machine
+        histogram = run_batch(timed_machine, iterations, rng)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+        counts = histogram.counts
+    return max(best, 1e-9), counts
+
+
+def bench_cell(test_name, chip_short, iterations=2000, seed=0, repeats=3):
+    """Measure one corpus cell; returns an :class:`EngineBenchCell`."""
+    test = library.build(test_name)
+    chip = CHIPS[chip_short]
+    incantations = best_for(chip.vendor, test.idiom or "mp")
+    intensity = efficacy(chip.vendor, test.idiom or "mp", incantations)
+    shuffle = incantations.thread_rand
+
+    def reference():
+        return GpuMachine(test, chip, intensity=intensity,
+                          shuffle_placement=shuffle)
+
+    def compiled():
+        return compile_cell(test, chip, intensity=intensity,
+                            shuffle_placement=shuffle)
+
+    ref_seconds, ref_counts = _timed(None, iterations, seed,
+                                     setup=reference, repeats=repeats)
+    cold_seconds, cold_counts = _timed(None, iterations, seed,
+                                       setup=compiled, repeats=repeats)
+    warm_cell = compile_cell(test, chip, intensity=intensity,
+                             shuffle_placement=shuffle)
+    run_batch(warm_cell, 50, random.Random(seed))  # pre-touch
+    warm_seconds, warm_counts = _timed(warm_cell, iterations, seed,
+                                       repeats=repeats)
+
+    return EngineBenchCell(
+        test=test_name, chip=chip_short, iterations=iterations,
+        reference_ips=iterations / ref_seconds,
+        fast_cold_ips=iterations / cold_seconds,
+        fast_warm_ips=iterations / warm_seconds,
+        speedup_cold=ref_seconds / cold_seconds,
+        speedup_warm=ref_seconds / warm_seconds,
+        identical=(ref_counts == cold_counts == warm_counts))
+
+
+def bench_engines(corpus=PINNED_CORPUS, iterations=2000, seed=0, repeats=3):
+    """Measure every corpus cell; returns a list of cells."""
+    return [bench_cell(test, chip, iterations=iterations, seed=seed,
+                       repeats=repeats)
+            for test, chip in corpus]
+
+
+def _geomean(values):
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def summarize(cells):
+    """Aggregate stats over measured cells (geomean/min speedups)."""
+    warm = [cell.speedup_warm for cell in cells]
+    cold = [cell.speedup_cold for cell in cells]
+    return {
+        "cells": len(cells),
+        "geomean_speedup_warm": round(_geomean(warm), 3),
+        "geomean_speedup_cold": round(_geomean(cold), 3),
+        "min_speedup_warm": round(min(warm), 3) if warm else 0.0,
+        "min_speedup_cold": round(min(cold), 3) if cold else 0.0,
+        "all_identical": all(cell.identical for cell in cells),
+    }
+
+
+def write_report(path, cells, corpus_name, iterations, seed, extra=None):
+    """Write the ``BENCH_engine.json`` trajectory entry."""
+    payload = {
+        "version": SCHEMA_VERSION,
+        "benchmark": "engine",
+        "corpus": corpus_name,
+        "iterations_per_cell": iterations,
+        "seed": seed,
+        "cells": [
+            {key: (round(value, 1) if isinstance(value, float) else value)
+             for key, value in asdict(cell).items()}
+            for cell in cells
+        ],
+        "summary": summarize(cells),
+    }
+    if extra:
+        payload.update(extra)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=False)
+        handle.write("\n")
+    return payload
+
+
+def render_table(cells):
+    """Human-readable comparison table for the console."""
+    from .._util import format_table
+
+    rows = [[cell.test, cell.chip, cell.iterations,
+             "%.0f" % cell.reference_ips,
+             "%.0f" % cell.fast_cold_ips,
+             "%.0f" % cell.fast_warm_ips,
+             "%.2fx" % cell.speedup_cold,
+             "%.2fx" % cell.speedup_warm,
+             "yes" if cell.identical else "NO"]
+            for cell in cells]
+    return format_table(
+        ["test", "chip", "iters", "ref it/s", "fast-cold it/s",
+         "fast-warm it/s", "cold", "warm", "bit-identical"], rows)

@@ -1,15 +1,33 @@
-"""Operational GPU simulator: chips, memory system, thread engines."""
+"""Operational GPU simulator: chips, memory system, thread engines.
+
+Two engines execute litmus iterations:
+
+* ``reference`` — :class:`GpuMachine`'s generic per-instruction
+  interpreter (:mod:`repro.sim.engine`), the semantic ground truth;
+* ``fast`` — the compile-once/run-many specialisation of
+  :mod:`repro.sim.compile`, bit-identical by property-tested contract
+  and several times faster.
+
+Pick one per run via :func:`run_iterations`'s ``engine`` argument, the
+``engine`` field of :class:`repro.api.RunSpec`, or the CLI's
+``--engine``; :func:`~repro.sim.engine.resolve_engine` applies the
+``REPRO_ENGINE`` environment default.
+"""
 
 from .chip import (AMD_RESULT_CHIPS, CHIPS, ChipProfile,
                    NVIDIA_RESULT_CHIPS, RESULT_CHIPS, chip)
-from .engine import PendingOp, ThreadEngine
+from .compile import CompiledCell, compile_cell
+from .engine import (DEFAULT_ENGINE, ENGINES, PendingOp, ThreadEngine,
+                     resolve_engine, run_batch)
 from .machine import GpuMachine, run_iterations
 from .memory import MemorySystem
 
 __all__ = [
     "AMD_RESULT_CHIPS", "CHIPS", "ChipProfile", "NVIDIA_RESULT_CHIPS",
     "RESULT_CHIPS", "chip",
-    "PendingOp", "ThreadEngine",
+    "CompiledCell", "compile_cell",
+    "DEFAULT_ENGINE", "ENGINES", "PendingOp", "ThreadEngine",
+    "resolve_engine", "run_batch",
     "GpuMachine", "run_iterations",
     "MemorySystem",
 ]

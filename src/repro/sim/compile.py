@@ -1,0 +1,894 @@
+"""Compile-once, run-many fast path for the operational simulator.
+
+:class:`~repro.sim.machine.GpuMachine` interprets each litmus test
+generically: every iteration re-dispatches each instruction through the
+decoder table, rebuilds the memory system and thread engines from
+scratch, creates a dataclass per pending memory operation and formats
+intent-dictionary keys inside the preserved-program-order check.  That
+per-instruction interpretation is the hot path behind every figure
+benchmark and the Sec. 5.4 soundness campaign.
+
+:func:`compile_cell` removes that overhead by lowering one
+``(test, chip, incantations)`` cell ahead of time:
+
+* each instruction becomes a specialized **step closure** with its
+  dispatch resolved and operands pre-decoded (``Loc``-based addresses
+  folded to integers, immediates to constants, the decoder table gone);
+* fence scope checks are pre-bound against the test's
+  :class:`~repro.hierarchy.ScopeTree`: a ``membar`` whose scope covers
+  the cell's required scope compiles to an unconditional enqueue, an
+  under-scoped one to the chip's damping draw;
+* the preserved-program-order check reads pre-computed pass-rule slots
+  from an intent *vector* instead of formatting dictionary keys;
+* machine and memory state is **reused across iterations** — dicts are
+  cleared and refilled rather than reallocated, and the compiled cell is
+  reused across all shards that a backend runs in-process.
+
+Correctness contract (property-tested in ``tests/test_sim_compile.py``):
+for the same seed, a compiled cell consumes the underlying ``Random``
+stream in *exactly* the same sequence as the reference engine, and
+therefore produces **bit-identical histograms** for every test × chip ×
+incantation combination and any shard decomposition.  Anything less
+would silently change every figure benchmark; any intentional change to
+the reference semantics must be mirrored here (the equivalence suite
+fails loudly otherwise).
+"""
+
+from ..errors import FuelExhausted, SimulationError
+from ..litmus.condition import FinalState
+from ..ptx.instructions import (Add, And, AtomAdd, AtomCas, AtomExch,
+                                AtomInc, Bra, Cvt, Label, Ld, Membar, Mov,
+                                Setp, St, Xor)
+from ..ptx.operands import Addr, Imm, Loc, Reg
+from ..ptx.types import MemorySpace, Scope
+from .._util import wrap32
+from .machine import _FUEL_PER_INSTRUCTION
+
+# -- pending-op kinds (integer codes; the reference engine uses strings) --
+
+K_LOAD, K_STORE, K_FENCE, K_CAS, K_EXCH, K_ADD = range(6)
+
+# -- intent-vector slots ----------------------------------------------------
+#
+# The slot order *is* the reference draw order of
+# :meth:`ChipProfile.draw_intents`: the five relaxation kinds of
+# ``ChipProfile.RELAXATIONS`` (minus ``volatile_relax``), then
+# ``volatile_relax``, then ``mixed_hazard``, then one (mixed, ca) bypass
+# pair per :class:`Scope` in enum order.  One ``rng.random()`` per slot,
+# so the fast path's Bernoulli stream matches the reference bit for bit.
+
+SLOT_R_PASS_W = 0
+SLOT_W_PASS_W = 1
+SLOT_R_PASS_R = 2
+SLOT_W_PASS_R = 3
+SLOT_RR_HAZARD = 4
+SLOT_VOLATILE = 5
+SLOT_MIXED_HAZARD = 6
+SLOT_BYPASS_BASE = 7
+
+#: pass-rule slot for (younger is_store, older is_store) — the compiled
+#: twin of the reference engine's ``intents["%s_pass_%s"]`` lookup.
+_PASS_PAIR = {
+    False: (SLOT_R_PASS_R, SLOT_R_PASS_W),   # younger is a read
+    True: (SLOT_W_PASS_R, SLOT_W_PASS_W),    # younger writes (incl. atomics)
+}
+
+_SCOPES = list(Scope)
+
+
+def _bypass_slots(scope):
+    """(mixed_bypass, ca_bypass) intent slots for a fence of ``scope``."""
+    index = _SCOPES.index(scope)
+    return (SLOT_BYPASS_BASE + 2 * index, SLOT_BYPASS_BASE + 2 * index + 1)
+
+
+class _OpStatic:
+    """Per-*instruction* facts shared by every pending op it enqueues.
+
+    Built once at compile time; the per-iteration :class:`_Op` carries
+    only the dynamic fields (sequence number, address, operand values).
+    """
+
+    __slots__ = ("kind", "dst", "cop", "volatile", "is_load", "is_store",
+                 "atomic", "ca_load", "pass_pair", "mixed_slot", "ca_slot",
+                 "inval_prob")
+
+    def __init__(self, kind, dst=None, cop=None, volatile=False,
+                 mixed_slot=0, ca_slot=0, inval_prob=0.0):
+        self.kind = kind
+        self.dst = dst
+        self.cop = cop
+        self.volatile = volatile
+        self.is_load = kind in (K_LOAD, K_CAS, K_EXCH, K_ADD)
+        self.is_store = kind in (K_STORE, K_CAS, K_EXCH, K_ADD)
+        self.atomic = kind in (K_CAS, K_EXCH, K_ADD)
+        self.ca_load = kind == K_LOAD and cop == "ca"
+        self.pass_pair = _PASS_PAIR[self.is_store]
+        self.mixed_slot = mixed_slot
+        self.ca_slot = ca_slot
+        self.inval_prob = inval_prob
+
+
+class _Op:
+    """One pending memory operation (the fast twin of ``PendingOp``)."""
+
+    __slots__ = ("seq", "address", "value", "compare", "st")
+
+    def __init__(self, seq, address, value, compare, st):
+        self.seq = seq
+        self.address = address
+        self.value = value
+        self.compare = compare
+        self.st = st
+
+
+_MISS = object()
+
+
+class _Memory:
+    """The simulated memory system, reset (not reallocated) per iteration.
+
+    Semantics — including every ``rng.random()`` draw and its position in
+    the stream — mirror :class:`~repro.sim.memory.MemorySystem` exactly;
+    chip knobs and the space of every address are pre-bound at compile
+    time instead of being re-derived per access.
+    """
+
+    __slots__ = ("n_sms", "rng", "stale", "global_mem", "shared_mem", "l1",
+                 "init_global", "init_shared", "shared_addrs",
+                 "l1_stale_reads", "p_l1_warm", "p_store_inval",
+                 "p_cg_evict")
+
+    def __init__(self, chip, init_global, init_shared, shared_addrs):
+        self.n_sms = chip.n_sms
+        self.rng = None
+        self.stale = False
+        self.init_global = init_global     # insertion order = install order
+        self.init_shared = init_shared
+        self.shared_addrs = shared_addrs
+        self.l1_stale_reads = chip.l1_stale_reads
+        self.p_l1_warm = chip.p_l1_warm
+        self.p_store_inval = chip.p_store_invalidates_own_l1
+        self.p_cg_evict = chip.p_cg_evicts_l1
+        self.global_mem = dict(init_global)
+        self.shared_mem = [dict(init_shared) for _ in range(self.n_sms)]
+        self.l1 = [{} for _ in range(self.n_sms)]
+
+    def reset(self, rng, stale_intent):
+        """Restore the initial state and (re-)seed the stale-L1 lines.
+
+        ``stale_intent`` must already be ANDed with the chip's
+        ``l1_stale_reads`` switch (as ``MemorySystem.__init__`` does).
+        The address sets are fixed per cell — writes to uninstalled
+        addresses raise — so restoring is a plain ``update`` with the
+        initial image, no clearing; only non-empty L1 lines are dropped.
+        """
+        self.rng = rng
+        self.stale = stale_intent
+        global_mem = self.global_mem
+        global_mem.update(self.init_global)
+        init_shared = self.init_shared
+        if init_shared:
+            for shared in self.shared_mem:
+                shared.update(init_shared)
+        for line in self.l1:
+            if line:
+                line.clear()
+        if stale_intent:
+            # The warm-line seeding of MemorySystem.warm_l1: one draw per
+            # (SM, global location) in install order.
+            warm = self.p_l1_warm
+            random = rng.random
+            for line in self.l1:
+                for address, value in global_mem.items():
+                    if random() < warm:
+                        line[address] = value
+
+    def read(self, sm, address, cop, volatile):
+        value = self.global_mem.get(address, _MISS)
+        if value is _MISS:
+            if address in self.shared_addrs:
+                return self.shared_mem[sm][address]
+            raise SimulationError("access to uninstalled address %#x" % address)
+        if volatile or cop is None:
+            return value
+        if cop == "ca":
+            line = self.l1[sm]
+            cached = line.get(address)
+            if cached is not None and self.stale:
+                return cached
+            if self.l1_stale_reads:
+                line[address] = value
+            return value
+        if cop == "cg" or cop == "cv":
+            line = self.l1[sm]
+            if address in line:
+                if self.rng.random() < self.p_cg_evict:
+                    del line[address]
+            return value
+        return value
+
+    def write(self, sm, address, value):
+        if address in self.shared_addrs:
+            self.shared_mem[sm][address] = value
+            return
+        if address not in self.global_mem:
+            raise SimulationError("access to uninstalled address %#x" % address)
+        self.global_mem[address] = value
+        line = self.l1[sm]
+        if address in line:
+            if self.rng.random() < self.p_store_inval:
+                del line[address]
+
+    def fence(self, sm, probability):
+        line = self.l1[sm]
+        if probability <= 0.0 or not line:
+            return
+        random = self.rng.random
+        for address in list(line):
+            if random() < probability:
+                del line[address]
+
+    def atomic_read(self, sm, address):
+        if address in self.shared_addrs:
+            return self.shared_mem[sm][address]
+        value = self.global_mem.get(address, _MISS)
+        if value is _MISS:
+            raise SimulationError("access to uninstalled address %#x" % address)
+        return value
+
+    def atomic_write(self, sm, address, value):
+        if address in self.shared_addrs:
+            self.shared_mem[sm][address] = value
+        elif address in self.global_mem:
+            self.global_mem[address] = value
+        else:
+            raise SimulationError("access to uninstalled address %#x" % address)
+
+    def final_value(self, address):
+        if address not in self.shared_addrs:
+            return self.global_mem[address]
+        values = {shared.get(address) for shared in self.shared_mem}
+        values.discard(None)
+        if len(values) == 1:
+            return values.pop()
+        return next(iter(sorted(v for v in values if v is not None)))
+
+
+class _Thread:
+    """Compiled frontend + pending queue for one thread.
+
+    ``code`` is the list of step closures produced by :class:`_Compiler`
+    — one per instruction, sharing program-counter indices with the
+    source program so branch targets line up.  A closure returns True
+    for progress (instruction retired or op enqueued) and False for a
+    stall, which is all the decode loop needs.
+    """
+
+    __slots__ = ("code", "ncode", "init_regs", "regs", "pending", "queue",
+                 "seq", "pc", "sm", "rng", "memory", "atomic_ordered",
+                 "volatile_ordered")
+
+    #: Issue-window size and decode budget of the reference engine.
+    WINDOW = 16
+    BUDGET = 32
+
+    def __init__(self, code, init_regs, memory, chip):
+        self.code = code
+        self.ncode = len(code)
+        self.init_regs = init_regs
+        self.regs = dict(init_regs)
+        self.pending = set()
+        self.queue = []
+        self.seq = 0
+        self.pc = 0
+        self.sm = 0
+        self.rng = None
+        self.memory = memory
+        self.atomic_ordered = chip.atomic_ordered
+        self.volatile_ordered = chip.volatile_ordered
+
+    def reset(self, rng):
+        regs = self.regs
+        regs.clear()
+        regs.update(self.init_regs)
+        self.pending.clear()
+        del self.queue[:]
+        self.seq = 0
+        self.pc = 0
+        self.rng = rng
+
+    @property
+    def done(self):
+        return self.pc >= self.ncode and not self.queue
+
+    def decode(self):
+        code = self.code
+        ncode = self.ncode
+        queue = self.queue
+        progressed = False
+        budget = self.BUDGET
+        while budget and self.pc < ncode and len(queue) < self.WINDOW:
+            if code[self.pc](self):
+                progressed = True
+                budget -= 1
+            else:
+                break
+        return progressed
+
+    def eligible_ops(self, iv):
+        """Queue entries that may issue now, oldest first.
+
+        The inlined twin of the reference engine's
+        ``eligible_ops``/``may_pass``/``_may_bypass_fence`` trio; the
+        queue is seq-ascending by construction, so the first entry is
+        always the oldest eligible op.
+        """
+        queue = self.queue
+        atomic_ordered = self.atomic_ordered
+        volatile_ordered = self.volatile_ordered
+        out = []
+        for index, younger in enumerate(queue):
+            yst = younger.st
+            ykind = yst.kind
+            ok = True
+            for j in range(index):
+                older = queue[j]
+                ost = older.st
+                if ykind == K_FENCE:
+                    ok = False
+                    break
+                if ost.kind == K_FENCE:
+                    # A .ca load may slip past a fence (Figs. 3 and 4);
+                    # nothing else may.
+                    if not yst.ca_load:
+                        ok = False
+                        break
+                    address = younger.address
+                    fence_seq = older.seq
+                    same_addr_before = False
+                    for probe in queue:
+                        if (probe.seq < fence_seq and probe.st.is_load
+                                and probe.address == address):
+                            same_addr_before = True
+                            break
+                    slot = ost.mixed_slot if same_addr_before else ost.ca_slot
+                    if not iv[slot]:
+                        ok = False
+                        break
+                    continue
+                if atomic_ordered and (yst.atomic or ost.atomic):
+                    ok = False
+                    break
+                if yst.volatile and ost.volatile:
+                    if volatile_ordered or not iv[SLOT_VOLATILE]:
+                        ok = False
+                        break
+                if younger.address == older.address:
+                    if ykind == K_LOAD and ost.kind == K_LOAD:
+                        hazard = (iv[SLOT_RR_HAZARD] if yst.cop == ost.cop
+                                  else iv[SLOT_MIXED_HAZARD])
+                        if hazard:
+                            continue
+                    ok = False
+                    break
+                if not iv[yst.pass_pair[ost.is_store]]:
+                    ok = False
+                    break
+            if ok:
+                out.append(younger)
+        return out
+
+    def issue(self, op):
+        self.queue.remove(op)
+        st = op.st
+        kind = st.kind
+        memory = self.memory
+        sm = self.sm
+        if kind == K_LOAD:
+            value = memory.read(sm, op.address, st.cop, st.volatile)
+        elif kind == K_STORE:
+            memory.write(sm, op.address, op.value)
+            return
+        elif kind == K_FENCE:
+            memory.fence(sm, st.inval_prob)
+            return
+        elif kind == K_CAS:
+            value = memory.atomic_read(sm, op.address)
+            if value == op.compare:
+                memory.atomic_write(sm, op.address, op.value)
+        elif kind == K_EXCH:
+            value = memory.atomic_read(sm, op.address)
+            memory.atomic_write(sm, op.address, op.value)
+        else:  # K_ADD
+            value = memory.atomic_read(sm, op.address)
+            memory.atomic_write(sm, op.address, value + op.value)
+        self.regs[st.dst] = value
+        self.pending.discard(st.dst)
+
+    def tick(self, iv, any_intent):
+        progressed = self.decode()
+        eligible = self.eligible_ops(iv)
+        if eligible:
+            # Under an active relaxation intent the engine *seeks*
+            # reorderings, exactly like the reference: pick a random
+            # non-oldest eligible op when one exists.
+            if any_intent and len(eligible) > 1:
+                op = self.rng.choice(eligible[1:])
+            else:
+                op = eligible[0]
+            self.issue(op)
+            return True
+        return progressed
+
+
+class _Compiler:
+    """Lowers one thread program into step closures."""
+
+    def __init__(self, program, address_map, required_scope, scope_blind,
+                 underscoped_damping, fence_inval):
+        self.program = program
+        self.address_map = address_map
+        self.required_scope = required_scope
+        self.scope_blind = scope_blind
+        self.underscoped_damping = underscoped_damping
+        self.fence_inval = fence_inval  # Scope -> invalidation probability
+
+    def compile(self):
+        return [self._compile_one(instruction)
+                for instruction in self.program.instructions]
+
+    def _compile_one(self, instruction):
+        handler = self._COMPILERS[type(instruction)]
+        step = handler(self, instruction)
+        guard = getattr(instruction, "guard", None)
+        if guard is None:
+            return step
+        greg = guard.reg
+        wanted = 0 if guard.negated else 1
+
+        def guarded(t, _inner=step, _greg=greg, _wanted=wanted):
+            if _greg in t.pending:
+                return False
+            if (1 if t.regs.get(_greg, 0) else 0) != _wanted:
+                t.pc += 1
+                return True
+            return _inner(t)
+
+        return guarded
+
+    # -- operand pre-decoding ---------------------------------------------
+
+    def _addr(self, addr):
+        """Pre-decode an address operand.
+
+        Returns ``(const_address, None)`` for ``Loc`` bases (fully
+        resolved at compile time) or ``(offset, register_name)`` for
+        register-relative addressing (dependency chains, Fig. 13).
+        """
+        if isinstance(addr.base, Loc):
+            return self.address_map[addr.base.name] + addr.offset, None
+        return addr.offset, addr.base.name
+
+    def _value(self, operand):
+        """Pre-decode a value operand: ``(const, None)`` or ``(0, reg)``."""
+        if isinstance(operand, Imm):
+            return operand.value, None
+        if isinstance(operand, Reg):
+            return 0, operand.name
+        raise SimulationError("bad value operand %r" % (operand,))
+
+    # -- memory instructions ----------------------------------------------
+
+    def _push_step(self, st, addr_const, addr_reg, value=(None, None),
+                   compare=(None, None), extra_ready=()):
+        """Build the generic enqueue closure: check readiness, resolve the
+        dynamic operands, append one :class:`_Op`.
+
+        ``extra_ready`` lists additional registers that must not be
+        pending (source/comparand registers).  The common all-constant
+        case compiles to a closure with no register lookups at all.
+        """
+        vconst, vreg = value
+        cconst, creg = compare
+        dst = st.dst
+        ready = tuple(reg for reg in (addr_reg,) + tuple(extra_ready)
+                      if reg is not None)
+
+        if not ready:
+            # All operands compile-time constant (the common litmus
+            # shape): no readiness checks, no register lookups.
+            if dst is None:
+                def step(t, _st=st):
+                    t.queue.append(_Op(t.seq, addr_const, vconst, cconst,
+                                       _st))
+                    t.seq += 1
+                    t.pc += 1
+                    return True
+            else:
+                def step(t, _st=st):
+                    t.pending.add(dst)
+                    t.queue.append(_Op(t.seq, addr_const, vconst, cconst,
+                                       _st))
+                    t.seq += 1
+                    t.pc += 1
+                    return True
+            return step
+
+        def step(t):
+            pending = t.pending
+            for reg in ready:
+                if reg in pending:
+                    return False
+            regs = t.regs
+            address = (addr_const if addr_reg is None
+                       else regs.get(addr_reg, 0) + addr_const)
+            value_ = vconst if vreg is None else regs.get(vreg, 0)
+            compare_ = cconst if creg is None else regs.get(creg, 0)
+            if dst is not None:
+                pending.add(dst)
+            t.queue.append(_Op(t.seq, address, value_, compare_, st))
+            t.seq += 1
+            t.pc += 1
+            return True
+
+        return step
+
+    def _compile_ld(self, instruction):
+        cop = (None if instruction.volatile
+               else instruction.effective_cop.value)
+        st = _OpStatic(K_LOAD, dst=instruction.dst.name, cop=cop,
+                       volatile=instruction.volatile)
+        addr_const, addr_reg = self._addr(instruction.addr)
+        return self._push_step(st, addr_const, addr_reg)
+
+    def _compile_st(self, instruction):
+        cop = (None if instruction.volatile
+               else instruction.effective_cop.value)
+        st = _OpStatic(K_STORE, cop=cop, volatile=instruction.volatile)
+        addr_const, addr_reg = self._addr(instruction.addr)
+        value = self._value(instruction.src)
+        return self._push_step(st, addr_const, addr_reg, value=value,
+                               extra_ready=(value[1],))
+
+    def _compile_cas(self, instruction):
+        st = _OpStatic(K_CAS, dst=instruction.dst.name)
+        addr_const, addr_reg = self._addr(instruction.addr)
+        compare = self._value(instruction.cmp)
+        value = self._value(instruction.new)
+        return self._push_step(st, addr_const, addr_reg, value=value,
+                               compare=compare,
+                               extra_ready=(compare[1], value[1]))
+
+    def _compile_exch(self, instruction):
+        st = _OpStatic(K_EXCH, dst=instruction.dst.name)
+        addr_const, addr_reg = self._addr(instruction.addr)
+        value = self._value(instruction.src)
+        return self._push_step(st, addr_const, addr_reg, value=value,
+                               extra_ready=(value[1],))
+
+    def _compile_inc(self, instruction):
+        st = _OpStatic(K_ADD, dst=instruction.dst.name)
+        addr_const, addr_reg = self._addr(instruction.addr)
+        return self._push_step(st, addr_const, addr_reg, value=(1, None))
+
+    def _compile_atom_add(self, instruction):
+        st = _OpStatic(K_ADD, dst=instruction.dst.name)
+        addr_const, addr_reg = self._addr(instruction.addr)
+        value = self._value(instruction.src)
+        return self._push_step(st, addr_const, addr_reg, value=value,
+                               extra_ready=(value[1],))
+
+    def _compile_membar(self, instruction):
+        scope = instruction.scope
+        mixed_slot, ca_slot = _bypass_slots(scope)
+        st = _OpStatic(K_FENCE, mixed_slot=mixed_slot, ca_slot=ca_slot,
+                       inval_prob=self.fence_inval.get(scope, 1.0))
+        covered = self.scope_blind or scope.covers(self.required_scope)
+        if covered:
+            # The scope check is pre-bound: a sufficient fence always
+            # enters the queue, with no per-iteration decision.
+            def step(t, _st=st):
+                t.queue.append(_Op(t.seq, None, None, None, _st))
+                t.seq += 1
+                t.pc += 1
+                return True
+
+            return step
+        # Under-scoped fence: usually still effective on real chips —
+        # only the chip's damping fraction of runs sees it as a no-op
+        # (the non-zero membar.cta rows of Fig. 3).  One draw per decode,
+        # matching GpuMachine._fence_policy exactly (the draw happens
+        # even when damping is 0).
+        damping = self.underscoped_damping
+
+        def step(t, _st=st, _damping=damping):
+            if t.rng.random() >= _damping:
+                t.queue.append(_Op(t.seq, None, None, None, _st))
+                t.seq += 1
+            t.pc += 1
+            return True
+
+        return step
+
+    # -- ALU / control ------------------------------------------------------
+
+    def _compile_mov(self, instruction):
+        dst = instruction.dst.name
+        if isinstance(instruction.src, Loc):
+            const = self.address_map[instruction.src.name]
+
+            def step(t, _dst=dst, _const=const):
+                t.regs[_dst] = _const
+                t.pc += 1
+                return True
+
+            return step
+        const, reg = self._value(instruction.src)
+        if reg is None:
+            def step(t, _dst=dst, _const=const):
+                t.regs[_dst] = _const
+                t.pc += 1
+                return True
+
+            return step
+
+        def step(t, _dst=dst, _reg=reg):
+            if _reg in t.pending:
+                return False
+            t.regs[_dst] = t.regs.get(_reg, 0)
+            t.pc += 1
+            return True
+
+        return step
+
+    def _compile_alu(self, instruction):
+        ops = {"add": lambda a, b: wrap32(a + b),
+               "and": lambda a, b: a & b,
+               "xor": lambda a, b: a ^ b}
+        return self._binary(instruction, ops[instruction.opcode])
+
+    def _compile_setp(self, instruction):
+        if instruction.cmp == "eq":
+            return self._binary(instruction, lambda a, b: int(a == b))
+        return self._binary(instruction, lambda a, b: int(a != b))
+
+    def _binary(self, instruction, fn):
+        dst = instruction.dst.name
+        aconst, areg = self._value(instruction.a)
+        bconst, breg = self._value(instruction.b)
+
+        def step(t, _dst=dst, _fn=fn):
+            pending = t.pending
+            if areg is not None and areg in pending:
+                return False
+            if breg is not None and breg in pending:
+                return False
+            regs = t.regs
+            a = aconst if areg is None else regs.get(areg, 0)
+            b = bconst if breg is None else regs.get(breg, 0)
+            regs[_dst] = _fn(a, b)
+            t.pc += 1
+            return True
+
+        return step
+
+    def _compile_cvt(self, instruction):
+        dst = instruction.dst.name
+        src = instruction.src.name
+
+        def step(t, _dst=dst, _src=src):
+            if _src in t.pending:
+                return False
+            t.regs[_dst] = t.regs.get(_src, 0)
+            t.pc += 1
+            return True
+
+        return step
+
+    def _compile_bra(self, instruction):
+        target = self.program.labels[instruction.target]
+
+        def step(t, _target=target):
+            t.pc = _target
+            return True
+
+        return step
+
+    def _compile_label(self, instruction):
+        # Labels retire like the reference engine's: they consume decode
+        # budget and count as progress (scheduler parity).
+        def step(t):
+            t.pc += 1
+            return True
+
+        return step
+
+    _COMPILERS = {
+        Ld: _compile_ld,
+        St: _compile_st,
+        AtomCas: _compile_cas,
+        AtomExch: _compile_exch,
+        AtomInc: _compile_inc,
+        AtomAdd: _compile_atom_add,
+        Membar: _compile_membar,
+        Mov: _compile_mov,
+        Add: _compile_alu,
+        And: _compile_alu,
+        Xor: _compile_alu,
+        Cvt: _compile_cvt,
+        Setp: _compile_setp,
+        Bra: _compile_bra,
+        Label: _compile_label,
+    }
+
+
+class CompiledCell:
+    """One ``(test, chip, incantations)`` cell lowered for fast execution.
+
+    Exposes the same ``run_once(rng)`` contract as
+    :class:`~repro.sim.machine.GpuMachine` — and, by construction, the
+    same ``Random``-stream consumption — so the two are drop-in
+    interchangeable anywhere a machine is iterated
+    (:func:`~repro.sim.engine.run_batch`, the backends, the apps).
+
+    Build via :func:`compile_cell`; instances hold closures and are not
+    picklable — process-pool backends compile in each worker instead.
+    """
+
+    def __init__(self, test, chip, intensity=1.0, stale_intensity=None,
+                 shuffle_placement=False, fuel=None, scope_blind=False):
+        self.test = test
+        self.chip = chip
+        self.intensity = intensity
+        self.stale_intensity = (intensity if stale_intensity is None
+                                else stale_intensity)
+        self.shuffle_placement = shuffle_placement
+        self.scope_blind = scope_blind
+        address_map = test.address_map()
+        self.address_map = address_map
+
+        placement = test.scope_tree.classify()
+        required_scope = Scope.GL if placement == "inter-cta" else Scope.CTA
+        total_instructions = sum(len(program) for program in test.threads)
+        self.fuel = fuel or _FUEL_PER_INSTRUCTION * max(total_instructions, 1)
+
+        # -- intent draw plan (order documented at the slot constants) --
+        relax = chip.relax_probability
+        probs = [relax("r_pass_w") * intensity,
+                 relax("w_pass_w") * intensity,
+                 relax("r_pass_r") * intensity,
+                 relax("w_pass_r") * intensity,
+                 relax("rr_hazard") * intensity,
+                 relax("volatile_relax"),
+                 chip.p_mixed_hazard * intensity]
+        for scope in _SCOPES:
+            probs.append(chip.p_mixed_bypass.get(scope, 0.0))
+            probs.append(chip.p_ca_bypass.get(scope, 0.0))
+        self.draw_probs = probs
+        self.p_stale = chip.p_stale * self.stale_intensity
+        self.l1_stale_reads = chip.l1_stale_reads
+
+        # -- memory image -----------------------------------------------
+        init_global = {}
+        init_shared = {}
+        shared_addrs = set()
+        for name, address in address_map.items():
+            value = test.initial_value(name)
+            if test.space_of(name) is MemorySpace.SHARED:
+                shared_addrs.add(address)
+                init_shared[address] = value
+            else:
+                init_global[address] = value
+        self.memory = _Memory(chip, init_global, init_shared,
+                              frozenset(shared_addrs))
+        self._final_addresses = sorted(address_map.items())
+
+        # -- thread programs --------------------------------------------
+        self.n_sms = max(chip.n_sms, 1)
+        self.n_ctas = test.scope_tree.n_ctas
+        self.thread_ctas = [test.scope_tree.placement(program.name).cta
+                            for program in test.threads]
+        self.threads = []
+        for program in test.threads:
+            init_regs = {}
+            for (tid, name), binding in test.reg_init.items():
+                if tid != program.tid:
+                    continue
+                if isinstance(binding, Loc):
+                    init_regs[name] = address_map[binding.name]
+                else:
+                    init_regs[name] = binding.value
+            code = _Compiler(
+                program, address_map, required_scope, scope_blind,
+                chip.underscoped_fence_damping,
+                chip.fence_l1_inval).compile()
+            self.threads.append(_Thread(code, init_regs, self.memory, chip))
+        if not shuffle_placement:
+            for thread, cta in zip(self.threads, self.thread_ctas):
+                thread.sm = cta % self.n_sms
+        self._observed = tuple(test.observed_registers())
+        self._final_state_cls = FinalState
+        self._stall_limit = (4 * len(self.threads)
+                             * (len(test.threads) + 4))
+
+    def run_once(self, rng):
+        """Run one iteration; returns the observed FinalState.
+
+        The draw sequence — intents, staleness, L1 warm lines, CTA
+        placement, scheduler picks, cache-effect draws — is identical to
+        :meth:`GpuMachine.run_once` for the same ``rng`` state.
+        """
+        random = rng.random
+        iv = [random() < p for p in self.draw_probs]
+        if self.scope_blind:
+            for index in range(SLOT_BYPASS_BASE, len(iv)):
+                iv[index] = False
+        any_intent = True in iv
+        stale = random() < self.p_stale
+        self.memory.reset(rng, stale and self.l1_stale_reads)
+        threads = self.threads
+        if self.shuffle_placement:
+            n_sms = self.n_sms
+            cta_sm = [rng.randrange(n_sms) for _ in range(self.n_ctas)]
+            for thread, cta in zip(threads, self.thread_ctas):
+                thread.sm = cta_sm[cta]
+        for thread in threads:
+            thread.reset(rng)
+
+        fuel = self.fuel
+        stall_limit = self._stall_limit
+        stalled_rounds = 0
+        choice = rng.choice
+        while True:
+            runnable = [t for t in threads
+                        if t.pc < t.ncode or t.queue]
+            if not runnable:
+                break
+            if fuel <= 0:
+                raise FuelExhausted(
+                    "test %s did not terminate (likely livelock)"
+                    % self.test.name)
+            thread = choice(runnable)
+            if thread.tick(iv, any_intent):
+                stalled_rounds = 0
+            else:
+                stalled_rounds += 1
+                if stalled_rounds > stall_limit:
+                    raise SimulationError(
+                        "all threads stalled in %s — dependency deadlock?"
+                        % self.test.name)
+            fuel -= 1
+
+        return self._final_state()
+
+    def _final_state(self):
+        # _observed and _final_addresses are pre-sorted, so the tuples
+        # can be built directly — same value FinalState.make would
+        # produce, without the intermediate dicts and re-sorts.
+        threads = self.threads
+        memory = self.memory
+        global_mem = memory.global_mem
+        shared_addrs = memory.shared_addrs
+        regs = tuple((key, threads[key[0]].regs.get(key[1], 0))
+                     for key in self._observed)
+        mem = tuple((name,
+                     global_mem[address] if address not in shared_addrs
+                     else memory.final_value(address))
+                    for name, address in self._final_addresses)
+        return self._final_state_cls(regs, mem)
+
+
+def compile_cell(test, chip, intensity=1.0, stale_intensity=None,
+                 shuffle_placement=False, fuel=None, scope_blind=False):
+    """Lower one campaign cell into a :class:`CompiledCell`.
+
+    Parameters mirror :class:`~repro.sim.machine.GpuMachine`; the result
+    answers ``run_once(rng)`` with bit-identical outcomes.  Compile once
+    per cell and iterate many times — the compile cost (~1 ms) amortises
+    over a shard in a few dozen iterations.
+    """
+    return CompiledCell(test, chip, intensity=intensity,
+                        stale_intensity=stale_intensity,
+                        shuffle_placement=shuffle_placement, fuel=fuel,
+                        scope_blind=scope_blind)

@@ -13,9 +13,10 @@ PTX model (Sec. 5): same-address pairs stay ordered except read-read
 and dependencies always order.
 """
 
+import os
 from dataclasses import dataclass
 
-from ..errors import SimulationError
+from ..errors import ConfigurationError, SimulationError
 from ..ptx.instructions import (Add, And, AtomAdd, AtomCas, AtomExch,
                                 AtomInc, Bra, Cvt, Label, Ld, Membar, Mov,
                                 Setp, St, Xor)
@@ -24,6 +25,57 @@ from .._util import wrap32
 
 #: Pending-operation kinds.
 LOAD, STORE, FENCE, CAS, EXCH, FETCH_ADD = "R", "W", "F", "CAS", "EXCH", "ADD"
+
+#: The two simulation engines.  ``reference`` is this module's generic
+#: per-instruction interpreter — the semantic ground truth.  ``fast`` is
+#: the compile-once/run-many specialisation of :mod:`repro.sim.compile`,
+#: property-tested to produce bit-identical histograms.
+ENGINES = ("reference", "fast")
+
+#: Engine used when nothing picks one explicitly (overridable per run
+#: via ``RunSpec``/``Session``/``--engine`` or globally via the
+#: ``REPRO_ENGINE`` environment variable).
+DEFAULT_ENGINE = "fast"
+
+
+def resolve_engine(engine):
+    """Normalise an engine choice: ``None`` means the environment's
+    ``REPRO_ENGINE`` (default ``fast``); anything else must name one of
+    :data:`ENGINES`."""
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE") or DEFAULT_ENGINE
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                "REPRO_ENGINE must be one of %s, got %r"
+                % ("/".join(ENGINES), engine))
+        return engine
+    if engine not in ENGINES:
+        from ..errors import ReproError
+        raise ReproError("unknown engine %r (expected %s)"
+                         % (engine, " or ".join(repr(e) for e in ENGINES)))
+    return engine
+
+
+def run_batch(machine, iterations, rng, histogram=None):
+    """Run ``iterations`` iterations of ``machine`` into a histogram.
+
+    The batched iteration loop shared by both engines: ``machine`` is
+    anything answering ``run_once(rng)`` — a
+    :class:`~repro.sim.machine.GpuMachine` or a
+    :class:`~repro.sim.compile.CompiledCell` — and is *reused* across
+    iterations (state resets internally; nothing is reallocated per
+    run).  Pass ``histogram`` to accumulate into an existing
+    :class:`~repro.harness.histogram.Histogram`; otherwise a fresh one
+    is returned.
+    """
+    if histogram is None:
+        from ..harness.histogram import Histogram  # avoid an import cycle
+        histogram = Histogram()
+    add = histogram.add
+    run_once = machine.run_once
+    for _ in range(iterations):
+        add(run_once(rng))
+    return histogram
 
 
 @dataclass

@@ -141,13 +141,29 @@ class GpuMachine:
 
 
 def run_iterations(test, chip, iterations, seed=0, intensity=1.0,
-                   stale_intensity=None, shuffle_placement=False):
+                   stale_intensity=None, shuffle_placement=False,
+                   engine=None):
     """Convenience: run ``iterations`` runs, returning a histogram dict
     ``FinalState -> count``.  (The full-featured runner with incantations
-    lives in :mod:`repro.harness.runner`.)"""
-    machine = GpuMachine(test, chip, intensity=intensity,
-                         stale_intensity=stale_intensity,
-                         shuffle_placement=shuffle_placement)
+    lives in :mod:`repro.harness.runner`.)
+
+    ``engine`` picks the execution engine: ``"reference"`` interprets
+    through :class:`GpuMachine`, ``"fast"`` runs the compiled cell of
+    :mod:`repro.sim.compile` (bit-identical histograms); ``None``
+    defers to :func:`~repro.sim.engine.resolve_engine`.
+    """
+    from .engine import resolve_engine
+
+    if resolve_engine(engine) == "fast":
+        from .compile import compile_cell
+
+        machine = compile_cell(test, chip, intensity=intensity,
+                               stale_intensity=stale_intensity,
+                               shuffle_placement=shuffle_placement)
+    else:
+        machine = GpuMachine(test, chip, intensity=intensity,
+                             stale_intensity=stale_intensity,
+                             shuffle_placement=shuffle_placement)
     rng = random.Random(seed)
     histogram = {}
     for _ in range(iterations):
