@@ -12,13 +12,24 @@ once per chip.
 
 The model covers ``.cg`` accesses (Sec. 5.5), so generated tests are all
 ``.cg`` — exactly the corpus shape the paper validates on.
+
+The corpus has two tranches: the broad length-≤4 family over the full
+edge pool (the shape the paper's 10930-test corpus emphasises), and a
+*deep* tranche of length-5/6 cycles over a write-heavy pool with both
+fence scopes and both communication-scope annotations — enumerable at
+campaign scale only since the fast model engine's pruned exploration
+(PR 4); the reference engine spends seconds per length-6 cell where the
+compiled path spends tens of milliseconds.
 """
 
 import os
 
 from repro._util import format_table
 from repro.api.conformance import run_soundness, uniquify_tests
-from repro.diy import default_pool, generate_tests
+from repro.diy import (SAME_CTA, coe, default_pool, dp, enumerate_cycles,
+                       fenced, fre, generate_tests, po, rfe)
+from repro.diy.generate import cycle_to_test
+from repro.errors import GenerationError
 from repro.litmus import library
 from repro.ptx.types import Scope
 
@@ -28,6 +39,40 @@ from _common import (LIBRARY_CG_TESTS, SOUNDNESS_CHIPS, SOUNDNESS_SEED,
 
 def _family_size():
     return int(os.environ.get("REPRO_FAMILY", "120"))
+
+
+def _deep_family_size():
+    """Cap on the deep (length-5/6) tranche (env ``REPRO_DEEP_FAMILY``)."""
+    return int(os.environ.get("REPRO_DEEP_FAMILY", "12"))
+
+
+def _deep_pool():
+    """Write-heavy edge pool for the deep tranche: same-location po
+    pairs concentrate writes on few locations (the coherence-permutation
+    blow-up), with address dependencies, both fence scopes and both
+    communication-scope annotations in the mix."""
+    return [po("W", "W", same_loc=True), po("R", "R", same_loc=True),
+            dp("addr", "R"),
+            fenced(Scope.CTA, "W", "R"), fenced(Scope.GL, "W", "W"),
+            rfe(), fre(), coe(), rfe(SAME_CTA), fre(SAME_CTA)]
+
+
+def _deep_family(max_tests):
+    """Length-5/6 tests from the deep pool, budget split across lengths."""
+    tests = []
+    pool = _deep_pool()
+    for length in (5, 6):
+        budget = max_tests - len(tests) if length == 6 else max_tests // 2
+        taken = 0
+        for cycle in enumerate_cycles(pool, length):
+            if taken >= budget:
+                break
+            try:
+                tests.append(cycle_to_test(cycle))
+            except GenerationError:
+                continue
+            taken += 1
+    return tests
 
 
 def test_sec54_model_soundness(benchmark):
@@ -40,6 +85,7 @@ def test_sec54_model_soundness(benchmark):
     family += [build_extended(name) for name in sorted(EXTENDED_TESTS)]
     family += generate_tests(default_pool(fences=(Scope.CTA, Scope.GL)),
                              max_length=4, max_tests=_family_size())
+    family += _deep_family(_deep_family_size())
     family = uniquify_tests(family)
     runs = soundness_runs()
 

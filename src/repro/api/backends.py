@@ -96,8 +96,8 @@ class Backend:
 
     ``run`` must be deterministic in the spec.  Backends that set
     ``supports_sharding`` must implement ``run_shard`` such that merging
-    all shard histograms of :func:`plan_shards` (any order) equals
-    ``run``'s histogram for the same shard size.
+    all shard histograms of :meth:`shards` (any order) equals ``run``'s
+    histogram for the same shard size.
     """
 
     name = "backend"
@@ -111,6 +111,29 @@ class Backend:
         entries (e.g. a model verdict does not depend on the chip).
         """
         return spec.fingerprint()
+
+    def shards(self, spec, shard_size):
+        """Split ``spec`` into independent parallel work units.
+
+        ``None`` means the spec is indivisible and must go through
+        :meth:`run`.  The default for sharding backends is the
+        iteration decomposition of :func:`plan_shards`; backends whose
+        unit of work is not an iteration batch (one model verdict per
+        test) override this.
+        """
+        if not self.supports_sharding:
+            return None
+        return plan_shards(spec, shard_size)
+
+    def cache_variant(self, spec, shard_size):
+        """The execution-parameter component of the cache key.
+
+        Empty by default: most backends' results do not depend on how
+        the work was decomposed.  The sim backend overrides this
+        because per-shard seeding makes the histogram a function of the
+        effective decomposition.
+        """
+        return ""
 
     def run(self, spec):
         """Execute ``spec`` fully; returns a Histogram."""
@@ -173,6 +196,14 @@ class SimBackend(Backend):
         """
         return "%s-%s" % (spec.fingerprint(), spec.engine)
 
+    def cache_variant(self, spec, shard_size):
+        """Per-shard seeding makes the histogram a function of the
+        decomposition, which is fully determined by
+        ``min(shard_size, iterations)`` — two shard sizes that both
+        cover the whole spec produce the identical single shard and may
+        share an entry."""
+        return "shard%d" % min(shard_size, spec.iterations)
+
     def _machine(self, spec):
         intensity = efficacy(spec.chip.vendor, spec.test.idiom or "mp",
                              spec.incantations)
@@ -214,9 +245,21 @@ class ModelBackend(Backend):
     1; ``iterations`` in the spec is ignored (enumeration is exhaustive,
     not statistical).  ``SpecResult.observations > 0`` therefore reads
     as the paper's Allowed verdict for the test's condition.
+
+    ``spec.model_engine`` picks the checking engine per cell:
+    ``"fast"`` compiles the model once and prunes the enumeration with
+    its monotone checks (:func:`repro.model.enumerate.enumerate_allowed`);
+    ``"reference"`` materialises every candidate execution.  Identical
+    allowed sets either way, kept apart in the cache (see
+    :meth:`cache_signature`).
+
+    *Sharding.*  A verdict is one indivisible enumeration, so each spec
+    is its own shard: a campaign's test list spreads across the worker
+    pool one verdict per worker (the verdict — one per test text — is
+    already the memoisation unit, so chips never multiply the work).
     """
 
-    supports_sharding = False
+    supports_sharding = True
 
     def __init__(self, model="ptx", fuel=128, max_executions=None):
         self.model = load_model(model) if isinstance(model, str) else model
@@ -225,11 +268,23 @@ class ModelBackend(Backend):
         self.max_executions = max_executions
 
     def cache_signature(self, spec):
-        """Verdicts depend only on the test text (and enumeration fuel)
-        — not chip, iterations or seed — so a campaign across the seven
-        result chips enumerates each test once, not seven times."""
-        payload = "%s\x1e fuel=%d" % (write_litmus(spec.test), self.fuel)
+        """Verdicts depend only on the test text, the enumeration fuel
+        and the model engine — not chip, iterations or seed — so a
+        campaign across the seven result chips enumerates each test
+        once, not seven times.  The engine is part of the signature for
+        the same reason as the sim backend's: a cached reference
+        verdict must never mask a fast-engine divergence."""
+        payload = "%s\x1e fuel=%d\x1e engine=%s" % (
+            write_litmus(spec.test), self.fuel, spec.model_engine)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def shards(self, spec, shard_size):
+        """One verdict, one work unit.  ``iterations=0`` keeps the
+        session's simulated-iteration accounting a sim-only statistic."""
+        return [Shard(index=0, iterations=0, seed=spec.seed)]
+
+    def run_shard(self, spec, shard):
+        return self.run(spec)
 
     def run(self, spec):
         # on_limit="error" is non-negotiable here: the campaign layer
@@ -240,7 +295,7 @@ class ModelBackend(Backend):
         # silent sampler.
         allowed = self.model.allowed_outcomes(
             spec.test, fuel=self.fuel, max_executions=self.max_executions,
-            on_limit="error")
+            on_limit="error", engine=spec.model_engine)
         histogram = Histogram()
         for state in allowed:
             histogram.add(state)
@@ -260,5 +315,6 @@ def make_backend(backend):
     if isinstance(backend, str) and backend.startswith("model:"):
         return ModelBackend(backend.split(":", 1)[1])
     from ..errors import ReproError
-    raise ReproError("unknown backend %r (expected 'sim', 'model' or "
-                     "'model:<%s>')" % (backend, "|".join(sorted(MODELS))))
+    raise ReproError(
+        "unknown backend %r (expected 'sim', 'model', or 'model:NAME' "
+        "where NAME is one of: %s)" % (backend, ", ".join(sorted(MODELS))))

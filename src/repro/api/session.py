@@ -25,7 +25,7 @@ from dataclasses import asdict, dataclass
 
 from ..errors import ReproError
 from ..harness.histogram import Histogram
-from .backends import DEFAULT_SHARD_SIZE, make_backend, plan_shards
+from .backends import DEFAULT_SHARD_SIZE, make_backend
 from .cache import ResultCache, cache_key
 from .result import CampaignResult, SpecResult
 from .spec import BEST, RunSpec, matrix
@@ -117,6 +117,11 @@ class Session:
         way.  ``None`` defers to the ``REPRO_ENGINE`` environment
         variable; a prepared :class:`RunSpec` always keeps its own
         ``engine``.
+    model_engine:
+        The model-checking twin of ``engine`` for specs this session
+        builds: ``"fast"`` (compiled model + pruned enumeration, the
+        default) or ``"reference"``.  ``None`` defers to
+        ``REPRO_MODEL_ENGINE``.
 
     Example::
 
@@ -128,7 +133,7 @@ class Session:
 
     def __init__(self, backend="sim", jobs=1, cache=True, cache_dir=None,
                  shard_size=DEFAULT_SHARD_SIZE, executor="thread", pool=None,
-                 engine=None):
+                 engine=None, model_engine=None):
         self.backend = make_backend(backend)
         if jobs < 1:
             raise ReproError("jobs must be >= 1, got %r" % jobs)
@@ -145,6 +150,10 @@ class Session:
             from ..sim.engine import resolve_engine
             engine = resolve_engine(engine)
         self.engine = engine
+        if model_engine is not None:
+            from ..model.models import resolve_model_engine
+            model_engine = resolve_model_engine(model_engine)
+        self.model_engine = model_engine
         if isinstance(cache, ResultCache):
             self.cache = cache
         elif cache_dir or cache:
@@ -156,7 +165,7 @@ class Session:
     # -- public API -------------------------------------------------------
 
     def run(self, test, chip=None, incantations=BEST, iterations=None,
-            seed=0, engine=None):
+            seed=0, engine=None, model_engine=None):
         """Execute one cell; accepts a prepared :class:`RunSpec` or the
         (test, chip, ...) fields of one.
 
@@ -176,7 +185,8 @@ class Session:
                                  "RunSpec")
             spec = RunSpec.make(test, chip, incantations=incantations,
                                 iterations=iterations, seed=seed,
-                                engine=self._engine(engine))
+                                engine=self._engine(engine),
+                                model_engine=self._model_engine(model_engine))
         return self.run_specs([spec])[0]
 
     def run_specs(self, specs):
@@ -223,18 +233,19 @@ class Session:
         return [results[index] for index in range(len(specs))]
 
     def campaign(self, tests, chips, incantations=BEST, iterations=None,
-                 seed=0, engine=None):
+                 seed=0, engine=None, model_engine=None):
         """Plan and execute the cartesian product campaign."""
         specs = matrix(tests, chips, incantations=incantations,
                        iterations=iterations, seed=seed,
-                       engine=self._engine(engine))
+                       engine=self._engine(engine),
+                       model_engine=self._model_engine(model_engine))
         campaign = CampaignResult()
         for result in self.run_specs(specs):
             campaign.add(result)
         return campaign
 
     def plan(self, tests, chips, incantations=BEST, iterations=None, seed=0,
-             engine=None):
+             engine=None, model_engine=None):
         """Lazily yield the cartesian-product plan of :meth:`campaign`.
 
         The generator twin of :func:`~repro.api.spec.matrix`: ``tests``
@@ -245,11 +256,12 @@ class Session:
         """
         chips = list(chips)
         engine = self._engine(engine)
+        model_engine = self._model_engine(model_engine)
         for test in tests:
             for chip in chips:
                 yield RunSpec.make(test, chip, incantations=incantations,
                                    iterations=iterations, seed=seed,
-                                   engine=engine)
+                                   engine=engine, model_engine=model_engine)
 
     def run_stream(self, specs, chunk_size=DEFAULT_CHUNK_SIZE):
         """Execute a plan in chunks; yields results in plan order.
@@ -277,16 +289,21 @@ class Session:
         itself be ``None`` = environment default)."""
         return engine if engine is not None else self.engine
 
+    def _model_engine(self, model_engine):
+        return model_engine if model_engine is not None else self.model_engine
+
     # -- execution strategies ---------------------------------------------
 
     def _shards(self, spec):
-        return plan_shards(spec, self.shard_size)
+        """The backend's parallel decomposition of ``spec`` (None =
+        indivisible; sim: iteration shards; model: one verdict unit)."""
+        return self.backend.shards(spec, self.shard_size)
 
     def _run_serial(self, pending):
         executed = []
         for index, spec in pending:
-            if self.backend.supports_sharding:
-                shards = self._shards(spec)
+            shards = self._shards(spec)
+            if shards is not None:
                 histogram = Histogram.merge(
                     self.backend.run_shard(spec, shard) for shard in shards)
                 self._account(spec, shards)
@@ -297,22 +314,33 @@ class Session:
         return executed
 
     def _run_parallel(self, pending):
+        # Decomposition is per spec (Backend.shards may return None for
+        # an indivisible spec even on a sharding backend), so split the
+        # plan accordingly instead of branching on the class-level flag.
         with self._pool() as pool:
-            if self.backend.supports_sharding:
-                return self._run_parallel_sharded(pool, pending)
-            return self._run_parallel_whole(pool, pending)
+            sharded = []
+            whole = []
+            for index, spec in pending:
+                shards = self._shards(spec)
+                if shards is not None:
+                    sharded.append((index, spec, shards))
+                else:
+                    whole.append((index, spec))
+            executed = []
+            if sharded:
+                executed.extend(self._run_parallel_sharded(pool, sharded))
+            if whole:
+                executed.extend(self._run_parallel_whole(pool, whole))
+            return executed
 
-    def _run_parallel_sharded(self, pool, pending):
+    def _run_parallel_sharded(self, pool, plans):
         tasks = {}
-        plans = {}
-        for index, spec in pending:
-            shards = self._shards(spec)
-            plans[index] = (spec, shards)
+        for index, spec, shards in plans:
             for shard in shards:
                 tasks[(index, shard.index)] = pool.submit(
                     _execute_shard, self.backend, spec, shard)
         executed = []
-        for index, (spec, shards) in plans.items():
+        for index, spec, shards in plans:
             # Merge in shard-index order: bit-identical to the serial path
             # no matter which worker finished first.
             histogram = Histogram.merge(
@@ -355,17 +383,10 @@ class Session:
                                                    for shard in shards)
 
     def _variant(self, spec):
-        """The execution-parameter component of the cache key.
-
-        For sharding backends the histogram depends on the shard
-        decomposition (per-shard seeding), which is fully determined by
-        ``min(shard_size, iterations)`` — two shard sizes that both
-        cover the whole spec produce the identical single shard and may
-        share an entry.
-        """
-        if not self.backend.supports_sharding:
-            return ""
-        return "shard%d" % min(self.shard_size, spec.iterations)
+        """The execution-parameter component of the cache key —
+        delegated to the backend (the sim backend keys on the effective
+        shard decomposition; model verdicts are decomposition-free)."""
+        return self.backend.cache_variant(spec, self.shard_size)
 
     def _cache_key(self, spec):
         return cache_key(self.backend.name, self.backend.cache_signature(spec),
@@ -386,9 +407,10 @@ class Session:
 
 
 def run_campaign(tests, chips, incantations=BEST, iterations=None, seed=0,
-                 backend="sim", jobs=1, cache_dir=None, engine=None):
+                 backend="sim", jobs=1, cache_dir=None, engine=None,
+                 model_engine=None):
     """One-shot convenience: build a Session, run the campaign."""
     session = Session(backend=backend, jobs=jobs, cache_dir=cache_dir,
-                      engine=engine)
+                      engine=engine, model_engine=model_engine)
     return session.campaign(tests, chips, incantations=incantations,
                             iterations=iterations, seed=seed)

@@ -16,6 +16,7 @@ from dataclasses import dataclass, replace
 from ..errors import ReproError
 from ..harness.incantations import Incantations, best_for
 from ..litmus.writer import write_litmus
+from ..model.models import resolve_model_engine
 from ..sim.chip import CHIPS, ChipProfile
 from ..sim.engine import resolve_engine
 
@@ -129,15 +130,24 @@ class RunSpec:
     #: histograms never cross engines (a cached reference result must
     #: not mask a fast-engine bug, and vice versa).
     engine: str = "fast"
+    #: Model-checking engine for model backends, with the same contract
+    #: as ``engine``: ``"fast"`` (compiled model + pruned enumeration,
+    #: :func:`repro.model.enumerate.enumerate_allowed`) or
+    #: ``"reference"`` (materialise-then-check).  Excluded from the
+    #: fingerprint, included in the model backend's cache signature.
+    model_engine: str = "fast"
 
     @staticmethod
     def make(test, chip, incantations=BEST, iterations=None, seed=0,
-             engine=None):
+             engine=None, model_engine=None):
         """Build a normalised spec.
 
         ``engine=None`` resolves through
         :func:`repro.sim.engine.resolve_engine` (the ``REPRO_ENGINE``
-        environment variable, default ``"fast"``).
+        environment variable, default ``"fast"``); ``model_engine=None``
+        likewise through
+        :func:`repro.model.models.resolve_model_engine`
+        (``REPRO_MODEL_ENGINE``, default ``"fast"``).
 
         >>> from repro.litmus import library
         >>> spec = RunSpec.make(library.build("mp"), "Titan",
@@ -145,6 +155,8 @@ class RunSpec:
         >>> spec.key
         ('mp', 'Titan')
         >>> spec.engine
+        'fast'
+        >>> spec.model_engine
         'fast'
         """
         from ..harness.runner import default_iterations
@@ -157,7 +169,8 @@ class RunSpec:
             raise ReproError("iterations must be positive, got %r" % iterations)
         return RunSpec(test=test, chip=chip, incantations=incantations,
                        iterations=int(iterations), seed=int(seed),
-                       engine=resolve_engine(engine))
+                       engine=resolve_engine(engine),
+                       model_engine=resolve_model_engine(model_engine))
 
     @property
     def key(self):
@@ -170,18 +183,22 @@ class RunSpec:
     def with_engine(self, engine):
         return replace(self, engine=resolve_engine(engine))
 
+    def with_model_engine(self, model_engine):
+        return replace(self,
+                       model_engine=resolve_model_engine(model_engine))
+
     def fingerprint(self):
         """Stable content hash of this spec (hex digest).
 
         Covers the full litmus text (not just the name), the chip's
         complete profile (so recalibrated knobs invalidate old cache
         entries), the incantation column, iterations and seed.  The
-        ``engine`` is deliberately **excluded**: per-shard seeds derive
-        from this digest, and engine-independent seeding is exactly what
-        makes the fast/reference bit-identity contract testable (and the
-        histograms interchangeable).  All fields are frozen, so the
-        digest is computed once and memoised (cache lookup, store and
-        every shard seed re-ask for it).
+        ``engine`` and ``model_engine`` are deliberately **excluded**:
+        per-shard seeds derive from this digest, and engine-independent
+        seeding is exactly what makes the fast/reference bit-identity
+        contracts testable (and the results interchangeable).  All
+        fields are frozen, so the digest is computed once and memoised
+        (cache lookup, store and every shard seed re-ask for it).
         """
         cached = self.__dict__.get("_fingerprint")
         if cached is not None:
@@ -204,7 +221,7 @@ class RunSpec:
 
 
 def matrix(tests, chips, incantations=BEST, iterations=None, seed=0,
-           engine=None):
+           engine=None, model_engine=None):
     """Cartesian-product campaign plan: one :class:`RunSpec` per
     (test, chip) cell — the planner behind ``Session.campaign`` and the
     successor of the old ``run_matrix`` loop."""
@@ -213,5 +230,6 @@ def matrix(tests, chips, incantations=BEST, iterations=None, seed=0,
         for chip in chips:
             specs.append(RunSpec.make(test, chip, incantations=incantations,
                                       iterations=iterations, seed=seed,
-                                      engine=engine))
+                                      engine=engine,
+                                      model_engine=model_engine))
     return specs

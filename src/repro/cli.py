@@ -18,8 +18,15 @@ Subcommands::
         paper-style obs/100k summary table.  ``all`` expands to every
         library test.
 
-    repro-litmus model TEST [--model ptx]
+    repro-litmus model TEST [--model ptx] [--model-engine fast|reference]
         Enumerate candidate executions and print the model's verdict.
+
+    repro-litmus witness TEST [--model ptx|none] [--output FILE]
+        Render the first weak candidate execution of a test as a
+        Graphviz (DOT) graph in the style of Fig. 14 — events as nodes,
+        po/rf/co/fr and dependency edges — annotated with the chosen
+        model's allowed/forbidden verdict.  Writes to stdout unless
+        ``--output`` names a file (pipe into ``dot -Tpdf``).
 
     repro-litmus list
         List the library tests, chips and models.
@@ -54,7 +61,8 @@ from .diy import (default_pool, fences_from_names, generate_tests,
 from .errors import ReproError
 from .harness.runner import default_iterations
 from .litmus import library, parse_litmus, write_litmus
-from .model.models import MODELS, load_model
+from .model.dot import weak_witness_dot
+from .model.models import MODELS, MODEL_ENGINES, load_model
 from .sim.chip import CHIPS, RESULT_CHIPS
 from .sim.engine import ENGINES
 
@@ -79,7 +87,8 @@ def _session(args):
     try:
         return Session(backend=args.backend, jobs=args.jobs,
                        executor=args.executor, cache_dir=args.cache_dir,
-                       engine=args.engine)
+                       engine=args.engine,
+                       model_engine=getattr(args, "model_engine", None))
     except ReproError as error:
         raise SystemExit(str(error))
 
@@ -91,6 +100,16 @@ def _engine_argument(parser):
                              "interpreter) — bit-identical histograms, "
                              "fast is ~3.5x quicker; REPRO_ENGINE sets "
                              "the default")
+
+
+def _model_engine_argument(parser):
+    parser.add_argument("--model-engine", default=None,
+                        choices=MODEL_ENGINES,
+                        help="model-checking engine: fast (compiled "
+                             "model + pruned enumeration, the default) "
+                             "or reference (materialise every candidate "
+                             "execution) — identical verdicts; "
+                             "REPRO_MODEL_ENGINE sets the default")
 
 
 def _session_arguments(parser):
@@ -107,6 +126,7 @@ def _session_arguments(parser):
     parser.add_argument("--cache-dir", default=None,
                         help="directory for the on-disk result cache")
     _engine_argument(parser)
+    _model_engine_argument(parser)
 
 
 def _cmd_run(args):
@@ -145,14 +165,33 @@ def _cmd_campaign(args):
 def _cmd_model(args):
     test = _load_test(args.test)
     model = load_model(args.model)
-    allowed = model.allowed_outcomes(test)
-    verdict = model.allows_condition(test)
+    try:
+        allowed = model.allowed_outcomes(test, engine=args.model_engine)
+        verdict = model.allows_condition(test, engine=args.model_engine)
+    except ReproError as error:
+        raise SystemExit(str(error))
     print(write_litmus(test))
     print("%d allowed final states under %s:" % (len(allowed), model.name))
     for state in sorted(allowed, key=str):
         print("  %s" % state)
     print("condition %s: %s" % (test.condition,
                                 "Allowed" if verdict else "Forbidden"))
+    return 0
+
+
+def _cmd_witness(args):
+    test = _load_test(args.test)
+    model = None if args.model == "none" else load_model(args.model)
+    try:
+        dot = weak_witness_dot(test, model=model)
+    except (ReproError, ValueError) as error:
+        raise SystemExit(str(error))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(dot + "\n")
+        print("wrote %s" % args.output, file=sys.stderr)
+    else:
+        print(dot)
     return 0
 
 
@@ -218,7 +257,7 @@ def _cmd_soundness(args):
             incantations=args.incantations, iterations=iterations,
             seed=args.seed, jobs=args.jobs, executor=args.executor,
             cache_dir=args.cache_dir, chunk_size=args.chunk_size,
-            engine=args.engine)
+            engine=args.engine, model_engine=args.model_engine)
     except ReproError as error:
         raise SystemExit(str(error))
     print(report.summary_table(max_rows=args.max_rows))
@@ -272,7 +311,22 @@ def build_parser():
     model = sub.add_parser("model", help="model-check a test")
     model.add_argument("test")
     model.add_argument("--model", default="ptx", choices=sorted(MODELS))
+    _model_engine_argument(model)
     model.set_defaults(func=_cmd_model)
+
+    witness = sub.add_parser(
+        "witness",
+        help="render a test's weak candidate execution as Graphviz DOT")
+    witness.add_argument("test")
+    witness.add_argument("--model", default="ptx",
+                         choices=sorted(MODELS) + ["none"],
+                         help="annotate the witness with this model's "
+                              "allowed/forbidden verdict, or 'none' for "
+                              "the bare graph (default: ptx)")
+    witness.add_argument("--output", "-o", default=None, metavar="FILE",
+                         help="write the DOT text to FILE instead of "
+                              "stdout")
+    witness.set_defaults(func=_cmd_witness)
 
     lst = sub.add_parser("list", help="list tests, chips and models")
     lst.set_defaults(func=_cmd_list)
@@ -318,6 +372,7 @@ def build_parser():
                                 "backends; a second identical run is "
                                 "served from it")
     _engine_argument(soundness)
+    _model_engine_argument(soundness)
     soundness.set_defaults(func=_cmd_soundness)
     return parser
 

@@ -1,14 +1,22 @@
 """Axiomatic framework: events, relations, executions, cat models."""
 
+from .cat import CompiledCatModel, IndexedExecution, compile_model
 from .dot import to_dot, weak_witness_dot
-from .enumerate import allowed_final_states, enumerate_executions
+from .enumerate import (AllowedStates, allowed_final_states,
+                        enumerate_allowed, enumerate_executions)
 from .events import Event, FENCE, READ, WRITE
 from .execution import CandidateExecution
-from .relation import Relation
+from .models import (DEFAULT_MODEL_ENGINE, MODEL_ENGINES,
+                     resolve_model_engine)
+from .relation import EventIndex, IndexedRelation, Relation
 
 __all__ = [
+    "CompiledCatModel", "IndexedExecution", "compile_model",
     "to_dot", "weak_witness_dot",
-    "allowed_final_states", "enumerate_executions",
+    "AllowedStates", "allowed_final_states",
+    "enumerate_allowed", "enumerate_executions",
     "Event", "FENCE", "READ", "WRITE",
-    "CandidateExecution", "Relation",
+    "CandidateExecution",
+    "DEFAULT_MODEL_ENGINE", "MODEL_ENGINES", "resolve_model_engine",
+    "EventIndex", "IndexedRelation", "Relation",
 ]

@@ -353,10 +353,12 @@ class CheckResult:
 
 
 class CatModel:
-    """A compiled ``.cat`` model.
+    """A parsed ``.cat`` model (the reference interpreter).
 
     ``allows(execution)`` is the paper's partition: an execution is
-    allowed iff every check passes (Sec. 5.2).
+    allowed iff every check passes (Sec. 5.2).  The fast engine compiles
+    this once through :func:`compile_model` instead of re-walking the
+    let-bindings per execution.
     """
 
     def __init__(self, text, name=""):
@@ -420,3 +422,461 @@ class CatModel:
     def __repr__(self):
         return "CatModel(%s, %d checks)" % (self.name or "<anonymous>",
                                             len(self.check_names))
+
+
+# ---------------------------------------------------------------------------
+# Compile-once fast path: inlined checks over indexed relations.
+#
+# The reference interpreter above re-evaluates every let-binding for every
+# candidate execution.  ``compile_model`` performs, once per model:
+#
+# * let-binding resolution — every check body is rewritten into a closed
+#   expression over primitive relation names only (single-parameter
+#   relation functions are beta-reduced at compile time);
+# * constant folding — ``0``-absorbing operators collapse;
+# * cost ordering — checks are sorted cheapest-first so ``allows`` fails
+#   fast on the common forbidden executions;
+# * monotonicity analysis — checks whose bodies can only *grow* as the
+#   communication relations (rf/co/fr) grow are marked ``prune_safe``:
+#   once such a check fails on a partial rf/co assignment, every
+#   completion fails it too, so the enumerator may cut the branch
+#   (:func:`repro.model.enumerate.enumerate_allowed`).
+#
+# Evaluation then runs over :class:`~repro.model.relation.IndexedRelation`
+# bitmasks instead of pair sets, with structural memoisation so shared
+# subterms (e.g. an inlined ``com``) are computed once per execution.
+# ---------------------------------------------------------------------------
+
+#: Primitive relations that never change while rf choices and coherence
+#: prefixes are extended: fixed by the test's paths alone.  Everything
+#: else (rf/co/fr and their derivatives, plus the address-resolution
+#: dependent ``loc``/``po-loc``) grows monotonically during enumeration.
+_FIXED_PRIMITIVES = frozenset([
+    "po", "addr", "data", "ctrl", "dp", "rmw",
+    "membar.cta", "membar.gl", "membar.sys",
+    "cta", "gl", "sys", "int", "ext", "id", "0",
+])
+
+#: Endpoint-filter functions resolved to (domain letter, range letter).
+_INDEXED_FILTERS = {name: (name[0], name[1]) for name in _FILTERS}
+
+
+@dataclass(frozen=True)
+class _CompiledFunction:
+    """A single-parameter relation function awaiting beta-reduction."""
+
+    parameter: str
+    body: object
+    env: dict  # snapshot of the defining environment (name -> inlined AST)
+
+
+def _inline(node, local, live):
+    """Rewrite ``node`` with every let-bound name replaced by its
+    (already inlined) definition; beta-reduce function calls.
+
+    Lookup mirrors the reference ``_Evaluator.lookup`` exactly: the
+    function-local scope (definition-time snapshot plus parameter)
+    first, then the *live* top-level environment as of the statement
+    being compiled — so a name bound after a function's definition
+    still resolves to its binding, not to a primitive.
+    """
+    if isinstance(node, (Empty,)):
+        return node
+    if isinstance(node, Name):
+        value = local.get(node.name)
+        if value is None:
+            value = live.get(node.name)
+        if value is None:
+            return node  # a primitive relation, resolved per execution
+        if isinstance(value, _CompiledFunction):
+            raise CatEvalError("relation function %r used without argument"
+                               % node.name)
+        return value
+    if isinstance(node, Binary):
+        return Binary(node.op, _inline(node.left, local, live),
+                      _inline(node.right, local, live))
+    if isinstance(node, Postfix):
+        return Postfix(node.op, _inline(node.body, local, live))
+    if isinstance(node, Call):
+        if node.function in _FILTERS:
+            return Call(node.function, _inline(node.argument, local, live))
+        target = local.get(node.function)
+        if target is None:
+            target = live.get(node.function)
+        if isinstance(target, _CompiledFunction):
+            inner = dict(target.env)
+            inner[target.parameter] = _inline(node.argument, local, live)
+            return _inline(target.body, inner, live)
+        raise CatEvalError("unknown function %r" % node.function)
+    raise CatEvalError("cannot inline %r" % (node,))
+
+
+def _fold(node):
+    """Constant-fold ``0``-absorbing operators after inlining."""
+    if isinstance(node, Binary):
+        left, right = _fold(node.left), _fold(node.right)
+        left_empty = isinstance(left, Empty)
+        right_empty = isinstance(right, Empty)
+        if node.op == "|":
+            if left_empty:
+                return right
+            if right_empty:
+                return left
+        elif node.op == "&":
+            if left_empty or right_empty:
+                return Empty()
+        elif node.op == "\\":
+            if left_empty:
+                return Empty()
+            if right_empty:
+                return left
+        elif node.op == ";":
+            if left_empty or right_empty:
+                return Empty()
+        return Binary(node.op, left, right)
+    if isinstance(node, Postfix):
+        body = _fold(node.body)
+        if isinstance(body, Empty) and node.op in ("+", "^-1"):
+            return Empty()
+        return Postfix(node.op, body)
+    if isinstance(node, Call):
+        argument = _fold(node.argument)
+        if isinstance(argument, Empty):
+            return Empty()
+        return Call(node.function, argument)
+    return node
+
+
+def _cost(node):
+    """Static cost estimate used to order checks cheapest-first."""
+    if isinstance(node, (Name, Empty)):
+        return 1
+    if isinstance(node, Binary):
+        return _cost(node.left) + _cost(node.right) + (3 if node.op == ";"
+                                                       else 1)
+    if isinstance(node, Postfix):
+        return _cost(node.body) + (6 if node.op in ("+", "*") else 1)
+    if isinstance(node, Call):
+        return _cost(node.argument) + 1
+    return 1
+
+
+def _is_fixed(node):
+    """True when the expression never changes during enumeration."""
+    if isinstance(node, Empty):
+        return True
+    if isinstance(node, Name):
+        return node.name in _FIXED_PRIMITIVES
+    if isinstance(node, Binary):
+        return _is_fixed(node.left) and _is_fixed(node.right)
+    if isinstance(node, Postfix):
+        return _is_fixed(node.body)
+    if isinstance(node, Call):
+        return _is_fixed(node.argument)
+    return False
+
+
+def _is_monotone(node):
+    """True when the expression can only grow as rf/co/fr grow.
+
+    Union, intersection, composition, closures, inverse and endpoint
+    filters are all monotone in their operands; difference is monotone
+    only when its right operand is fixed (a growing subtrahend could
+    *remove* pairs later, invalidating an early failure).
+    """
+    if isinstance(node, (Name, Empty)):
+        return True
+    if isinstance(node, Binary):
+        if node.op == "\\":
+            return _is_monotone(node.left) and _is_fixed(node.right)
+        return _is_monotone(node.left) and _is_monotone(node.right)
+    if isinstance(node, Postfix):
+        return _is_monotone(node.body)
+    if isinstance(node, Call):
+        return _is_monotone(node.argument)
+    return False
+
+
+class _Expr:
+    """One interned node of a compiled check expression.
+
+    The compile pass hash-conses the inlined ASTs into a DAG of these:
+    structurally identical subterms (e.g. ``com`` inlined into three
+    checks) share a node and therefore a ``slot`` in the evaluation
+    memos — so each distinct subterm is computed at most once per view,
+    with plain list indexing instead of structural hashing on the hot
+    path.  ``fixed`` marks subterms built only from relations that never
+    change during enumeration; their results are cached per *skeleton*
+    (across every partial assignment of one path combination) rather
+    than per view.
+    """
+
+    __slots__ = ("op", "a", "b", "slot", "fixed")
+
+    def __init__(self, op, a=None, b=None, slot=0, fixed=False):
+        self.op = op      # "name"|"empty"|"|"|"&"|"\\"|";"|"+"|"*"|"?"|"inv"|"filter"
+        self.a = a        # operand / primitive name / (domain, range) letters
+        self.b = b
+        self.slot = slot
+        self.fixed = fixed
+
+    def __getstate__(self):
+        return (self.op, self.a, self.b, self.slot, self.fixed)
+
+    def __setstate__(self, state):
+        self.op, self.a, self.b, self.slot, self.fixed = state
+
+
+class _Interner:
+    """Hash-consing table turning inlined ASTs into shared ``_Expr`` DAGs."""
+
+    def __init__(self):
+        self.table = {}
+        self.exprs = []
+
+    def intern(self, op, a=None, b=None, fixed=False):
+        key = (op,
+               a if isinstance(a, (str, tuple, type(None))) else id(a),
+               b if isinstance(b, (str, type(None))) else id(b))
+        expr = self.table.get(key)
+        if expr is None:
+            expr = _Expr(op, a, b, slot=len(self.exprs), fixed=fixed)
+            self.table[key] = expr
+            self.exprs.append(expr)
+        return expr
+
+    def compile(self, node):
+        """Lower an inlined/folded AST node into the shared DAG."""
+        if isinstance(node, Empty):
+            return self.intern("empty", fixed=True)
+        if isinstance(node, Name):
+            return self.intern("name", node.name,
+                               fixed=node.name in _FIXED_PRIMITIVES)
+        if isinstance(node, Binary):
+            left = self.compile(node.left)
+            right = self.compile(node.right)
+            return self.intern(node.op, left, right,
+                               fixed=left.fixed and right.fixed)
+        if isinstance(node, Postfix):
+            body = self.compile(node.body)
+            op = "inv" if node.op == "^-1" else node.op
+            return self.intern(op, body, fixed=body.fixed)
+        if isinstance(node, Call):
+            body = self.compile(node.argument)
+            letters = _INDEXED_FILTERS[node.function]
+            return self.intern("filter", letters, body, fixed=body.fixed)
+        raise CatEvalError("cannot compile %r" % (node,))
+
+
+class CompiledCheck:
+    """One model check with its lowered body and compile-time metadata."""
+
+    __slots__ = ("name", "kind", "expr", "cost", "prune_safe")
+
+    def __init__(self, name, kind, expr, cost, prune_safe):
+        self.name = name
+        self.kind = kind            # "acyclic" | "irreflexive" | "empty"
+        self.expr = expr            # interned _Expr DAG root
+        self.cost = cost            # static cost estimate (ordering key)
+        self.prune_safe = prune_safe  # may reject partial rf/co assignments
+
+    def __getstate__(self):
+        return (self.name, self.kind, self.expr, self.cost, self.prune_safe)
+
+    def __setstate__(self, state):
+        self.name, self.kind, self.expr, self.cost, self.prune_safe = state
+
+
+def _eval_expr(expr, view, memo):
+    """Evaluate an interned expression against indexed base relations.
+
+    ``memo`` is a per-evaluation slot list; fixed subterms short-circuit
+    through ``view.fixed_memo`` (shared across evaluations of one
+    skeleton/execution).
+    """
+    if expr.fixed:
+        cache = view.fixed_memo
+    else:
+        cache = memo
+    result = cache[expr.slot]
+    if result is not None:
+        return result
+    op = expr.op
+    if op == "name":
+        result = view.relation(expr.a)
+    elif op == "empty":
+        result = view.empty()
+    elif op == "|":
+        result = _eval_expr(expr.a, view, memo) | _eval_expr(expr.b, view,
+                                                             memo)
+    elif op == "&":
+        result = _eval_expr(expr.a, view, memo) & _eval_expr(expr.b, view,
+                                                             memo)
+    elif op == "\\":
+        result = _eval_expr(expr.a, view, memo) - _eval_expr(expr.b, view,
+                                                             memo)
+    elif op == ";":
+        result = _eval_expr(expr.a, view, memo) >> _eval_expr(expr.b, view,
+                                                              memo)
+    elif op == "+":
+        result = _eval_expr(expr.a, view, memo).transitive_closure()
+    elif op == "*":
+        result = _eval_expr(expr.a, view,
+                            memo).transitive_closure().reflexive_closure()
+    elif op == "?":
+        result = _eval_expr(expr.a, view, memo).reflexive_closure()
+    elif op == "inv":
+        result = ~_eval_expr(expr.a, view, memo)
+    elif op == "filter":
+        domain_letter, range_letter = expr.a
+        result = _eval_expr(expr.b, view, memo).restrict_masks(
+            view.kind_mask(domain_letter), view.kind_mask(range_letter))
+    else:
+        raise CatEvalError("unknown compiled op %r" % (op,))
+    cache[expr.slot] = result
+    return result
+
+
+def _check_passes(check, view, memo):
+    relation = _eval_expr(check.expr, view, memo)
+    if check.kind == "acyclic":
+        return relation.is_acyclic()
+    if check.kind == "irreflexive":
+        return relation.is_irreflexive()
+    if check.kind == "empty":
+        return relation.is_empty()
+    raise CatEvalError("unknown check kind %r" % check.kind)
+
+
+class IndexedExecution:
+    """Adapter exposing a :class:`CandidateExecution`'s relations as
+    :class:`~repro.model.relation.IndexedRelation` bitmasks."""
+
+    def __init__(self, execution, slots=0):
+        from .relation import EventIndex
+
+        self.execution = execution
+        self.index = EventIndex(execution.events)
+        self._relations = {}
+        self._kind_masks = {}
+        self.fixed_memo = [None] * slots
+
+    def empty(self):
+        from .relation import IndexedRelation
+
+        return IndexedRelation.empty(self.index)
+
+    def kind_mask(self, letter):
+        mask = self._kind_masks.get(letter)
+        if mask is None:
+            predicate = _FILTER_KINDS[letter]
+            mask = 0
+            for i, event in enumerate(self.index.events):
+                if predicate(event):
+                    mask |= 1 << i
+            self._kind_masks[letter] = mask
+        return mask
+
+    def relation(self, name):
+        relation = self._relations.get(name)
+        if relation is None:
+            from .relation import IndexedRelation
+
+            relation = IndexedRelation.from_relation(
+                self.index, self.execution.relation(name))
+            self._relations[name] = relation
+        return relation
+
+
+class CompiledCatModel:
+    """A model compiled once: closed check expressions, cheapest first.
+
+    ``allows(execution)`` is bit-identical to the reference
+    :meth:`CatModel.allows` partition; ``allows_view`` evaluates against
+    any indexed relation provider (the enumerator's partial-execution
+    skeletons included).  Instances hold only plain data (no closures),
+    so they pickle into process-pool workers.
+    """
+
+    def __init__(self, cat):
+        self.name = cat.name
+        env = {}
+        interner = _Interner()
+        checks = []
+        for statement in cat.statements:
+            if isinstance(statement, Let):
+                if statement.parameter is None:
+                    env[statement.name] = _fold(
+                        _inline(statement.body, {}, env))
+                else:
+                    env[statement.name] = _CompiledFunction(
+                        statement.parameter, statement.body, dict(env))
+            else:
+                body = _fold(_inline(statement.body, {}, env))
+                checks.append(CompiledCheck(
+                    name=statement.name, kind=statement.kind,
+                    expr=interner.compile(body), cost=_cost(body),
+                    prune_safe=_is_monotone(body)))
+        #: Slot count of the shared expression DAG — the size of the
+        #: evaluation memos (one entry per distinct subterm).
+        self.slots = len(interner.exprs)
+        # Stable sort: equal-cost checks keep their source order, so the
+        # evaluation order is deterministic across runs and processes.
+        self.checks = tuple(sorted(checks, key=lambda check: check.cost))
+        self.prune_checks = tuple(check for check in self.checks
+                                  if check.prune_safe)
+
+    def new_fixed_memo(self):
+        """Fresh per-skeleton cache for enumeration-invariant subterms."""
+        return [None] * self.slots
+
+    def _fit(self, view):
+        """Views carry their own fixed-subterm cache; size it for this
+        model's slot count if the caller did not (e.g. a bare
+        :class:`IndexedExecution`)."""
+        if len(view.fixed_memo) < self.slots:
+            view.fixed_memo = [None] * self.slots
+        return view
+
+    def allows_view(self, view):
+        """Do all checks pass against ``view``'s (complete) relations?"""
+        view = self._fit(view)
+        memo = [None] * self.slots
+        return all(_check_passes(check, view, memo)
+                   for check in self.checks)
+
+    def prune_ok(self, view):
+        """Can some completion of ``view``'s *partial* relations still be
+        allowed?  False only when a monotone check already fails."""
+        view = self._fit(view)
+        memo = [None] * self.slots
+        return all(_check_passes(check, view, memo)
+                   for check in self.prune_checks)
+
+    def allows(self, execution):
+        """Fast-engine verdict for a complete candidate execution."""
+        return self.allows_view(IndexedExecution(execution, self.slots))
+
+    def __repr__(self):
+        return "CompiledCatModel(%s, %d checks, %d prune-safe)" % (
+            self.name or "<anonymous>", len(self.checks),
+            len(self.prune_checks))
+
+
+def compile_model(model):
+    """Compile a model for the fast engine (memoised per CatModel).
+
+    Accepts a :class:`CatModel`, an object with a ``.cat`` attribute
+    (:class:`~repro.model.models.AxiomaticModel`), an already compiled
+    model (returned as is), or raw ``.cat`` text.
+    """
+    if isinstance(model, CompiledCatModel):
+        return model
+    cat = getattr(model, "cat", model)
+    if isinstance(cat, str):
+        cat = CatModel(cat)
+    compiled = getattr(cat, "_compiled", None)
+    if compiled is None:
+        compiled = CompiledCatModel(cat)
+        cat._compiled = compiled
+    return compiled

@@ -6,16 +6,32 @@ same-address write whose value is consistent with the path constraints)
 → coherence-order enumeration (all per-location total orders respecting
 RMW atomicity) → concrete :class:`~repro.model.execution.CandidateExecution`
 objects, each with its final state.
+
+Two drivers share that machinery:
+
+* :func:`enumerate_executions` — the reference path: materialise every
+  candidate execution, let the caller check each against a model.
+* :func:`enumerate_allowed` — the fast path (GPUMC-style pruned
+  exploration): a compiled model's monotone checks run *during* the
+  search, on indexed partial relations, cutting doomed branches before
+  ``_build_execution``; surviving candidates are checked completely and
+  only their final states are kept.  Bit-identical allowed sets,
+  ``truncated`` flags and :class:`~repro.errors.EnumerationError`
+  behaviour by construction: both drivers walk the identical candidate
+  sequence (under a ``max_executions`` cap the fast path counts every
+  candidate instead of cutting subtrees, so cap semantics match
+  exactly).
 """
 
 import itertools
 
-from ..errors import EnumerationError
+from ..errors import CatEvalError, EnumerationError
 from ..litmus.condition import FinalState
+from .cat import compile_model
 from .events import Event, init_write
 from .execution import CandidateExecution
 from .paths import DEFAULT_FUEL, enumerate_thread_paths
-from .relation import Relation
+from .relation import EventIndex, IndexedRelation, Relation
 from .symbolic import resolve
 
 
@@ -32,6 +48,26 @@ class ExecutionEnumeration(list):
     """
 
     truncated = False
+
+
+class AllowedStates(set):
+    """The final states a model allows for one test (fast-engine result).
+
+    A plain set of :class:`~repro.litmus.condition.FinalState` values
+    with the same ``truncated`` marker as :class:`ExecutionEnumeration`:
+    True when the enumeration behind it was cut short (cap or fuel), in
+    which case the set under-approximates the allowed outcomes.
+    """
+
+    truncated = False
+
+
+def _cap_error(test, max_executions):
+    return EnumerationError(
+        "%s has more than max_executions=%d candidate executions; the "
+        "allowed set would be under-approximated (raise the cap or pass "
+        "on_limit='truncate' to accept a partial enumeration)"
+        % (test.name, max_executions))
 
 
 def enumerate_executions(test, fuel=DEFAULT_FUEL, on_fuel="error",
@@ -75,14 +111,59 @@ def enumerate_executions(test, fuel=DEFAULT_FUEL, on_fuel="error",
         if capped:
             break
     if capped and on_limit == "error":
-        raise EnumerationError(
-            "%s has more than max_executions=%d candidate executions; the "
-            "allowed set would be under-approximated (raise the cap or pass "
-            "on_limit='truncate' to accept a partial enumeration)"
-            % (test.name, max_executions))
+        raise _cap_error(test, max_executions)
     executions.truncated = capped or any(
         path.truncated for paths in per_thread for path in paths)
     return executions
+
+
+def enumerate_allowed(test, model, fuel=DEFAULT_FUEL, on_fuel="error",
+                      max_executions=None, on_limit="error"):
+    """Fast-engine twin of ``enumerate_executions`` + model filtering.
+
+    Compiles ``model`` once (:func:`~repro.model.cat.compile_model`),
+    walks the identical candidate sequence, and returns the
+    :class:`AllowedStates` the model allows — pruning branches whose
+    partial rf/coherence assignments already fail a monotone check, so
+    doomed candidates are cut before they are ever built.
+
+    Contract (property-tested against the reference in
+    ``tests/test_model_compile.py``): the returned set, its
+    ``truncated`` flag, and every raised
+    :class:`~repro.errors.EnumerationError` (fuel exhaustion,
+    infeasible threads, ``max_executions`` with ``on_limit="error"``)
+    are identical to running ``enumerate_executions`` and filtering
+    with ``model.allows``.  The one documented divergence: errors the
+    reference would raise while *building* a model-forbidden candidate
+    (e.g. an unresolved observed register on a pruned branch) cannot
+    surface here, because pruned candidates are never materialised.
+    """
+    if on_limit not in ("error", "truncate"):
+        raise ValueError("on_limit must be 'error' or 'truncate', got %r"
+                         % (on_limit,))
+    compiled = compile_model(model)
+    address_map = test.address_map()
+    var_counter = itertools.count()
+    per_thread = [
+        enumerate_thread_paths(program, address_map, test.reg_init,
+                               var_counter, fuel, on_fuel)
+        for program in test.threads
+    ]
+    if any(not paths for paths in per_thread):
+        raise EnumerationError("a thread of %s has no feasible path" % test.name)
+
+    states = AllowedStates()
+    search = _FastSearch(test, compiled, max_executions, states)
+    try:
+        for combo in itertools.product(*per_thread):
+            search.run_combo(_Combo(test, combo, address_map))
+    except _Capped:
+        pass
+    if search.capped and on_limit == "error":
+        raise _cap_error(test, max_executions)
+    states.truncated = search.capped or any(
+        path.truncated for paths in per_thread for path in paths)
+    return states
 
 
 def allowed_final_states(executions, model=None):
@@ -130,9 +211,10 @@ class _Combo:
 
 def _solve_combo(test, paths, address_map):
     combo = _Combo(test, paths, address_map)
-    yield from _solve_rf(combo, env={}, rf_assign={},
-                         remaining=list(combo.reads), deferred={},
-                         pending_addr=[])
+    for env, rf_assign, _ in _solve_rf(combo, env={}, rf_assign={},
+                                       remaining=list(combo.reads),
+                                       deferred={}, pending_addr=[]):
+        yield from _enumerate_co(combo, env, rf_assign)
 
 
 def _constraints_ok(combo, env):
@@ -220,8 +302,53 @@ def _propagate(combo, env, deferred, pending_addr):
     return True
 
 
-def _solve_rf(combo, env, rf_assign, remaining, deferred, pending_addr):
-    """Depth-first assignment of read-from edges."""
+def _pick_read(combo, env, remaining, deferred):
+    """Choose the next read to branch on (the solver's ordering heuristic).
+
+    Candidate sets are complete for any pick (provisional candidates
+    included), so the order is a pruning heuristic only: prefer reads
+    whose candidates are fully resolved — their branches bind a concrete
+    value immediately and contradictions surface early.  Returns
+    ``(index, read_key, candidates)``, or ``None`` when every remaining
+    read waits on a deferred value (an address dependency chained behind
+    a thin-air value cycle — no realisable execution down this branch).
+    """
+    best_index, best = None, None
+    for index, key in enumerate(remaining):
+        addr = _resolved_addr(combo, key, env)
+        if addr is None:
+            continue
+        candidates, fully_resolved = _candidate_writes(combo, key, addr, env)
+        rank = (not fully_resolved, len(candidates))
+        if best is None or rank < best[0]:
+            best_index, best = index, (rank, key, candidates)
+        if fully_resolved:
+            break
+    if best is None:
+        if deferred:
+            return None
+        raise EnumerationError(
+            "no read with a resolvable address; cyclic address dependency?")
+    _, read_key, candidates = best
+    return best_index, read_key, candidates
+
+
+#: Verdicts a fast-path prune hook may return (``None`` = keep going).
+_CUT = "cut"              # drop the branch entirely (no cap active)
+_FORBIDDEN = "forbidden"  # keep walking for cap counting, skip checking
+
+
+def _solve_rf(combo, env, rf_assign, remaining, deferred, pending_addr,
+              prune=None, forbidden=False):
+    """Depth-first assignment of read-from edges.
+
+    Yields ``(env, rf_assign, forbidden)`` leaves.  ``prune`` is the
+    fast engine's hook, called after each successful assignment with the
+    extended ``(env, rf_assign)``; it may return :data:`_CUT` to drop
+    the branch or :data:`_FORBIDDEN` to mark every completion as
+    model-rejected while preserving the walk (cap counting).  The
+    reference path passes no hook and is unchanged.
+    """
     if not _constraints_ok(combo, env):
         return
     if not remaining:
@@ -237,34 +364,13 @@ def _solve_rf(combo, env, rf_assign, remaining, deferred, pending_addr):
                 "address checks unresolved with all reads bound")
         if any(c.status(env) is not True for c in combo.constraints):
             raise EnumerationError("constraints undecided with all reads bound")
-        yield from _enumerate_co(combo, env, rf_assign)
+        yield env, rf_assign, forbidden
         return
 
-    # Candidate sets are complete for any pick (provisional candidates
-    # included), so the order is a pruning heuristic only: prefer reads
-    # whose candidates are fully resolved — their branches bind a
-    # concrete value immediately and contradictions surface early.
-    best_index, best = None, None
-    for index, key in enumerate(remaining):
-        addr = _resolved_addr(combo, key, env)
-        if addr is None:
-            continue
-        candidates, fully_resolved = _candidate_writes(combo, key, addr, env)
-        rank = (not fully_resolved, len(candidates))
-        if best is None or rank < best[0]:
-            best_index, best = index, (rank, key, candidates)
-        if fully_resolved:
-            break
-    if best is None:
-        if deferred:
-            # Every remaining read waits on a deferred value (an address
-            # dependency chained behind a thin-air value cycle); no
-            # realisable execution down this branch.
-            return
-        raise EnumerationError(
-            "no read with a resolvable address; cyclic address dependency?")
-
-    _, read_key, candidates = best
+    picked = _pick_read(combo, env, remaining, deferred)
+    if picked is None:
+        return
+    best_index, read_key, candidates = picked
     rest = remaining[:best_index] + remaining[best_index + 1:]
     read_sym = combo.sym_events[read_key]
     for write_key, value, addr_pending in candidates:
@@ -282,12 +388,19 @@ def _solve_rf(combo, env, rf_assign, remaining, deferred, pending_addr):
             continue
         new_rf = dict(rf_assign)
         new_rf[read_key] = write_key
+        child_forbidden = forbidden
+        if prune is not None and not child_forbidden:
+            verdict = prune(new_env, new_rf)
+            if verdict is _CUT:
+                continue
+            if verdict is _FORBIDDEN:
+                child_forbidden = True
         yield from _solve_rf(combo, new_env, new_rf, rest, new_deferred,
-                             new_pending)
+                             new_pending, prune, child_forbidden)
 
 
 # ---------------------------------------------------------------------------
-# Coherence enumeration and execution construction.
+# Coherence enumeration and execution construction (reference path).
 # ---------------------------------------------------------------------------
 
 def _enumerate_co(combo, env, rf_assign):
@@ -424,7 +537,8 @@ def _build_execution(combo, env, rf_assign, co_orders):
             if read and write:
                 rmw_pairs.append((read[0], write[0]))
 
-    final_state = _final_state(combo, env, co_orders, events)
+    final_state = _final_state(combo, env, co_orders,
+                               lambda key: events[key].value)
 
     tree = test.scope_tree
     names = [program.name for program in test.threads]
@@ -440,7 +554,13 @@ def _build_execution(combo, env, rf_assign, co_orders):
         same_cta=same_cta, final_state=final_state, test_name=test.name)
 
 
-def _final_state(combo, env, co_orders, events):
+def _final_state(combo, env, co_orders, write_value):
+    """Fold registers and final memory into a FinalState.
+
+    ``write_value`` maps a write key (``("init", loc)`` or ``(tid,
+    index)``) to its concrete value — the built Event's value on the
+    reference path, a direct symbolic resolution on the fast path.
+    """
     regs = {}
     paths_by_tid = {path.tid: path for path in combo.paths}
     for tid, reg in combo.test.observed_registers():
@@ -459,5 +579,471 @@ def _final_state(combo, env, co_orders, events):
     memory = {}
     for location, order in co_orders.items():
         last_key = order[-1]
-        memory[location] = events[last_key].value
+        memory[location] = write_value(last_key)
     return FinalState.make(regs, memory)
+
+
+# ---------------------------------------------------------------------------
+# Fast path: pruned, consistency-aware exploration over indexed relations.
+# ---------------------------------------------------------------------------
+
+class _Capped(Exception):
+    """Internal signal: the max_executions cap was exceeded."""
+
+
+class _Skeleton:
+    """Indexed event universe + env-independent relations for one combo.
+
+    Slots mirror ``_build_execution``'s eid order exactly: one init
+    write per test location (sorted), then every path event in path
+    order.  Relations fixed by the paths alone (po, dependencies,
+    fences, scopes, rmw, int/ext, id) are built once here; rf/co/fr and
+    the address-dependent loc/po-loc are assembled per search node by
+    :class:`_SkeletonView`.
+    """
+
+    def __init__(self, combo):
+        test = combo.test
+        self.combo = combo
+        self.locations = sorted(test.locations())
+        slots = [("init", location) for location in self.locations]
+        for path in combo.paths:
+            for sym in path.events:
+                slots.append((path.tid, sym.index))
+        self.index = EventIndex(slots)
+        self.position = {key: i for i, key in enumerate(slots)}
+        self.n = len(slots)
+
+        kinds, tids = [], []
+        for key in slots:
+            if key[0] == "init":
+                kinds.append("W")
+                tids.append(-1)
+            else:
+                sym = combo.sym_events[key]
+                kinds.append(sym.kind)
+                tids.append(key[0])
+        self.kinds = kinds
+        self.tids = tids
+
+        w_mask = r_mask = f_mask = 0
+        for i, kind in enumerate(kinds):
+            if kind == "W":
+                w_mask |= 1 << i
+            elif kind == "R":
+                r_mask |= 1 << i
+            else:
+                f_mask |= 1 << i
+        self.kind_masks = {"W": w_mask, "R": r_mask,
+                           "M": w_mask | r_mask, "F": f_mask}
+        self.access_mask = w_mask | r_mask
+
+        self.fixed = self._fixed_relations(combo, test)
+
+    def _fixed_relations(self, combo, test):
+        n = self.n
+        position = self.position
+
+        def relation(succ):
+            return IndexedRelation(self.index, succ)
+
+        po = [0] * n
+        for path in combo.paths:
+            ordered = [position[(path.tid, sym.index)] for sym in path.events]
+            for i in range(len(ordered)):
+                for j in range(i + 1, len(ordered)):
+                    po[ordered[i]] |= 1 << ordered[j]
+
+        addr, data, ctrl = [0] * n, [0] * n, [0] * n
+        for path in combo.paths:
+            for sym in path.events:
+                target = 1 << position[(path.tid, sym.index)]
+                for source_index in sym.addr_sources:
+                    addr[position[(path.tid, source_index)]] |= target
+                for source_index in sym.data_sources:
+                    data[position[(path.tid, source_index)]] |= target
+                for source_index in sym.ctrl_sources:
+                    ctrl[position[(path.tid, source_index)]] |= target
+        dp = [a | d | c for a, d, c in zip(addr, data, ctrl)]
+
+        # Fence relations: accesses separated in po by a fence of exactly
+        # the given scope (mirrors CandidateExecution._fence_relation).
+        fences = {"cta": [0] * n, "gl": [0] * n, "sys": [0] * n}
+        access = self.access_mask
+        for path in combo.paths:
+            ordered = [position[(path.tid, sym.index)] for sym in path.events]
+            for k, sym in enumerate(path.events):
+                if sym.kind != "F":
+                    continue
+                before = 0
+                for slot in ordered[:k]:
+                    before |= 1 << slot
+                after = 0
+                for slot in ordered[k + 1:]:
+                    after |= 1 << slot
+                before &= access
+                after &= access
+                rows = fences[sym.scope]
+                for slot in range(n):
+                    if (before >> slot) & 1:
+                        rows[slot] |= after
+
+        rmw = [0] * n
+        for path in combo.paths:
+            groups = {}
+            for sym in path.events:
+                if sym.rmw_group is not None:
+                    groups.setdefault(sym.rmw_group, []).append(sym)
+            for group in groups.values():
+                read = [sym for sym in group if sym.kind == "R"]
+                write = [sym for sym in group if sym.kind == "W"]
+                if read and write:
+                    rmw[position[(path.tid, read[0].index)]] |= (
+                        1 << position[(path.tid, write[0].index)])
+
+        # Scope relations over *all* events (init writes belong to every
+        # scope; mirrors CandidateExecution._scope_relation).  Single-GPU
+        # tests share the grid, so ``gl`` and ``sys`` are the universal
+        # relation; ``cta`` relates init events, same-thread pairs and
+        # same-CTA thread pairs.  All built from per-tid masks instead of
+        # pairwise loops — this runs once per path combination.
+        tree = test.scope_tree
+        names = [program.name for program in test.threads]
+        tids = self.tids
+        full = self.index.full_mask
+        tid_mask = {}
+        for i, tid in enumerate(tids):
+            tid_mask[tid] = tid_mask.get(tid, 0) | (1 << i)
+        init_mask = tid_mask.get(-1, 0)
+        cta_mask_by_tid = {}
+        for tid in tid_mask:
+            if tid == -1:
+                continue
+            mask = init_mask | tid_mask[tid]
+            for other in tid_mask:
+                if other in (-1, tid):
+                    continue
+                if tree.same_cta(names[tid], names[other]):
+                    mask |= tid_mask[other]
+            cta_mask_by_tid[tid] = mask
+
+        universal = [full & ~(1 << i) for i in range(n)]
+        cta = []
+        internal = []
+        external = []
+        for i, tid in enumerate(tids):
+            self_bit = 1 << i
+            cta.append(((full if tid == -1 else cta_mask_by_tid[tid])
+                        & ~self_bit))
+            internal.append(tid_mask[tid] & ~self_bit)
+            external.append(full & ~tid_mask[tid])
+
+        identity = [1 << i for i in range(n)]
+
+        return {
+            "po": relation(po),
+            "addr": relation(addr), "data": relation(data),
+            "ctrl": relation(ctrl), "dp": relation(dp),
+            "membar.cta": relation(fences["cta"]),
+            "membar.gl": relation(fences["gl"]),
+            "membar.sys": relation(fences["sys"]),
+            "rmw": relation(rmw),
+            "cta": relation(cta), "gl": relation(universal),
+            "sys": relation(list(universal)),
+            "int": relation(internal), "ext": relation(external),
+            "id": relation(identity),
+            "0": IndexedRelation.empty(self.index),
+        }
+
+    def locate(self, env):
+        """Per-slot location names under ``env`` (None while unresolved
+        or for fences); unmapped addresses stay None here — the search
+        itself raises exactly where the reference path would."""
+        combo = self.combo
+        locs = []
+        for key, kind in zip(self.index.events, self.kinds):
+            if key[0] == "init":
+                locs.append(key[1])
+                continue
+            if kind == "F":
+                locs.append(None)
+                continue
+            address = resolve(combo.sym_events[key].addr_term, env)
+            if address is None:
+                locs.append(None)
+                continue
+            locs.append(combo.reverse_address.get(address))
+        return locs
+
+
+class _SkeletonView:
+    """Indexed base relations for one (possibly partial) search node."""
+
+    def __init__(self, skeleton, locs, rf_slots, co_succ, fixed_memo):
+        self.skeleton = skeleton
+        self.index = skeleton.index
+        self._locs = locs
+        self._rf = rf_slots          # read slot -> source write slot
+        self._co = co_succ           # successor masks (shared snapshot)
+        self._cache = {}
+        #: Slot cache for enumeration-invariant compiled subterms, shared
+        #: across every view of one skeleton (see ``_eval_expr``).
+        self.fixed_memo = fixed_memo
+
+    def empty(self):
+        return IndexedRelation.empty(self.index)
+
+    def kind_mask(self, letter):
+        return self.skeleton.kind_masks[letter]
+
+    def relation(self, name):
+        relation = self._cache.get(name)
+        if relation is None:
+            relation = self._build(name)
+            self._cache[name] = relation
+        return relation
+
+    def _build(self, name):
+        skeleton = self.skeleton
+        fixed = skeleton.fixed.get(name)
+        if fixed is not None:
+            return fixed
+        if name == "rf":
+            succ = [0] * skeleton.n
+            for read_slot, write_slot in self._rf.items():
+                succ[write_slot] |= 1 << read_slot
+            return IndexedRelation(skeleton.index, succ)
+        if name in ("co", "ws"):
+            return IndexedRelation(skeleton.index, self._co)
+        if name == "fr":
+            succ = [0] * skeleton.n
+            co = self._co
+            for read_slot, write_slot in self._rf.items():
+                succ[read_slot] |= co[write_slot]
+            return IndexedRelation(skeleton.index, succ)
+        if name == "rfe":
+            return self.relation("rf") & skeleton.fixed["ext"]
+        if name == "rfi":
+            return self.relation("rf") & skeleton.fixed["int"]
+        if name == "coe":
+            return self.relation("co") & skeleton.fixed["ext"]
+        if name == "coi":
+            return self.relation("co") & skeleton.fixed["int"]
+        if name == "fre":
+            return self.relation("fr") & skeleton.fixed["ext"]
+        if name == "fri":
+            return self.relation("fr") & skeleton.fixed["int"]
+        if name == "com":
+            return (self.relation("rf") | self.relation("co")
+                    | self.relation("fr"))
+        if name == "loc":
+            groups = {}
+            for slot, location in enumerate(self._locs):
+                if location is not None:
+                    groups.setdefault(location, 0)
+                    groups[location] |= 1 << slot
+            succ = [0] * skeleton.n
+            for slot, location in enumerate(self._locs):
+                if location is not None:
+                    succ[slot] = groups[location] & ~(1 << slot)
+            return IndexedRelation(skeleton.index, succ)
+        if name == "po-loc":
+            return skeleton.fixed["po"] & self.relation("loc")
+        raise CatEvalError("unknown primitive relation %r" % name)
+
+
+class _FastSearch:
+    """The pruned enumeration driver shared across path combinations."""
+
+    #: Run the rf-stage prune hook at interior nodes only when the rf
+    #: search tree is substantial ((writes+1)^reads candidate leaves at
+    #: least this large) — below that the hook's own cost exceeds
+    #: anything it can save.
+    MIN_RF_TREE_FOR_INTERIOR_PRUNE = 64
+    #: Prune inside a location's coherence-order construction (and at
+    #: completed rf assignments) only when a location could carry at
+    #: least this many writes — the per-location factorial is the
+    #: blow-up pruning exists to tame.
+    MIN_WRITES_FOR_CO_PRUNE = 3
+
+    def __init__(self, test, compiled, max_executions, states):
+        self.test = test
+        self.compiled = compiled
+        self.cap = max_executions
+        self.counting = max_executions is not None
+        self.states = states
+        self.count = 0
+        self.capped = False
+        self.combo = None
+        self.skeleton = None
+        self.fixed_memo = None
+
+    # -- rf stage ---------------------------------------------------------
+
+    def run_combo(self, combo):
+        self.combo = combo
+        self.skeleton = _Skeleton(combo)
+        self.fixed_memo = self.compiled.new_fixed_memo()
+        prune = None
+        n_writes = len(combo.writes)
+        prune_worthwhile = (self.compiled.prune_checks
+                            and n_writes >= self.MIN_WRITES_FOR_CO_PRUNE)
+        if (prune_worthwhile
+                and (n_writes + 1) ** len(combo.reads)
+                >= self.MIN_RF_TREE_FOR_INTERIOR_PRUNE):
+            prune = self._rf_prune
+        for env, rf_assign, forbidden in _solve_rf(
+                combo, env={}, rf_assign={}, remaining=list(combo.reads),
+                deferred={}, pending_addr=[], prune=prune):
+            if not forbidden and prune_worthwhile and prune is None:
+                # Small rf trees skip interior pruning; still reject the
+                # completed rf assignment once before the co search.
+                if not self._prune_ok(env, rf_assign):
+                    forbidden = True
+                    if not self.counting:
+                        continue
+            self._co_phase(env, rf_assign, forbidden)
+
+    def _rf_slots(self, rf_assign):
+        position = self.skeleton.position
+        return {position[read_key]: position[write_key]
+                for read_key, write_key in rf_assign.items()}
+
+    def _init_co(self, env):
+        """The coherence lower bound: init hits memory before any update
+        (Sec. 5.2.1), so init→write pairs hold in every completion."""
+        skeleton = self.skeleton
+        combo = self.combo
+        succ = [0] * skeleton.n
+        for write_key in combo.writes:
+            address = resolve(combo.sym_events[write_key].addr_term, env)
+            if address is None:
+                continue
+            location = combo.reverse_address.get(address)
+            if location is None:
+                continue
+            succ[skeleton.position[("init", location)]] |= (
+                1 << skeleton.position[write_key])
+        return succ
+
+    def _prune_ok(self, env, rf_assign):
+        view = _SkeletonView(self.skeleton, self.skeleton.locate(env),
+                             self._rf_slots(rf_assign), self._init_co(env),
+                             self.fixed_memo)
+        return self.compiled.prune_ok(view)
+
+    def _rf_prune(self, env, rf_assign):
+        if self._prune_ok(env, rf_assign):
+            return None
+        return _FORBIDDEN if self.counting else _CUT
+
+    # -- coherence stage --------------------------------------------------
+
+    def _co_phase(self, env, rf_assign, forbidden):
+        combo = self.combo
+        skeleton = self.skeleton
+        writes_by_loc = {}
+        for write_key in combo.writes:
+            sym = combo.sym_events[write_key]
+            address = resolve(sym.addr_term, env)
+            location = combo.location_of(address)
+            writes_by_loc.setdefault(location, []).append(write_key)
+        for location in combo.test.locations():
+            writes_by_loc.setdefault(location, [])
+        requirements = _atomicity_requirements(combo, rf_assign)
+        locations = sorted(writes_by_loc)
+
+        state = {
+            "env": env,
+            "rf_slots": self._rf_slots(rf_assign),
+            "locs": skeleton.locate(env),
+            "co_succ": self._init_co(env),
+            "co_orders": {},
+            "locations": locations,
+            "writes_by_loc": writes_by_loc,
+            "requirements": requirements,
+        }
+        self._extend_location(state, 0, forbidden)
+
+    def _extend_location(self, state, loc_idx, forbidden):
+        locations = state["locations"]
+        if loc_idx == len(locations):
+            self._leaf(state, forbidden)
+            return
+        location = locations[loc_idx]
+        members = state["writes_by_loc"][location]
+        order = [("init", location)]
+        state["co_orders"][location] = order
+        self._extend_order(state, loc_idx, location, members,
+                           [False] * len(members), order, forbidden)
+        del state["co_orders"][location]
+
+    def _extend_order(self, state, loc_idx, location, members, used, order,
+                      forbidden):
+        if len(order) == len(members) + 1:
+            self._extend_location(state, loc_idx + 1, forbidden)
+            return
+        skeleton = self.skeleton
+        position = skeleton.position
+        co_succ = state["co_succ"]
+        requirements = state["requirements"]
+        prune_here = (self.compiled.prune_checks
+                      and len(members) >= self.MIN_WRITES_FOR_CO_PRUNE)
+        for i, write_key in enumerate(members):
+            if used[i]:
+                continue
+            source = requirements.get(write_key)
+            if source is not None and (source == order[0]
+                                       or source in members):
+                # RMW atomicity: the write must land immediately after
+                # the write its read read from (same filter as
+                # _atomicity_ok, applied during construction).
+                if order[-1] != source:
+                    continue
+            used[i] = True
+            order.append(write_key)
+            write_bit = 1 << position[write_key]
+            touched = []
+            for previous in order[1:-1]:  # init pairs are pre-seeded
+                slot = position[previous]
+                if not co_succ[slot] & write_bit:
+                    co_succ[slot] |= write_bit
+                    touched.append(slot)
+            child_forbidden = forbidden
+            if prune_here and not child_forbidden and touched:
+                view = _SkeletonView(skeleton, state["locs"],
+                                     state["rf_slots"], co_succ,
+                                     self.fixed_memo)
+                if not self.compiled.prune_ok(view):
+                    child_forbidden = True
+            if not (child_forbidden and not self.counting):
+                self._extend_order(state, loc_idx, location, members, used,
+                                   order, child_forbidden)
+            for slot in touched:
+                co_succ[slot] &= ~write_bit
+            order.pop()
+            used[i] = False
+
+    # -- leaves -----------------------------------------------------------
+
+    def _leaf(self, state, forbidden):
+        if self.counting:
+            if self.count >= self.cap:
+                self.capped = True
+                raise _Capped()
+            self.count += 1
+        if forbidden:
+            return
+        view = _SkeletonView(self.skeleton, state["locs"],
+                             state["rf_slots"], state["co_succ"],
+                             self.fixed_memo)
+        if not self.compiled.allows_view(view):
+            return
+        env = state["env"]
+        combo = self.combo
+        self.states.add(_final_state(
+            combo, env, state["co_orders"],
+            lambda key: (combo.test.initial_value(key[1])
+                         if key[0] == "init"
+                         else resolve(combo.sym_events[key].value_term,
+                                      env))))

@@ -2,9 +2,268 @@
 
 The axiomatic framework (Sec. 5.1) and the ``.cat`` language (Sec. 5.2.2)
 manipulate binary relations over events: unions, intersections,
-compositions, closures and acyclicity checks.  :class:`Relation` is an
-immutable set of ordered event pairs supporting exactly that algebra.
+compositions, closures and acyclicity checks.  Two representations
+implement that algebra:
+
+* :class:`Relation` — an immutable set of ordered event pairs.  The
+  reference implementation: every operator is a direct transcription of
+  its set-theoretic definition.
+* :class:`IndexedRelation` — the fast-engine twin.  Events are numbered
+  once per execution by an :class:`EventIndex`; a relation is then a
+  per-source successor bitmask (one ``int`` per event), so unions are
+  per-row ``|``, composition ORs successor rows, and closure/acyclicity
+  walk bit-sets instead of hashing pairs.  Property-tested equivalent to
+  :class:`Relation` (``tests/test_model_compile.py``).
 """
+
+
+class EventIndex:
+    """Dense numbering of one execution's events.
+
+    Built once per execution (or per enumeration skeleton) and shared by
+    every :class:`IndexedRelation` over it; position ``i`` corresponds to
+    bit ``1 << i`` in successor masks.
+    """
+
+    __slots__ = ("events", "_position")
+
+    def __init__(self, events):
+        self.events = tuple(events)
+        self._position = {event: i for i, event in enumerate(self.events)}
+
+    def __len__(self):
+        return len(self.events)
+
+    def position(self, event):
+        return self._position[event]
+
+    @property
+    def full_mask(self):
+        """Bitmask with one bit set per event (the full carrier set)."""
+        return (1 << len(self.events)) - 1
+
+    def mask_of(self, events):
+        """Bitmask of a subset of this index's events."""
+        mask = 0
+        for event in events:
+            mask |= 1 << self._position[event]
+        return mask
+
+
+def _bits(mask):
+    """Yield the set bit positions of ``mask``, lowest first."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class IndexedRelation:
+    """A binary relation as per-source successor bitmasks.
+
+    ``succ[i]`` holds one bit per successor of event ``i`` (positions
+    per the shared :class:`EventIndex`).  Immutable; operators mirror
+    :class:`Relation` (``|`` union, ``&`` intersection, ``-`` difference,
+    ``>>`` composition, ``~`` inverse).
+    """
+
+    __slots__ = ("index", "succ")
+
+    def __init__(self, index, succ=None):
+        self.index = index
+        if succ is None:
+            succ = (0,) * len(index)
+        self.succ = tuple(succ)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_pairs(cls, index, pairs):
+        succ = [0] * len(index)
+        position = index.position
+        for a, b in pairs:
+            succ[position(a)] |= 1 << position(b)
+        return cls(index, succ)
+
+    @classmethod
+    def from_relation(cls, index, relation):
+        """Convert a pair-set :class:`Relation` over ``index``'s events."""
+        return cls.from_pairs(index, relation)
+
+    @classmethod
+    def empty(cls, index):
+        return cls(index)
+
+    def to_relation(self):
+        """Convert back to the pair-set representation."""
+        return Relation(self.pairs())
+
+    # -- basic protocol ----------------------------------------------------
+
+    def pairs(self):
+        events = self.index.events
+        for i, row in enumerate(self.succ):
+            for j in _bits(row):
+                yield (events[i], events[j])
+
+    def __iter__(self):
+        return self.pairs()
+
+    def __len__(self):
+        # bin().count works on every supported Python (int.bit_count is 3.10+).
+        return sum(bin(row).count("1") for row in self.succ)
+
+    def __bool__(self):
+        return any(self.succ)
+
+    def __contains__(self, pair):
+        a, b = pair
+        return bool(self.succ[self.index.position(a)]
+                    & (1 << self.index.position(b)))
+
+    def __eq__(self, other):
+        return (isinstance(other, IndexedRelation)
+                and self.index.events == other.index.events
+                and self.succ == other.succ)
+
+    def __hash__(self):
+        return hash((self.index.events, self.succ))
+
+    def __repr__(self):
+        return "IndexedRelation(%d pairs over %d events)" % (
+            len(self), len(self.index))
+
+    # -- algebra -------------------------------------------------------------
+
+    def __or__(self, other):
+        return IndexedRelation(self.index, (a | b for a, b in
+                                            zip(self.succ, other.succ)))
+
+    def __and__(self, other):
+        return IndexedRelation(self.index, (a & b for a, b in
+                                            zip(self.succ, other.succ)))
+
+    def __sub__(self, other):
+        return IndexedRelation(self.index, (a & ~b for a, b in
+                                            zip(self.succ, other.succ)))
+
+    def __rshift__(self, other):
+        """Sequential composition: OR the successor rows of my successors."""
+        rows = other.succ
+        out = []
+        for row in self.succ:
+            acc = 0
+            for j in _bits(row):
+                acc |= rows[j]
+            out.append(acc)
+        return IndexedRelation(self.index, out)
+
+    def __invert__(self):
+        n = len(self.index)
+        out = [0] * n
+        for i, row in enumerate(self.succ):
+            bit = 1 << i
+            for j in _bits(row):
+                out[j] |= bit
+        return IndexedRelation(self.index, out)
+
+    def restrict_masks(self, domain_mask, range_mask):
+        """Keep pairs whose endpoints lie in the given bitmask sets (the
+        indexed form of :meth:`Relation.restrict`)."""
+        return IndexedRelation(
+            self.index,
+            ((row & range_mask) if (domain_mask >> i) & 1 else 0
+             for i, row in enumerate(self.succ)))
+
+    def transitive_closure(self):
+        """``r+`` by iterated row expansion (tiny universes: n <= ~32)."""
+        succ = list(self.succ)
+        n = len(succ)
+        changed = True
+        while changed:
+            changed = False
+            for i in range(n):
+                row = succ[i]
+                acc = row
+                for j in _bits(row):
+                    acc |= succ[j]
+                if acc != row:
+                    succ[i] = acc
+                    changed = True
+        return IndexedRelation(self.index, succ)
+
+    def reflexive_closure(self):
+        """``r?`` over the index's full carrier set."""
+        return IndexedRelation(self.index,
+                               (row | (1 << i)
+                                for i, row in enumerate(self.succ)))
+
+    # -- queries -------------------------------------------------------------
+
+    def is_empty(self):
+        return not any(self.succ)
+
+    def is_irreflexive(self):
+        return all(not (row >> i) & 1 for i, row in enumerate(self.succ))
+
+    def is_acyclic(self):
+        """True when the relation contains no cycle (including self-loops).
+
+        Iterative elimination of sink nodes (Kahn on the transposed
+        graph): the relation is acyclic iff every node can be retired.
+        """
+        succ = self.succ
+        n = len(succ)
+        alive = self.index.full_mask
+        changed = True
+        while alive and changed:
+            changed = False
+            for i in _bits(alive):
+                if not (succ[i] & alive):
+                    alive ^= 1 << i
+                    changed = True
+        return not alive
+
+    def find_cycle(self):
+        """Return one cycle as a list of events, or ``None`` if acyclic.
+
+        Same contract as :meth:`Relation.find_cycle`: the result is a
+        closed walk (each event related to the next, last wrapping to
+        first); the specific cycle may differ between representations.
+        """
+        succ = self.succ
+        events = self.index.events
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {}
+        parent = {}
+        for root in range(len(succ)):
+            if not succ[root] or colour.get(root, WHITE) != WHITE:
+                continue
+            stack = [(root, _bits(succ[root]))]
+            colour[root] = GREY
+            while stack:
+                node, iterator = stack[-1]
+                advanced = False
+                for nxt in iterator:
+                    state = colour.get(nxt, WHITE)
+                    if state == GREY:
+                        cycle = [nxt, node]
+                        walk = node
+                        while walk != nxt:
+                            walk = parent[walk]
+                            cycle.append(walk)
+                        cycle.reverse()
+                        return [events[i] for i in cycle[:-1]]
+                    if state == WHITE:
+                        colour[nxt] = GREY
+                        parent[nxt] = node
+                        stack.append((nxt, _bits(succ[nxt])))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return None
 
 
 class Relation:

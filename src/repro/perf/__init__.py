@@ -1,16 +1,28 @@
 """repro.perf — the performance-measurement subsystem.
 
-Times the simulation engines against each other on a pinned corpus and
-records the repo's perf trajectory in ``BENCH_engine.json`` (written by
-``benchmarks/bench_perf_engine.py``, checked in CI's perf-smoke job).
+Times the fast engines against their reference twins on pinned corpora
+and records the repo's perf trajectory: the operational side in
+``BENCH_engine.json`` (``benchmarks/bench_perf_engine.py``) and the
+axiomatic side in ``BENCH_model.json``
+(``benchmarks/bench_perf_model.py``), both checked in CI's perf-smoke
+job.
 """
 
 from .enginebench import (EngineBenchCell, PINNED_CORPUS, TINY_CORPUS,
                           bench_engines, corpus_by_name, render_table,
                           summarize, write_report)
+from .modelbench import (MODEL_PINNED_CORPUS, MODEL_TINY_CORPUS,
+                         ModelBenchCell, bench_model_cell,
+                         bench_model_engines, deep_corpus_tests,
+                         model_corpus_by_name, render_model_table,
+                         summarize_model, write_model_report)
 
 __all__ = [
     "EngineBenchCell", "PINNED_CORPUS", "TINY_CORPUS",
     "bench_engines", "corpus_by_name", "render_table", "summarize",
     "write_report",
+    "MODEL_PINNED_CORPUS", "MODEL_TINY_CORPUS", "ModelBenchCell",
+    "bench_model_cell", "bench_model_engines", "deep_corpus_tests",
+    "model_corpus_by_name", "render_model_table", "summarize_model",
+    "write_model_report",
 ]

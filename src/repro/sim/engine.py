@@ -13,10 +13,9 @@ PTX model (Sec. 5): same-address pairs stay ordered except read-read
 and dependencies always order.
 """
 
-import os
 from dataclasses import dataclass
 
-from ..errors import ConfigurationError, SimulationError
+from ..errors import SimulationError
 from ..ptx.instructions import (Add, And, AtomAdd, AtomCas, AtomExch,
                                 AtomInc, Bra, Cvt, Label, Ld, Membar, Mov,
                                 Setp, St, Xor)
@@ -42,18 +41,9 @@ def resolve_engine(engine):
     """Normalise an engine choice: ``None`` means the environment's
     ``REPRO_ENGINE`` (default ``fast``); anything else must name one of
     :data:`ENGINES`."""
-    if engine is None:
-        engine = os.environ.get("REPRO_ENGINE") or DEFAULT_ENGINE
-        if engine not in ENGINES:
-            raise ConfigurationError(
-                "REPRO_ENGINE must be one of %s, got %r"
-                % ("/".join(ENGINES), engine))
-        return engine
-    if engine not in ENGINES:
-        from ..errors import ReproError
-        raise ReproError("unknown engine %r (expected %s)"
-                         % (engine, " or ".join(repr(e) for e in ENGINES)))
-    return engine
+    from .._util import resolve_choice
+    return resolve_choice(engine, "REPRO_ENGINE", ENGINES, DEFAULT_ENGINE,
+                          "engine")
 
 
 def run_batch(machine, iterations, rng, histogram=None):
