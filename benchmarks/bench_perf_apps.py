@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""App-campaign perf benchmark: reference vs fast, tracked in
+BENCH_apps.json.
+
+Times both simulation engines on a pinned ``(scenario, chip)`` corpus of
+application scenarios (:data:`repro.perf.APP_PINNED_CORPUS`;
+``--corpus tiny`` for the CI smoke subset), prints the comparison table
+and writes the machine-readable trajectory file.  Exits non-zero if
+
+* the fast engine's *warm* (steady-state) launch rate falls below
+  ``--min-speedup`` times the reference rate on any cell,
+* the corpus-wide warm geomean falls below ``--min-geomean``, or
+* any cell's same-seed outcome histograms or loss counts diverge
+  between the engines (the bit-identity contract; also property-tested
+  in ``tests/test_apps_campaign.py``).
+
+Usage::
+
+    python benchmarks/bench_perf_apps.py                    # pinned corpus
+    python benchmarks/bench_perf_apps.py --corpus tiny \\
+        --runs 200 --min-speedup 1.0 --output BENCH_apps.json
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.errors import ReproError  # noqa: E402
+from repro.perf import (app_corpus_by_name, bench_apps,  # noqa: E402
+                        render_app_table, summarize_apps, write_app_report)
+
+#: Default output: the tracked trajectory file at the repo root.
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "..",
+                              "BENCH_apps.json")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--corpus", default="pinned",
+                        choices=("pinned", "tiny"),
+                        help="cell set: pinned (default) or the CI-sized "
+                             "tiny subset")
+    parser.add_argument("--runs", type=int, default=400,
+                        help="launches per engine per cell (default 400)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing repeats (default 3)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--intensity", type=float, default=100.0,
+                        help="relaxation-intent multiplier (default 100, "
+                             "the campaign default)")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="fail if any cell's warm speedup is below "
+                             "this (default 1.0: the fast engine must "
+                             "never lose to the reference engine)")
+    parser.add_argument("--min-geomean", type=float, default=0.0,
+                        help="fail if the corpus-wide warm geomean is "
+                             "below this (0 = no gate; local trajectory "
+                             "runs use 3.0)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write BENCH_apps.json "
+                             "(default: repo root)")
+    args = parser.parse_args(argv)
+
+    try:
+        corpus = app_corpus_by_name(args.corpus)
+        cells = bench_apps(corpus, runs=args.runs, seed=args.seed,
+                           intensity=args.intensity, repeats=args.repeats)
+    except ReproError as error:
+        raise SystemExit(str(error))
+    summary = summarize_apps(cells)
+    print(render_app_table(cells))
+    print("geomean speedup: %.2fx warm, %.2fx cold (min warm %.2fx)"
+          % (summary["geomean_speedup_warm"],
+             summary["geomean_speedup_cold"],
+             summary["min_speedup_warm"]))
+    write_app_report(args.output, cells, args.corpus, args.runs, args.seed,
+                     extra={"repeats": args.repeats,
+                            "intensity": args.intensity})
+    print("wrote %s" % os.path.relpath(args.output))
+
+    failures = []
+    if not summary["all_identical"]:
+        failures.append("engines diverged: some cell's histograms or loss "
+                        "counts are not bit-identical")
+    slow = [cell for cell in cells if cell.speedup_warm < args.min_speedup]
+    for cell in slow:
+        failures.append("%s on %s: warm speedup %.2fx < %.2fx"
+                        % (cell.scenario, cell.chip, cell.speedup_warm,
+                           args.min_speedup))
+    if summary["geomean_speedup_warm"] < args.min_geomean:
+        failures.append("warm geomean %.2fx < %.2fx"
+                        % (summary["geomean_speedup_warm"],
+                           args.min_geomean))
+    for failure in failures:
+        print("FAIL: %s" % failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

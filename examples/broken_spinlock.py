@@ -1,41 +1,44 @@
 #!/usr/bin/env python
-"""The CUDA-by-Example spin lock bug (Sec. 3.2.2, Figs. 2 and 9).
+"""The published spin-lock bugs (Sec. 3.2.2-3.2.3, Figs. 2 and 10).
 
 Nvidia's own textbook shipped a spin lock with no fences; the paper shows
 a critical section protected by it can read stale values, and the
 dot-product client computes wrong answers.  Nvidia published an erratum.
 
-This example runs the *published* and the *fixed* lock in a dot-product
-client on several simulated chips, then confirms the distilled litmus
-test (cas-sl) agrees with the axiomatic model.
+This example runs the whole spin-lock slice of the scenario registry —
+the CUDA by Example, Stuart-Owens and He-Yu locks at both placements,
+the He-Yu isolation violation and the ticket-lock counter, published and
+fixed variants side by side — as *one* app campaign through the sharded,
+memoising session (the same pipeline `repro-litmus app` drives), then
+confirms the distilled litmus test (cas-sl) agrees with the axiomatic
+model.
 """
 
-from repro.apps import cuda_by_example_lock, dot_product, stuart_owens_lock
+from repro.apps import run_app_campaign, select_scenarios
 from repro.harness import run_paper_config
 from repro.litmus import library
 from repro.model.models import ptx_model
 
-#: Stress stands in for the paper's incantations: the bug fires at
+#: Intensity stands in for the paper's incantations: the bugs fire at
 #: 47-748 per 100k on hardware, so we boost the relaxation intents.
 STRESS = 100.0
 
 
 def main():
-    print("dot product under the CUDA-by-Example lock (Fig. 2)")
-    print("%-8s %-22s %-s" % ("chip", "published (no fences)", "with fences"))
-    for chip in ["TesC", "Titan", "GTX7", "HD6570", "HD7970"]:
-        wrong, runs = dot_product(chip, cuda_by_example_lock, fenced=False,
-                                  runs=400, seed=1, intensity=STRESS)
-        fixed, _ = dot_product(chip, cuda_by_example_lock, fenced=True,
-                               runs=400, seed=1, intensity=STRESS)
-        print("%-8s %4d/%d wrong sums      %d wrong"
-              % (chip, wrong, runs, fixed))
-
-    print()
-    print("Stuart-Owens: atomicExch is not a fence either")
-    wrong, runs = dot_product("Titan", stuart_owens_lock, fenced=False,
-                              runs=400, seed=2, intensity=STRESS)
-    print("  exchange lock, no fences: %d/%d wrong sums" % (wrong, runs))
+    print("spin-lock scenarios under stress (losses per 100k launches):")
+    scenarios = select_scenarios(
+        ["dot-cbe", "dot-cbe-cta", "dot-so", "dot-so-cta", "dot-heyu",
+         "dot-heyu-cta", "isolation", "ticket"])
+    campaign = run_app_campaign(
+        scenarios, ["TesC", "Titan", "GTX7", "HD7970"],
+        runs=400, seed=1, intensity=STRESS)
+    print(campaign.summary_table())
+    print(campaign.summary())
+    fenced_losses = [key for key in campaign.weak_cells()
+                     if key[0].endswith("+fenced")]
+    assert not fenced_losses, fenced_losses
+    print("every +fenced variant stayed clean; the published variants "
+          "lose on the weak chips")
 
     print()
     print("the distilled litmus test (cas-sl, Fig. 9):")

@@ -8,13 +8,15 @@ weak behaviours each make it lose a task:
 * a steal can read a *later* push while the pop's CAS observes the steal
   (lb shape).
 
-This example reproduces both on simulated chips and shows the paper's
-fences fixing them, then cross-checks the distilled litmus tests — and
-demonstrates the TeraScale 2 *compiler* bug that invalidated dlb-lb on
-the HD 6570 (the "n/a" in Fig. 8).
+This example runs the deque slice of the scenario registry — the mp and
+lb distillations plus the two-slot round trip, published and fenced —
+as one app campaign across chips (parallel shards, memoised cells),
+cross-checks the distilled litmus tests, and demonstrates the
+TeraScale 2 *compiler* bug that invalidated dlb-lb on the HD 6570 (the
+"n/a" in Fig. 8).
 """
 
-from repro.apps import lb_scenario, mp_scenario
+from repro.apps import run_app_campaign, select_scenarios
 from repro.compiler import LOAD_CAS_REORDERED, effective_litmus
 from repro.harness import run_paper_config
 from repro.litmus import library
@@ -23,18 +25,17 @@ STRESS = 100.0
 
 
 def main():
-    print("deque scenarios on simulated chips (under stress):")
-    for chip in ["TesC", "Titan", "GTX7", "HD7970"]:
-        mp_lost, runs = mp_scenario(chip, fenced=False, runs=400, seed=1,
-                                    intensity=STRESS)
-        lb_lost, _ = lb_scenario(chip, fenced=False, runs=400, seed=1,
-                                 intensity=STRESS)
-        mp_fixed, _ = mp_scenario(chip, fenced=True, runs=400, seed=1,
-                                  intensity=STRESS)
-        lb_fixed, _ = lb_scenario(chip, fenced=True, runs=400, seed=1,
-                                  intensity=STRESS)
-        print("  %-7s lost tasks: mp %3d/%d, lb %3d/%d; with fences: %d, %d"
-              % (chip, mp_lost, runs, lb_lost, runs, mp_fixed, lb_fixed))
+    print("deque scenarios under stress (losses per 100k launches):")
+    campaign = run_app_campaign(
+        select_scenarios(["deque-mp", "deque-lb", "deque-rt"]),
+        ["TesC", "Titan", "GTX7", "HD7970"],
+        runs=400, seed=1, intensity=STRESS, jobs=2)
+    print(campaign.summary_table())
+    print(campaign.summary())
+    fenced_losses = [key for key in campaign.weak_cells()
+                     if key[0].endswith("+fenced")]
+    assert not fenced_losses, fenced_losses
+    print("the paper's fences fix every variant, including the round trip")
 
     print()
     print("distilled litmus tests (paper rates per 100k: dlb-mp Titan 65,")

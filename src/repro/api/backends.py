@@ -304,17 +304,22 @@ class ModelBackend(Backend):
 
 def make_backend(backend):
     """Resolve a backend argument: an instance, ``"sim"``, ``"model"``
-    (the paper's PTX model) or ``"model:<name>"`` for any registered
-    axiomatic model."""
+    (the paper's PTX model), ``"model:<name>"`` for any registered
+    axiomatic model, or ``"app"`` (application scenario campaigns)."""
     if isinstance(backend, Backend):
         return backend
     if backend == "sim":
         return SimBackend()
     if backend == "model":
         return ModelBackend()
+    if backend == "app":
+        # Local import: the apps package sits above the api layer.
+        from ..apps.backend import AppBackend
+        return AppBackend()
     if isinstance(backend, str) and backend.startswith("model:"):
         return ModelBackend(backend.split(":", 1)[1])
     from ..errors import ReproError
     raise ReproError(
-        "unknown backend %r (expected 'sim', 'model', or 'model:NAME' "
-        "where NAME is one of: %s)" % (backend, ", ".join(sorted(MODELS))))
+        "unknown backend %r (expected 'sim', 'app', 'model', or "
+        "'model:NAME' where NAME is one of: %s)"
+        % (backend, ", ".join(sorted(MODELS))))

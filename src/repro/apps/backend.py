@@ -1,0 +1,110 @@
+"""The application backend: scenario campaigns on the campaign stack.
+
+:class:`AppBackend` implements the :class:`repro.api.backends.Backend`
+protocol for :class:`~repro.apps.scenario.ScenarioSpec` cells, which is
+what buys application campaigns everything PRs 1-4 built for litmus
+campaigns — deterministic sharded parallel execution, two-tier result
+caching, in-plan deduplication and session accounting — without the
+session layer knowing scenarios exist:
+
+* **sharding** — a spec's launches split into fixed-size shards through
+  the shared planner (:func:`repro.api.backends.plan_shards`); shard 0
+  runs on the spec's own seed, so a single-shard campaign cell consumes
+  the exact ``Random`` stream of ``Grid.launch_many`` (driver parity),
+  and later shards derive their seeds from the fingerprint.
+* **engines** — ``spec.engine`` picks ``fast`` (one
+  :func:`repro.sim.compile.compile_cell` per scenario x chip x
+  intensity, memoised per worker thread and reused across shards; the
+  spin-loop kernels compile once and the machine state is reused across
+  launches) or ``reference`` (the generic interpreter).  Bit-identical
+  histograms either way, kept apart in the cache signature.
+* **projection** — each shard's raw histogram is folded onto the
+  scenario's observable locations before it leaves the backend, so the
+  cache stores (and campaigns merge) the projected outcome histograms
+  the loss predicates read.
+"""
+
+import random
+import threading
+
+from ..api.backends import Backend, plan_shards
+from ..harness.histogram import Histogram
+from ..litmus.writer import write_litmus
+from ..sim.compile import compile_cell
+from ..sim.engine import run_batch
+from ..sim.machine import GpuMachine
+
+#: Default launches per shard.  Application launches are an order of
+#: magnitude slower than litmus iterations (spin loops, multi-statement
+#: critical sections), so app campaigns shard finer than the sim
+#: backend's 25k: a paper-scale 100k-launch cell splits into twenty
+#: parallelisable shards while every interactive/test-sized cell still
+#: fits in one shard and reproduces the serial driver stream exactly.
+DEFAULT_APP_SHARD_SIZE = 5000
+
+
+class AppBackend(Backend):
+    """Scenario execution on the simulated chips (Secs. 3.2, 6-7)."""
+
+    name = "app"
+    supports_sharding = True
+
+    #: Compiled-cell memo cap per worker thread.
+    MAX_COMPILED = 128
+
+    def __init__(self, shard_size=DEFAULT_APP_SHARD_SIZE):
+        self.shard_size = shard_size
+        # Per-*thread* memo: a CompiledCell mutates its own machine state
+        # during run_once, so two pool threads must never share one.
+        self._local = threading.local()
+
+    def __getstate__(self):
+        # Compiled cells hold closures; drop the memo when a process
+        # pool pickles the backend into its workers.
+        state = self.__dict__.copy()
+        del state["_local"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._local = threading.local()
+
+    def cache_signature(self, spec):
+        """Fingerprint plus engine — same rationale as the sim backend:
+        the engines are bit-identical by contract, but a histogram cached
+        by one engine must never mask a divergence in the other."""
+        return "%s-%s" % (spec.fingerprint(), spec.engine)
+
+    def cache_variant(self, spec, shard_size):
+        """Per-shard seeding makes the histogram a function of the
+        effective decomposition, exactly as for the sim backend."""
+        return "shard%d" % min(shard_size, spec.iterations)
+
+    def _machine(self, spec):
+        if spec.engine == "fast":
+            cells = getattr(self._local, "cells", None)
+            if cells is None:
+                cells = self._local.cells = {}
+            # Key on what the compiled cell depends on — the scenario's
+            # compiled litmus text, the chip profile and the intensity —
+            # so run/seed variants of one cell share a compilation.
+            key = (spec.scenario.name, write_litmus(spec.test),
+                   repr(spec.chip), spec.intensity)
+            machine = cells.get(key)
+            if machine is None:
+                if len(cells) >= self.MAX_COMPILED:
+                    cells.clear()
+                machine = compile_cell(spec.test, spec.chip,
+                                       intensity=spec.intensity)
+                cells[key] = machine
+            return machine
+        return GpuMachine(spec.test, spec.chip, intensity=spec.intensity)
+
+    def run_shard(self, spec, shard):
+        histogram = run_batch(self._machine(spec), shard.iterations,
+                              random.Random(shard.seed), Histogram())
+        return spec.scenario.project_histogram(histogram)
+
+    def run(self, spec):
+        return Histogram.merge(self.run_shard(spec, shard)
+                               for shard in plan_shards(spec, self.shard_size))

@@ -11,16 +11,25 @@ task:
 
 This module implements the deque operations as CUDA-eDSL kernels (one
 deque slot — the distilled scenarios touch a single index) in published
-and fixed (fenced) variants, plus scenario drivers that count lost
-tasks over many launches.
+and fixed (fenced) variants, plus a two-slot *round trip* (owner pushes,
+thief steals and hands a processed task back through the second slot).
+
+The scenario drivers (:func:`mp_scenario`, :func:`lb_scenario`) are thin
+wrappers over the declarative registry of :mod:`repro.apps.scenario`,
+executed through the sharded, memoising campaign pipeline of
+:mod:`repro.apps.campaign` — losses are counted by each scenario's loss
+predicate over the outcome histogram.
 """
 
 from ..compiler.cuda import (AddTo, AtomicCas, AtomicExchange, Cond, If,
                              Kernel, Load, Store, Threadfence)
-from .runtime import Grid
 
 #: Memory locations: one task slot, the two volatile indices of Fig. 6.
 TASK, HEAD, TAIL = "task0", "head", "tail"
+
+#: The second slot of the round-trip scenario: the thief publishes its
+#: processed task here and bumps the matching index.
+TASK2, TAIL2 = "task1", "tail2"
 
 
 def push_kernel(task_value, fenced):
@@ -85,37 +94,108 @@ def pop_then_push_kernel(task_value, fenced):
     return Kernel(statements)
 
 
-def mp_scenario(chip, fenced, runs=300, seed=0, intensity=1.0):
+def owner_roundtrip_kernel(task_value, fenced):
+    """The round trip's owner: push a task to slot 0, then try to pop
+    the thief's processed task from slot 1.
+
+    The pop polls ``tail2`` once (launches where the thief has not
+    published yet simply see nothing) and, when the index has moved,
+    reads the second slot — the same push/steal shapes as Fig. 6, so the
+    fix is the same fence placement.
+    """
+    statements = [Store(TASK, task_value)]
+    if fenced:
+        statements.append(Threadfence())
+    statements.extend([
+        Load("t", TAIL, volatile=True),
+        AddTo("t", "t", 1),
+        Store(TAIL, "t", volatile=True),
+        Load("t2", TAIL2, volatile=True),
+    ])
+    body = []
+    if fenced:
+        body.append(Threadfence())
+    body.extend([
+        Load("r", TASK2),
+        Store("got", "r"),
+    ])
+    statements.append(If(Cond("t2", "ne", 0), body=tuple(body)))
+    return Kernel(statements)
+
+
+def thief_roundtrip_kernel(result_value, fenced):
+    """The round trip's thief: steal slot 0, publish the processed task
+    in slot 1 and bump ``tail2`` — a second, reversed push whose missing
+    fence (between the slot-1 write and the ``tail2`` bump) loses the
+    processed task on weak chips exactly like Fig. 7's.
+    """
+    statements = [Load("t", TAIL, volatile=True)]
+    body = []
+    if fenced:
+        body.append(Threadfence())
+    body.append(Load("task", TASK))
+    if fenced:
+        body.append(Threadfence())
+    body.extend([
+        AtomicCas("claimed", HEAD, 0, 1),
+        Store("stolen", "task"),
+        Store(TASK2, result_value),
+    ])
+    if fenced:
+        body.append(Threadfence())
+    body.extend([
+        Load("t2", TAIL2, volatile=True),
+        AddTo("t2", "t2", 1),
+        Store(TAIL2, "t2", volatile=True),
+    ])
+    statements.append(If(Cond("t", "ne", 0), body=tuple(body)))
+    return Kernel(statements)
+
+
+def _variant(fenced):
+    return "+fenced" if fenced else ""
+
+
+def mp_scenario(chip, fenced, runs=300, seed=0, intensity=1.0, engine=None,
+                jobs=1, session=None):
     """Fig. 7's scenario: T0 pushes task 1, T1 steals.
 
     A *lost task* is a steal that saw the new ``tail`` (tail=1) but read
     the stale task slot (stolen=0).  Returns ``(lost, runs)``.
     """
-    grid = Grid([push_kernel(1, fenced), steal_kernel(fenced)], chip,
-                init_mem={TASK: 0, HEAD: 0, TAIL: 0,
-                          "stolen": -1, "claimed_out": -1},
-                intensity=intensity)
-    lost = 0
-    for result in grid.launch_many(runs, seed=seed):
-        if result[TAIL] == 1 and result["stolen"] == 0:
-            lost += 1
-    return lost, runs
+    from .campaign import run_scenario
+    result = run_scenario("deque-mp" + _variant(fenced), chip, runs=runs,
+                          seed=seed, intensity=intensity, engine=engine,
+                          jobs=jobs, session=session)
+    return result.observations, runs
 
 
-def lb_scenario(chip, fenced, runs=300, seed=0, intensity=1.0):
+def lb_scenario(chip, fenced, runs=300, seed=0, intensity=1.0, engine=None,
+                jobs=1, session=None):
     """Fig. 8's scenario: T0 pops (CAS) then pushes task 1; T1 steals.
 
     The lost-task signature: T0's CAS read the steal's claim (``r0=1``,
     so the pop returned FAILED) *and* the steal read the later push
     (``stolen=1``) — the deque lost a task.  Returns ``(lost, runs)``.
     """
-    grid = Grid([pop_then_push_kernel(1, fenced), steal_kernel(fenced)], chip,
-                init_mem={TASK: 0, HEAD: 0, TAIL: 1,
-                          "stolen": -1, "claimed_out": -1,
-                          "popped_out": -1},
-                intensity=intensity)
-    lost = 0
-    for result in grid.launch_many(runs, seed=seed):
-        if result["popped_out"] == 1 and result["stolen"] == 1:
-            lost += 1
-    return lost, runs
+    from .campaign import run_scenario
+    result = run_scenario("deque-lb" + _variant(fenced), chip, runs=runs,
+                          seed=seed, intensity=intensity, engine=engine,
+                          jobs=jobs, session=session)
+    return result.observations, runs
+
+
+def roundtrip_scenario(chip, fenced, runs=300, seed=0, intensity=1.0,
+                       engine=None, jobs=1, session=None):
+    """The two-slot round trip: owner pushes, thief steals and hands the
+    processed task back through slot 1.
+
+    A loss is either leg going stale: the thief saw the new ``tail`` but
+    stole the empty slot, or the owner saw the new ``tail2`` but read
+    slot 1 before the thief's write landed.  Returns ``(lost, runs)``.
+    """
+    from .campaign import run_scenario
+    result = run_scenario("deque-rt" + _variant(fenced), chip, runs=runs,
+                          seed=seed, intensity=intensity, engine=engine,
+                          jobs=jobs, session=session)
+    return result.observations, runs

@@ -5,56 +5,106 @@ work-stealing deque of Fig. 6) are CUDA programs.  This runtime lowers
 :class:`~repro.compiler.cuda.Kernel` bodies through the Table 5 mapping
 and executes them as a grid on a simulated chip, returning the final
 memory image — the GPU-side of ``cudaMemcpy`` back to the host.
+
+A :class:`Grid` compiles its kernels into a litmus-shaped
+:class:`~repro.litmus.test.LitmusTest` once and binds it to a machine on
+either simulation engine (``fast``: a
+:class:`~repro.sim.compile.CompiledCell` built once and reused across
+launches — the spin-loop kernels of the application studies are exactly
+the shapes the compiler specialises best; ``reference``: the generic
+:class:`~repro.sim.machine.GpuMachine` interpreter).  Both engines
+consume the ``Random`` stream identically, so :meth:`Grid.launch` /
+:meth:`Grid.launch_many` return bit-identical results on either —
+they are the RNG-stream-parity wrappers over
+:func:`~repro.sim.engine.run_batch`'s batched loop.
+
+Campaign-scale application runs should not loop over ``launch_many``;
+they go through :mod:`repro.apps.campaign`, which shards
+:class:`~repro.apps.scenario.ScenarioSpec` runs across a session pool
+and memoises outcome histograms.
 """
 
 import random
 from dataclasses import dataclass
 
 from ..compiler.cuda import compile_kernel
+from ..errors import ConfigurationError
 from ..hierarchy import MemoryMap, ScopeTree
-from ..litmus.condition import Condition, MemEq
+from ..litmus.condition import trivial_condition
 from ..litmus.test import LitmusTest
 from ..sim.chip import CHIPS, ChipProfile
+from ..sim.compile import compile_cell
+from ..sim.engine import resolve_engine, run_batch
 from ..sim.machine import GpuMachine
 
 
 @dataclass
 class LaunchResult:
-    """Final state of one kernel launch."""
+    """Final memory image of one kernel launch."""
 
     memory: dict  # location name -> final value
-    iterations: int = 1
 
     def __getitem__(self, location):
         return self.memory[location]
 
 
 def _as_chip(chip):
-    return chip if isinstance(chip, ChipProfile) else CHIPS[chip]
+    """Accept a :class:`ChipProfile` or a Table 1 short name."""
+    if isinstance(chip, ChipProfile):
+        return chip
+    try:
+        return CHIPS[chip]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown chip %r; valid chips: %s"
+            % (chip, ", ".join(sorted(CHIPS)))) from None
+
+
+def build_launch_test(kernels, init_mem, condition=None, placement="inter-cta",
+                      shared=(), name="kernel-launch"):
+    """Lower CUDA-eDSL kernels into a launch-shaped :class:`LitmusTest`.
+
+    One kernel per thread, placed per ``placement``
+    (``inter-cta``/``intra-cta``/``intra-warp``).  ``condition`` defaults
+    to the trivial (always-true) condition — a plain launch asserts
+    nothing; scenario campaigns install their loss predicate here so
+    histogram observation counts read as loss counts.
+    """
+    if not init_mem:
+        raise ValueError("a launch needs at least one memory location")
+    programs = tuple(compile_kernel(kernel, tid)
+                     for tid, kernel in enumerate(kernels))
+    names = [program.name for program in programs]
+    return LitmusTest(
+        name=name, threads=programs,
+        scope_tree=ScopeTree.for_threads(names, placement),
+        memory_map=MemoryMap({location: "shared" for location in shared}),
+        init_mem=dict(init_mem),
+        condition=condition if condition is not None else trivial_condition())
 
 
 class Grid:
-    """A compiled grid: one kernel per thread, ready to launch."""
+    """A compiled grid: one kernel per thread, ready to launch.
+
+    ``engine`` picks the execution engine (``None`` defers to
+    ``REPRO_ENGINE``, default ``fast``); results are bit-identical
+    either way for the same seed.
+    """
 
     def __init__(self, kernels, chip, init_mem, placement="inter-cta",
-                 shared=(), intensity=1.0):
+                 shared=(), intensity=1.0, engine=None, condition=None,
+                 name="kernel-launch"):
         self.chip = _as_chip(chip)
-        programs = tuple(compile_kernel(kernel, tid)
-                         for tid, kernel in enumerate(kernels))
-        names = [program.name for program in programs]
-        locations = sorted(init_mem)
-        if not locations:
-            raise ValueError("a launch needs at least one memory location")
-        # The condition is a placeholder: applications read final memory,
-        # not litmus conditions.
-        condition = Condition("exists", MemEq(locations[0],
-                                              init_mem[locations[0]]))
-        self.test = LitmusTest(
-            name="kernel-launch", threads=programs,
-            scope_tree=ScopeTree.for_threads(names, placement),
-            memory_map=MemoryMap({name: "shared" for name in shared}),
-            init_mem=dict(init_mem), condition=condition)
-        self.machine = GpuMachine(self.test, self.chip, intensity=intensity)
+        self.test = build_launch_test(kernels, init_mem, condition=condition,
+                                      placement=placement, shared=shared,
+                                      name=name)
+        self.engine = resolve_engine(engine)
+        if self.engine == "fast":
+            self.machine = compile_cell(self.test, self.chip,
+                                        intensity=intensity)
+        else:
+            self.machine = GpuMachine(self.test, self.chip,
+                                      intensity=intensity)
 
     def launch(self, seed=0):
         """Run the grid once; returns a :class:`LaunchResult`."""
@@ -62,16 +112,33 @@ class Grid:
         return LaunchResult(memory=state.mem_dict())
 
     def launch_many(self, runs, seed=0):
-        """Run the grid ``runs`` times; yields LaunchResults."""
+        """Run the grid ``runs`` times; yields LaunchResults.
+
+        One ``Random(seed)`` stream drives all runs in sequence — the
+        same stream :meth:`launch_batch` (and a single-shard app
+        campaign) consumes, so per-run inspection and batched counting
+        agree bit for bit.
+        """
         rng = random.Random(seed)
         for _ in range(runs):
             state = self.machine.run_once(rng)
             yield LaunchResult(memory=state.mem_dict())
 
+    def launch_batch(self, runs, seed=0, histogram=None):
+        """Run the grid ``runs`` times into an outcome histogram.
+
+        The batched twin of :meth:`launch_many` on
+        :func:`~repro.sim.engine.run_batch`: same stream, same final
+        states, but accumulated as a
+        :class:`~repro.harness.histogram.Histogram` of full (unprojected)
+        final states instead of per-run dicts.
+        """
+        return run_batch(self.machine, runs, random.Random(seed), histogram)
+
 
 def launch(kernels, chip, init_mem, placement="inter-cta", shared=(),
-           seed=0, intensity=1.0):
+           seed=0, intensity=1.0, engine=None):
     """One-shot convenience wrapper around :class:`Grid`."""
     grid = Grid(kernels, chip, init_mem, placement=placement, shared=shared,
-                intensity=intensity)
+                intensity=intensity, engine=engine)
     return grid.launch(seed=seed)

@@ -13,15 +13,25 @@ Three locks, each in its published (buggy) and fixed form:
   *after* the release where it cannot help.
 
 Each lock is a pair (acquire statements, release statements) to splice
-into a kernel around a critical section.
+into a kernel around a critical section.  :func:`ticket_kernel` adds a
+ticket-lock counter client (plain-store handoff between tickets — the
+same unfenced release-vs-critical-section race, without any atomic in
+the release path).
+
+The clients (:func:`dot_product`, :func:`isolation_test`) are thin
+wrappers over the declarative registry of :mod:`repro.apps.scenario`,
+executed through the sharded, memoising campaign pipeline of
+:mod:`repro.apps.campaign`.
 """
 
 from ..compiler.cuda import (AddTo, AtomicCas, AtomicExchange, Cond, If,
                              Kernel, Load, Store, Threadfence, While,
                              do_while_cas_spin)
-from .runtime import Grid
 
 MUTEX = "mutex"
+
+#: Ticket-lock locations: the handoff index and the protected counter.
+SERVING, COUNTER = "serving", "counter"
 
 
 def cuda_by_example_lock(fenced):
@@ -74,7 +84,16 @@ def he_yu_lock(fixed):
     return acquire, release
 
 
-def _accumulate_kernel(lock, local_value):
+#: The lock builders by registry key — the vocabulary shared by the
+#: scenario registry, the CLI and the docs.
+LOCKS = {
+    "cbe": cuda_by_example_lock,
+    "so": stuart_owens_lock,
+    "heyu": he_yu_lock,
+}
+
+
+def accumulate_kernel(lock, local_value):
     """One dot-product CTA: add a local partial sum into the global sum
     under the lock (CUDA by Example App. 1.2)."""
     acquire, release = lock
@@ -86,8 +105,42 @@ def _accumulate_kernel(lock, local_value):
     return Kernel(list(acquire) + body + list(release))
 
 
+def ticket_kernel(ticket, local_value, fenced):
+    """One ticket-lock client: spin until served, bump the counter, hand
+    the lock to the next ticket with a plain volatile store.
+
+    Tickets are pre-assigned (thread *i* holds ticket *i* — the
+    deterministic handoff order a 2-CTA ticket lock produces anyway), so
+    the scenario isolates the *release* race: without the fences, the
+    ``serving`` handoff can overtake the critical section's ``counter``
+    write, and the next ticket reads a stale counter — a lost increment
+    with no atomic anywhere in the release path.
+    """
+    statements = [While(Cond("s", "ne", ticket),
+                        body=(Load("s", SERVING, volatile=True),))]
+    if fenced:
+        statements.append(Threadfence())
+    statements.extend([
+        Load("tmp", COUNTER),
+        AddTo("tmp", "tmp", local_value),
+        Store(COUNTER, "tmp"),
+    ])
+    if fenced:
+        statements.append(Threadfence())
+    statements.append(Store(SERVING, ticket + 1, volatile=True))
+    return Kernel(statements)
+
+
+def _lock_key(lock_builder):
+    for key, builder in LOCKS.items():
+        if builder is lock_builder:
+            return key
+    return None
+
+
 def dot_product(chip, lock_builder, fenced, locals_=(5, 7), runs=200, seed=0,
-                intensity=1.0):
+                intensity=1.0, engine=None, jobs=1, session=None,
+                placement="inter-cta"):
     """The paper's dot-product client: each CTA adds its partial sum to a
     global total under the lock.
 
@@ -95,19 +148,43 @@ def dot_product(chip, lock_builder, fenced, locals_=(5, 7), runs=200, seed=0,
     sum different from ``sum(locals_)`` — the "incorrect results" the
     broken locks permit (Sec. 3.2.2).
     """
-    lock = lock_builder(fenced)
-    kernels = [_accumulate_kernel(lock, value) for value in locals_]
-    grid = Grid(kernels, chip, init_mem={"sum": 0, MUTEX: 0},
-                intensity=intensity)
-    expected = sum(locals_)
-    wrong = 0
-    for result in grid.launch_many(runs, seed=seed):
-        if result["sum"] != expected:
-            wrong += 1
-    return wrong, runs
+    from .campaign import run_scenario
+    from .scenario import dot_product_scenario
+
+    key = _lock_key(lock_builder)
+    if key is not None:
+        scenario = dot_product_scenario(key, fenced, placement=placement,
+                                        locals_=tuple(locals_))
+    else:
+        # An unregistered lock builder: build an ad-hoc scenario around it.
+        from .scenario import make_dot_scenario
+        scenario = make_dot_scenario("dot-custom", lock_builder, fenced,
+                                     placement=placement,
+                                     locals_=tuple(locals_))
+    result = run_scenario(scenario, chip, runs=runs, seed=seed,
+                          intensity=intensity, engine=engine, jobs=jobs,
+                          session=session)
+    return result.observations, runs
 
 
-def isolation_test(chip, fixed, runs=200, seed=0, intensity=1.0):
+def ticket_counter(chip, fenced, locals_=(5, 7), runs=200, seed=0,
+                   intensity=1.0, engine=None, jobs=1, session=None):
+    """The ticket-lock counter client.  Returns ``(wrong_results, runs)``."""
+    from .campaign import run_scenario
+    from .scenario import get_scenario, ticket_counter_scenario
+
+    if tuple(locals_) == (5, 7):  # the registry's canonical client
+        scenario = get_scenario("ticket" + ("+fenced" if fenced else ""))
+    else:
+        scenario = ticket_counter_scenario(fenced, locals_=tuple(locals_))
+    result = run_scenario(scenario, chip, runs=runs, seed=seed,
+                          intensity=intensity, engine=engine, jobs=jobs,
+                          session=session)
+    return result.observations, runs
+
+
+def isolation_test(chip, fixed, runs=200, seed=0, intensity=1.0, engine=None,
+                   jobs=1, session=None):
     """The He-Yu isolation scenario (Fig. 11 distilled back into CUDA).
 
     T0 holds the lock, reads ``x`` inside its critical section, releases.
@@ -115,15 +192,24 @@ def isolation_test(chip, fixed, runs=200, seed=0, intensity=1.0):
     the buggy lock T0 can read T1's *future* value — an isolation
     violation.  Returns ``(violations, runs)``.
     """
-    acquire, release = he_yu_lock(fixed)
-    reader = Kernel([Load("r0", "x")] + list(release) + [Store("out", "r0")])
-    writer = Kernel(
+    from .campaign import run_scenario
+    result = run_scenario("isolation" + ("+fenced" if fixed else ""), chip,
+                          runs=runs, seed=seed, intensity=intensity,
+                          engine=engine, jobs=jobs, session=session)
+    return result.observations, runs
+
+
+def reader_kernel(fixed):
+    """The isolation scenario's T0: read ``x`` in the critical section it
+    already holds, then release with the (published or fixed) He-Yu
+    release sequence."""
+    _, release = he_yu_lock(fixed)
+    return Kernel([Load("r0", "x")] + list(release) + [Store("out", "r0")])
+
+
+def writer_kernel():
+    """The isolation scenario's T1: acquire (one CAS attempt) and write
+    ``x`` in its own critical section."""
+    return Kernel(
         [AtomicCas("got", MUTEX, 0, 1),
          If(Cond("got", "eq", 0), body=(Store("x", 1),))])
-    grid = Grid([reader, writer], chip,
-                init_mem={"x": 0, MUTEX: 1, "out": 0}, intensity=intensity)
-    violations = 0
-    for result in grid.launch_many(runs, seed=seed):
-        if result["out"] == 1:
-            violations += 1
-    return violations, runs

@@ -28,8 +28,19 @@ Subcommands::
         model's allowed/forbidden verdict.  Writes to stdout unless
         ``--output`` names a file (pipe into ``dot -Tpdf``).
 
+    repro-litmus app [--scenario NAME ...] [--chips A B ...]
+                 [--fenced both|on|off] [--runs N] [--seed S]
+                 [--intensity X] [--jobs N] [--engine fast|reference]
+                 [--cache-dir D]
+        Run application scenario campaigns (the deque / spin-lock /
+        ticket-lock case studies of Secs. 3.2 and 6-7) through the
+        sharded app backend and print the losses-per-100k grid.
+        ``--scenario`` takes registry names or families (``all`` runs
+        the whole registry); ``--fenced`` filters to the published
+        (``off``) or fixed (``on``) variants.
+
     repro-litmus list
-        List the library tests, chips and models.
+        List the library tests, chips, models and application scenarios.
 
     repro-litmus generate [--length 4] [--max-tests N] [--fences cta gl sys]
                  [--scopes dev cta]
@@ -56,6 +67,8 @@ import sys
 
 from .api import Session
 from .api.conformance import SOUNDNESS_CHIPS, run_soundness
+from .apps import (FAMILIES, SCENARIOS, STRESS, app_session,
+                   run_app_campaign, select_scenarios)
 from .diy import (default_pool, fences_from_names, generate_tests,
                   scopes_from_names)
 from .errors import ReproError
@@ -195,12 +208,48 @@ def _cmd_witness(args):
     return 0
 
 
+def _cmd_app(args):
+    try:
+        runs = (args.runs if args.runs is not None
+                else default_iterations(300))
+        scenarios = select_scenarios(args.scenarios, fenced=args.fenced)
+        if not scenarios:
+            raise ReproError("the scenario selection is empty")
+        session = app_session(jobs=args.jobs, executor=args.executor,
+                              cache_dir=args.cache_dir)
+        campaign = run_app_campaign(scenarios, args.chips, runs=runs,
+                                    seed=args.seed, intensity=args.intensity,
+                                    engine=args.engine, session=session)
+    except ReproError as error:
+        raise SystemExit(str(error))
+    print("losses per 100k launches (x%g intensity, %d runs/cell):"
+          % (args.intensity, runs))
+    print(campaign.summary_table())
+    print(campaign.summary())
+    lossy_fenced = [key for key in campaign.weak_cells()
+                    if SCENARIOS[key[0]].fenced]
+    for name, chip in lossy_fenced:
+        print("UNEXPECTED: fenced scenario %s lost on %s" % (name, chip))
+    stats = session.stats
+    print("session: %d cells executed, %d cache hits, %d deduplicated, "
+          "%d shards, %d launches"
+          % (stats.executed, stats.cache_hits, stats.deduplicated,
+             stats.shards_executed, stats.simulated_iterations))
+    return 1 if lossy_fenced else 0
+
+
 def _cmd_list(args):
     print("library tests:")
     for name in sorted(library.PAPER_TESTS):
         print("  %s" % name)
     print("chips: %s" % ", ".join(sorted(CHIPS)))
     print("models: %s" % ", ".join(sorted(MODELS)))
+    print("app scenarios (x = published, +fenced = the paper's fix):")
+    for name in sorted(SCENARIOS):
+        scenario = SCENARIOS[name]
+        print("  %-22s %s [%s]" % (name, scenario.description,
+                                   scenario.section))
+    print("app scenario families: %s" % ", ".join(FAMILIES))
     return 0
 
 
@@ -307,6 +356,39 @@ def build_parser():
                           help="as for `run`")
     _session_arguments(campaign)
     campaign.set_defaults(func=_cmd_campaign)
+
+    app = sub.add_parser(
+        "app", help="run application scenario campaigns (Secs. 3.2, 6-7)")
+    app.add_argument("--scenario", "-s", dest="scenarios", nargs="+",
+                     default=["all"], metavar="NAME",
+                     help="scenario names or families; 'all' (default) "
+                          "runs the whole registry (see `repro-litmus "
+                          "list`)")
+    app.add_argument("--chips", "--chip", dest="chips", nargs="+",
+                     default=list(RESULT_CHIPS), choices=sorted(CHIPS),
+                     metavar="CHIP",
+                     help="chips to sweep (default: the paper's result "
+                          "chips)")
+    app.add_argument("--fenced", choices=("both", "on", "off"),
+                     default="both",
+                     help="variant filter: off = published (buggy) code, "
+                          "on = the paper's fences, both (default)")
+    app.add_argument("--runs", type=int, default=None,
+                     help="launches per cell (default: REPRO_ITERS or 300)")
+    app.add_argument("--seed", type=int, default=0)
+    app.add_argument("--intensity", type=float, default=STRESS,
+                     help="relaxation-intent multiplier standing in for "
+                          "the paper's stressful workloads (default %g; "
+                          "1.0 = bare chip rates)" % STRESS)
+    app.add_argument("--jobs", type=int, default=1,
+                     help="worker count for sharded execution")
+    app.add_argument("--executor", default="process",
+                     choices=("process", "thread"),
+                     help="worker pool kind for --jobs > 1")
+    app.add_argument("--cache-dir", default=None,
+                     help="directory for the on-disk result cache")
+    _engine_argument(app)
+    app.set_defaults(func=_cmd_app)
 
     model = sub.add_parser("model", help="model-check a test")
     model.add_argument("test")

@@ -1,7 +1,7 @@
 """GPU litmus tests: format, conditions, the paper's test library."""
 
-from .condition import (And, Condition, Expr, FinalState, MemEq, Not, Or,
-                        RegEq, parse_condition)
+from .condition import (Always, And, Condition, Expr, FinalState, MemEq,
+                        Not, Or, RegEq, parse_condition, trivial_condition)
 from .extended import (EXTENDED_TESTS, build_extended, iriw, isa2, rwc,
                        wrc)
 from .parser import parse_litmus
@@ -9,7 +9,8 @@ from .test import LitmusTest
 from .writer import write_litmus
 
 __all__ = [
-    "And", "Condition", "Expr", "FinalState", "MemEq", "Not", "Or", "RegEq",
-    "parse_condition", "parse_litmus", "LitmusTest", "write_litmus",
+    "Always", "And", "Condition", "Expr", "FinalState", "MemEq", "Not", "Or",
+    "RegEq", "parse_condition", "trivial_condition",
+    "parse_litmus", "LitmusTest", "write_litmus",
     "EXTENDED_TESTS", "build_extended", "iriw", "isa2", "rwc", "wrc",
 ]

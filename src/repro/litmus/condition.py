@@ -173,6 +173,22 @@ class Not(Expr):
 
 
 @dataclass(frozen=True)
+class Always(Expr):
+    """The tautology: holds for every final state.
+
+    The inner expression of :func:`trivial_condition`; mentions no
+    registers and no locations, so it never perturbs a test's observed
+    registers or address map.
+    """
+
+    def evaluate(self, state):
+        return True
+
+    def __str__(self):
+        return "true"
+
+
+@dataclass(frozen=True)
 class Condition:
     """A quantified final condition: ``exists expr`` or ``forall expr``.
 
@@ -206,6 +222,19 @@ class Condition:
 
     def __str__(self):
         return "%s (%s)" % (self.quantifier, self.expr)
+
+
+def trivial_condition():
+    """The trivial (always-true) condition: ``forall (true)``.
+
+    Application launches (:class:`repro.apps.runtime.Grid`) assert
+    nothing about their final state — callers inspect the returned
+    memory image instead.  This is the explicit constructor for that
+    case, replacing ad-hoc placeholder conditions: it holds for every
+    outcome, quantifies over nothing, and mentions no registers or
+    locations (so the machine observes no registers on its behalf).
+    """
+    return Condition("forall", Always())
 
 
 # -- parsing ---------------------------------------------------------------

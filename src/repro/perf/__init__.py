@@ -2,12 +2,16 @@
 
 Times the fast engines against their reference twins on pinned corpora
 and records the repo's perf trajectory: the operational side in
-``BENCH_engine.json`` (``benchmarks/bench_perf_engine.py``) and the
+``BENCH_engine.json`` (``benchmarks/bench_perf_engine.py``), the
 axiomatic side in ``BENCH_model.json``
-(``benchmarks/bench_perf_model.py``), both checked in CI's perf-smoke
-job.
+(``benchmarks/bench_perf_model.py``) and the application-campaign side
+in ``BENCH_apps.json`` (``benchmarks/bench_perf_apps.py``), all checked
+in CI's perf-smoke job.
 """
 
+from .appbench import (APP_PINNED_CORPUS, APP_TINY_CORPUS, AppBenchCell,
+                       app_corpus_by_name, bench_app_cell, bench_apps,
+                       render_app_table, summarize_apps, write_app_report)
 from .enginebench import (EngineBenchCell, PINNED_CORPUS, TINY_CORPUS,
                           bench_engines, corpus_by_name, render_table,
                           summarize, write_report)
@@ -18,6 +22,9 @@ from .modelbench import (MODEL_PINNED_CORPUS, MODEL_TINY_CORPUS,
                          summarize_model, write_model_report)
 
 __all__ = [
+    "APP_PINNED_CORPUS", "APP_TINY_CORPUS", "AppBenchCell",
+    "app_corpus_by_name", "bench_app_cell", "bench_apps",
+    "render_app_table", "summarize_apps", "write_app_report",
     "EngineBenchCell", "PINNED_CORPUS", "TINY_CORPUS",
     "bench_engines", "corpus_by_name", "render_table", "summarize",
     "write_report",

@@ -1,0 +1,190 @@
+"""Timing harness for application campaigns (``BENCH_apps.json``).
+
+The app-layer sibling of :mod:`repro.perf.enginebench`: measures, per
+cell of a pinned ``(scenario, chip)`` corpus, how many *launches* per
+second each engine sustains —
+
+* ``reference`` — the generic :class:`~repro.sim.machine.GpuMachine`
+  interpreter (what ``repro.apps`` ran on before the campaign rebase);
+* ``fast (cold)`` — one :func:`~repro.sim.compile.compile_cell` pass
+  *plus* the run (a process-pool worker's first shard of a cell);
+* ``fast (warm)`` — the compiled cell reused: the steady state of every
+  app campaign, where the spin-loop kernels compile once and machine
+  state is reused across launches.
+
+Each timed run cross-checks the bit-identity contract twice over: the
+engines must produce identical projected outcome histograms **and**
+identical loss counts from the same seed, so a perf number can never
+come from a semantically diverged fast path.
+
+``benchmarks/bench_perf_apps.py`` emits the report as
+``BENCH_apps.json``; CI runs the tiny corpus as a perf-smoke gate and
+uploads the JSON next to ``BENCH_engine.json``/``BENCH_model.json``.
+"""
+
+import json
+import random
+from dataclasses import asdict, dataclass
+
+from ..errors import ReproError
+from ..sim.compile import compile_cell
+from ..sim.engine import run_batch
+from ..sim.machine import GpuMachine
+from .enginebench import _timed, summarize
+
+#: The pinned app perf corpus: one cell per scenario shape the campaign
+#: layer spends its cycles on — CAS spin locks (CAS loop + atomics),
+#: the exchange lock, an intra-CTA critical section, the branchy deque
+#: steals (predicated If bodies), the two-slot round trip (the largest
+#: kernel pair), the ticket lock (volatile spin + plain handoff) and
+#: the isolation read.  Chips cover both vendors and the strong/weak
+#: switch sets.
+APP_PINNED_CORPUS = (
+    ("dot-cbe", "Titan"),
+    ("dot-so", "HD7970"),
+    ("dot-heyu-cta", "TesC"),
+    ("isolation", "Titan"),
+    ("deque-mp", "Titan"),
+    ("deque-lb", "HD7970"),
+    ("deque-rt", "GTX6"),
+    ("ticket", "TesC"),
+)
+
+#: CI-sized subset for the perf-smoke job.
+APP_TINY_CORPUS = (
+    ("dot-cbe", "Titan"),
+    ("deque-lb", "HD7970"),
+    ("ticket", "TesC"),
+)
+
+_APP_CORPORA = {"pinned": APP_PINNED_CORPUS, "tiny": APP_TINY_CORPUS}
+
+#: Default intensity for timed cells (the campaign default).
+BENCH_INTENSITY = 100.0
+
+
+def app_corpus_by_name(name):
+    """Resolve an app corpus name (``pinned``/``tiny``) to cell pairs."""
+    try:
+        return _APP_CORPORA[name]
+    except KeyError:
+        raise ReproError("unknown app perf corpus %r (expected %s)"
+                         % (name, "/".join(sorted(_APP_CORPORA)))) from None
+
+
+@dataclass(frozen=True)
+class AppBenchCell:
+    """Measured rates for one (scenario, chip) cell, launches/second."""
+
+    scenario: str
+    chip: str
+    runs: int
+    losses: int               #: loss-predicate observations (both engines)
+    reference_lps: float
+    fast_cold_lps: float      #: includes the one-off compile
+    fast_warm_lps: float      #: compiled cell reused (steady state)
+    speedup_cold: float
+    speedup_warm: float
+    identical: bool           #: same-seed histograms + losses matched
+
+
+def bench_app_cell(scenario_name, chip_short, runs=400, seed=0,
+                   intensity=BENCH_INTENSITY, repeats=3):
+    """Measure one corpus cell; returns an :class:`AppBenchCell`."""
+    from ..apps.scenario import get_scenario
+    from ..harness.histogram import Histogram
+    from ..sim.chip import CHIPS
+
+    scenario = get_scenario(scenario_name)
+    test = scenario.test()
+    chip = CHIPS[chip_short]
+
+    def reference():
+        return GpuMachine(test, chip, intensity=intensity)
+
+    def compiled():
+        return compile_cell(test, chip, intensity=intensity)
+
+    ref_seconds, ref_counts = _timed(None, runs, seed, setup=reference,
+                                     repeats=repeats)
+    cold_seconds, cold_counts = _timed(None, runs, seed, setup=compiled,
+                                       repeats=repeats)
+    warm_cell = compile_cell(test, chip, intensity=intensity)
+    run_batch(warm_cell, 50, random.Random(seed))  # pre-touch
+    warm_seconds, warm_counts = _timed(warm_cell, runs, seed,
+                                       repeats=repeats)
+
+    identical = ref_counts == cold_counts == warm_counts
+    losses = Histogram(dict(ref_counts)).observations(test.condition)
+    fast_losses = Histogram(dict(warm_counts)).observations(test.condition)
+    identical = identical and losses == fast_losses
+
+    return AppBenchCell(
+        scenario=scenario_name, chip=chip_short, runs=runs, losses=losses,
+        reference_lps=runs / ref_seconds,
+        fast_cold_lps=runs / cold_seconds,
+        fast_warm_lps=runs / warm_seconds,
+        speedup_cold=ref_seconds / cold_seconds,
+        speedup_warm=ref_seconds / warm_seconds,
+        identical=identical)
+
+
+def bench_apps(corpus=APP_PINNED_CORPUS, runs=400, seed=0,
+               intensity=BENCH_INTENSITY, repeats=3):
+    """Measure every corpus cell; returns a list of cells."""
+    return [bench_app_cell(scenario, chip, runs=runs, seed=seed,
+                           intensity=intensity, repeats=repeats)
+            for scenario, chip in corpus]
+
+
+def summarize_apps(cells):
+    """Aggregate stats over measured cells (geomean/min speedups).
+
+    App cells share the engine-bench cells' speedup/identical attribute
+    names, so the summary schema is shared too — one place to change.
+    """
+    return summarize(cells)
+
+
+#: Report schema version (bump on layout changes).
+APP_SCHEMA_VERSION = 1
+
+
+def write_app_report(path, cells, corpus_name, runs, seed, extra=None):
+    """Write the ``BENCH_apps.json`` trajectory entry."""
+    payload = {
+        "version": APP_SCHEMA_VERSION,
+        "benchmark": "apps",
+        "corpus": corpus_name,
+        "runs_per_cell": runs,
+        "seed": seed,
+        "cells": [
+            {key: (round(value, 1) if isinstance(value, float) else value)
+             for key, value in asdict(cell).items()}
+            for cell in cells
+        ],
+        "summary": summarize_apps(cells),
+    }
+    if extra:
+        payload.update(extra)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=False)
+        handle.write("\n")
+    return payload
+
+
+def render_app_table(cells):
+    """Human-readable comparison table for the console."""
+    from .._util import format_table
+
+    rows = [[cell.scenario, cell.chip, cell.runs, cell.losses,
+             "%.0f" % cell.reference_lps,
+             "%.0f" % cell.fast_cold_lps,
+             "%.0f" % cell.fast_warm_lps,
+             "%.2fx" % cell.speedup_cold,
+             "%.2fx" % cell.speedup_warm,
+             "yes" if cell.identical else "NO"]
+            for cell in cells]
+    return format_table(
+        ["scenario", "chip", "runs", "losses", "ref l/s", "fast-cold l/s",
+         "fast-warm l/s", "cold", "warm", "bit-identical"], rows)
