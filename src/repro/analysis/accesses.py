@@ -1,0 +1,435 @@
+"""Per-thread dataflow summaries over lowered PTX programs.
+
+The analyzer works on the same :class:`~repro.ptx.program.ThreadProgram`
+objects the simulator executes — after CUDA-eDSL lowering, so ``while``
+loops are guarded backward jumps and ``if`` bodies are predicated
+instructions.  A :func:`summarize_thread` pass walks one program and
+extracts, per thread:
+
+* its **memory accesses** (:class:`Access`), with addresses resolved to
+  symbolic locations where possible (``[x]`` directly; ``[r]`` through
+  the test's ``reg_init`` when ``r`` is never redefined);
+* its **fences** (:class:`FenceEvent`) with scope and guard;
+* the **control dependencies** of each access (:class:`ControlDep`): the
+  governing load/RMW, the flag location it reads, and the set of flag
+  values that let the access execute (:class:`ValueCond`) — from ``@p``
+  predication guards and from the position after a guarded backward jump
+  (a loop exit).
+
+The dependency extraction is deliberately conservative: a predicate must
+have exactly one ``setp`` definition, the ``setp`` must compare a
+register against an immediate, and every definition of the compared
+register must load (or RMW) the *same* resolved location.  Anything else
+yields no :class:`ControlDep`, which downstream can only push a verdict
+towards ``unknown``, never towards a wrong ``clean``.
+"""
+
+from dataclasses import dataclass, field
+
+from ..ptx.instructions import (AtomCas, AtomExch, Bra, Label, Ld, Setp, St,
+                                is_rmw)
+from ..ptx.operands import Imm, Loc, Reg
+from ..ptx.types import CacheOp
+
+
+@dataclass(frozen=True)
+class ValueCond:
+    """The set of values admitted by a lowered ``setp`` comparison:
+    ``== value`` or ``!= value``."""
+
+    op: str  # "eq" | "ne"
+    value: int
+
+    def admits(self, value):
+        return (value == self.value) == (self.op == "eq")
+
+    def excludes(self, value):
+        return not self.admits(value)
+
+    def negated(self):
+        return ValueCond("ne" if self.op == "eq" else "eq", self.value)
+
+    def __str__(self):
+        return "%s %d" % ("==" if self.op == "eq" else "!=", self.value)
+
+
+@dataclass(frozen=True)
+class ControlDep:
+    """One control dependency of an access: *this access only executes
+    when the value loaded from (location, offset) at po-index
+    ``load_index`` satisfies ``admitted``.*
+
+    ``kind`` is ``"guard"`` (an ``@p`` predication guard) or
+    ``"loop-exit"`` (the access sits after a guarded backward jump and
+    only runs once the loop's continue condition fails).  ``atomic``
+    marks a governing RMW (a lock acquire); ``stale_l1`` marks a
+    governing ``.ca`` load, whose value can come from a stale L1 line
+    even across fences (Fig. 3) and therefore never anchors an ordering
+    proof.
+    """
+
+    location: str
+    offset: int
+    load_index: int
+    admitted: ValueCond
+    kind: str
+    atomic: bool = False
+    stale_l1: bool = False
+
+    @property
+    def key(self):
+        return (self.location, self.offset)
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory event of one thread, in program order.
+
+    ``location`` is the resolved symbolic location name (``None`` when
+    the address is computed and may alias anything); ``stored`` is the
+    written value when it is an immediate (``None``: unknown or not a
+    write).  ``stale_l1`` marks non-volatile ``.ca`` loads.
+    """
+
+    tid: int
+    thread: str
+    index: int
+    instr: object
+    kind: str  # "R" | "W" | "RMW"
+    location: str = None
+    offset: int = 0
+    atomic: bool = False
+    volatile: bool = False
+    stale_l1: bool = False
+    stored: int = None
+
+    @property
+    def reads(self):
+        return self.kind in ("R", "RMW")
+
+    @property
+    def writes(self):
+        return self.kind in ("W", "RMW")
+
+    @property
+    def sync(self):
+        """Synchronisation access: atomics and volatiles are the CUDA
+        idiom's intentional racing accesses (cf. relaxed atomics)."""
+        return self.atomic or self.volatile
+
+    @property
+    def key(self):
+        return (self.location, self.offset)
+
+    @property
+    def guard(self):
+        return self.instr.guard
+
+    def describe(self):
+        return "%s#%d %s" % (self.thread, self.index, self.instr)
+
+
+@dataclass(frozen=True)
+class FenceEvent:
+    """A ``membar`` at a po index, with its scope and (optional) guard."""
+
+    index: int
+    scope: object
+    guard: object = None
+
+
+@dataclass(frozen=True)
+class GuardPoint:
+    """One resolved ``While``/``If`` condition of a thread, for the
+    divergence/deadlock diagnostics: the body (or the code after the
+    loop) runs only when the flag at (location, offset) satisfies
+    ``admitted``."""
+
+    tid: int
+    thread: str
+    kind: str  # "loop" | "if"
+    location: str
+    offset: int
+    load_index: int
+    admitted: ValueCond
+    index: int  # the branch / first guarded instruction
+
+
+@dataclass
+class ThreadSummary:
+    """Everything the race rules need to know about one thread."""
+
+    tid: int
+    name: str
+    program: object
+    accesses: list = field(default_factory=list)
+    fences: list = field(default_factory=list)
+    #: access po-index -> tuple of ControlDep
+    deps: dict = field(default_factory=dict)
+    #: po indices of guarded backward jumps (loop tails)
+    loop_tails: list = field(default_factory=list)
+    #: resolved While/If conditions, for the guard diagnostics
+    guard_points: list = field(default_factory=list)
+    #: registers whose stored value derives from a load (per store index)
+    data_dep_stores: set = field(default_factory=set)
+
+    def deps_of(self, access):
+        return self.deps.get(access.index, ())
+
+    def fence_between(self, lo, hi, rank, guards=frozenset()):
+        """A covering fence strictly between po indices ``lo`` and
+        ``hi`` whose guard (if any) is in ``guards`` — i.e. provably
+        executes whenever the endpoints do."""
+        for fence in self.fences:
+            if lo < fence.index < hi and fence.scope.rank >= rank:
+                if fence.guard is None or fence.guard in guards:
+                    return fence
+        return None
+
+    def any_fence_after(self, index, rank):
+        """A covering fence po-after ``index`` — guarded or not.  Used
+        only to *block* a provably-racy claim, so possibly-skipped
+        fences count (conservative in the right direction)."""
+        return any(fence.index > index and fence.scope.rank >= rank
+                   for fence in self.fences)
+
+    def any_fence_before(self, index, rank):
+        return any(fence.index < index and fence.scope.rank >= rank
+                   for fence in self.fences)
+
+
+def compatible_guards(access):
+    """The guard context an ordering proof may assume while reasoning
+    about ``access``: exactly the access's own guard (a guarded fence
+    with the same predicate executes whenever the access does)."""
+    return frozenset(() if access.guard is None else (access.guard,))
+
+
+def resolve_address(addr, tid, reg_init, defs_by_reg):
+    """Resolve an :class:`~repro.ptx.operands.Addr` to ``(location
+    name, offset)`` or ``(None, offset)`` when the base register is
+    computed (any in-thread definition disqualifies the ``reg_init``
+    binding)."""
+    base = addr.base
+    if isinstance(base, Loc):
+        return base.name, addr.offset
+    if base.name in defs_by_reg:
+        return None, addr.offset
+    binding = reg_init.get((tid, base.name))
+    if isinstance(binding, Loc):
+        return binding.name, addr.offset
+    return None, addr.offset
+
+
+def _stored_value(instr):
+    """The immediate value a write stores, if statically known.  A CAS
+    can only ever deposit ``new``; exchanges deposit ``src``; inc/add
+    results depend on memory (unknown)."""
+    if isinstance(instr, St) and isinstance(instr.src, Imm):
+        return instr.src.value
+    if isinstance(instr, AtomExch) and isinstance(instr.src, Imm):
+        return instr.src.value
+    if isinstance(instr, AtomCas) and isinstance(instr.new, Imm):
+        return instr.new.value
+    return None
+
+
+def _make_access(program, index, instr, reg_init, defs_by_reg):
+    if is_rmw(instr):
+        kind = "RMW"
+    elif isinstance(instr, Ld):
+        kind = "R"
+    else:
+        kind = "W"
+    location, offset = resolve_address(instr.addr, program.tid, reg_init,
+                                       defs_by_reg)
+    volatile = getattr(instr, "volatile", False)
+    stale = (isinstance(instr, Ld) and not volatile
+             and instr.effective_cop == CacheOp.CA)
+    return Access(tid=program.tid, thread=program.name, index=index,
+                  instr=instr, kind=kind, location=location, offset=offset,
+                  atomic=is_rmw(instr), volatile=volatile, stale_l1=stale,
+                  stored=_stored_value(instr) if kind != "R" else None)
+
+
+def _condition_of(setp):
+    """The (source register, ValueCond) of a ``setp`` comparing a
+    register against an immediate; ``(None, None)`` otherwise."""
+    if isinstance(setp.a, Reg) and isinstance(setp.b, Imm):
+        return setp.a.name, ValueCond(setp.cmp, setp.b.value)
+    if isinstance(setp.b, Reg) and isinstance(setp.a, Imm):
+        return setp.b.name, ValueCond(setp.cmp, setp.a.value)
+    return None, None
+
+
+def _flag_source(reg, setp_index, instrs, defs_by_reg, program, reg_init):
+    """The flag location a register's value provably comes from.
+
+    Requires every definition of ``reg`` to be a load or RMW of one and
+    the same resolved location (whatever iteration defined it, the value
+    was read from that flag).  Returns ``(location, offset, governing
+    def index, atomic, stale_l1)`` or ``None``.
+    """
+    def_indices = defs_by_reg.get(reg, [])
+    if not def_indices:
+        return None
+    keys = set()
+    for index in def_indices:
+        instr = instrs[index]
+        if not instr.is_memory_access:
+            return None
+        location, offset = resolve_address(instr.addr, program.tid, reg_init,
+                                           defs_by_reg)
+        if location is None:
+            return None
+        keys.add((location, offset))
+    if len(keys) != 1:
+        return None
+    before = [index for index in def_indices if index < setp_index]
+    if not before:
+        return None
+    governing = max(before)
+    instr = instrs[governing]
+    (location, offset), = keys
+    stale = (isinstance(instr, Ld) and not instr.volatile
+             and instr.effective_cop == CacheOp.CA)
+    return location, offset, governing, is_rmw(instr), stale
+
+
+def _resolve_pred(guard, conditions):
+    """Resolve a guard's predicate to its admitted flag values: the
+    single-``setp`` condition, negated for ``@!p``.  Returns the
+    ``ControlDep`` ingredients or ``None``."""
+    entry = conditions.get(guard.reg)
+    if entry is None:
+        return None
+    source, admitted = entry
+    if source is None or admitted is None:
+        return None
+    if guard.negated:
+        admitted = admitted.negated()
+    location, offset, load_index, atomic, stale = source
+    return location, offset, load_index, admitted, atomic, stale
+
+
+def _derives_from_load(reg, defs_by_reg, instrs, _seen=None):
+    """True when a register's value (transitively) comes out of a
+    memory read — the store publishing it carries a data dependency."""
+    if _seen is None:
+        _seen = set()
+    if reg in _seen:
+        return False
+    _seen.add(reg)
+    for index in defs_by_reg.get(reg, ()):
+        instr = instrs[index]
+        if instr.is_memory_access:
+            return True
+        for used in instr.uses():
+            if _derives_from_load(used, defs_by_reg, instrs, _seen):
+                return True
+    return False
+
+
+def summarize_thread(program, reg_init):
+    """Build the :class:`ThreadSummary` of one lowered thread."""
+    instrs = list(program.instructions)
+    defs_by_reg = {}
+    for index, instr in enumerate(instrs):
+        for reg in instr.defs():
+            defs_by_reg.setdefault(reg, []).append(index)
+    label_index = {instr.name: index for index, instr in enumerate(instrs)
+                   if isinstance(instr, Label)}
+
+    summary = ThreadSummary(tid=program.tid, name=program.name,
+                            program=program)
+    for index, instr in enumerate(instrs):
+        if instr.is_fence:
+            summary.fences.append(FenceEvent(index, instr.scope, instr.guard))
+        elif instr.is_memory_access:
+            summary.accesses.append(
+                _make_access(program, index, instr, reg_init, defs_by_reg))
+
+    # Single-definition predicates with immediate comparisons.
+    conditions = {}
+    for index, instr in enumerate(instrs):
+        if (isinstance(instr, Setp)
+                and len(defs_by_reg.get(instr.dst.name, ())) == 1):
+            reg, admitted = _condition_of(instr)
+            source = None
+            if reg is not None:
+                source = _flag_source(reg, index, instrs, defs_by_reg,
+                                      program, reg_init)
+            conditions[instr.dst.name] = (source, admitted)
+
+    # Predication-guard dependencies.
+    for access in summary.accesses:
+        if access.guard is None:
+            continue
+        resolved = _resolve_pred(access.guard, conditions)
+        if resolved is None:
+            continue
+        location, offset, load_index, admitted, atomic, stale = resolved
+        dep = ControlDep(location=location, offset=offset,
+                         load_index=load_index, admitted=admitted,
+                         kind="guard", atomic=atomic, stale_l1=stale)
+        summary.deps.setdefault(access.index, []).append(dep)
+
+    # Loop-exit dependencies: any access after a guarded backward jump
+    # only runs once the loop's continue condition failed.
+    for index, instr in enumerate(instrs):
+        if not isinstance(instr, Bra) or instr.guard is None:
+            continue
+        target = label_index.get(instr.target)
+        if target is None or target > index:
+            continue
+        summary.loop_tails.append(index)
+        resolved = _resolve_pred(instr.guard, conditions)
+        if resolved is None:
+            continue
+        location, offset, load_index, admitted, atomic, stale = resolved
+        exit_admitted = admitted.negated()
+        summary.guard_points.append(GuardPoint(
+            tid=program.tid, thread=program.name, kind="loop",
+            location=location, offset=offset, load_index=load_index,
+            admitted=exit_admitted, index=index))
+        for access in summary.accesses:
+            if access.index > index:
+                dep = ControlDep(location=location, offset=offset,
+                                 load_index=load_index,
+                                 admitted=exit_admitted, kind="loop-exit",
+                                 atomic=atomic, stale_l1=stale)
+                summary.deps.setdefault(access.index, []).append(dep)
+
+    # If-guard points (one per distinct resolved predicate), for the
+    # divergence diagnostics.
+    seen_preds = set()
+    for index, instr in enumerate(instrs):
+        guard = instr.guard
+        if guard is None or isinstance(instr, Bra) or guard.reg in seen_preds:
+            continue
+        seen_preds.add(guard.reg)
+        resolved = _resolve_pred(guard, conditions)
+        if resolved is None:
+            continue
+        location, offset, load_index, admitted, atomic, stale = resolved
+        summary.guard_points.append(GuardPoint(
+            tid=program.tid, thread=program.name, kind="if",
+            location=location, offset=offset, load_index=load_index,
+            admitted=admitted, index=index))
+
+    # Stores whose value carries a data dependency from a load.
+    for access in summary.accesses:
+        if (isinstance(access.instr, St) and isinstance(access.instr.src, Reg)
+                and _derives_from_load(access.instr.src.name, defs_by_reg,
+                                       instrs)):
+            summary.data_dep_stores.add(access.index)
+
+    for index in summary.deps:
+        summary.deps[index] = tuple(summary.deps[index])
+    return summary
+
+
+def summarize_test(test):
+    """One :class:`ThreadSummary` per thread of a litmus test."""
+    return [summarize_thread(program, test.reg_init)
+            for program in test.threads]

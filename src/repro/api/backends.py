@@ -305,7 +305,8 @@ class ModelBackend(Backend):
 def make_backend(backend):
     """Resolve a backend argument: an instance, ``"sim"``, ``"model"``
     (the paper's PTX model), ``"model:<name>"`` for any registered
-    axiomatic model, or ``"app"`` (application scenario campaigns)."""
+    axiomatic model, ``"app"`` (application scenario campaigns), or
+    ``"analysis"`` (static race/ordering verdicts)."""
     if isinstance(backend, Backend):
         return backend
     if backend == "sim":
@@ -316,10 +317,14 @@ def make_backend(backend):
         # Local import: the apps package sits above the api layer.
         from ..apps.backend import AppBackend
         return AppBackend()
+    if backend == "analysis":
+        # Local import: the analysis package sits above the api layer.
+        from ..analysis.backend import AnalysisBackend
+        return AnalysisBackend()
     if isinstance(backend, str) and backend.startswith("model:"):
         return ModelBackend(backend.split(":", 1)[1])
     from ..errors import ReproError
     raise ReproError(
-        "unknown backend %r (expected 'sim', 'app', 'model', or "
-        "'model:NAME' where NAME is one of: %s)"
+        "unknown backend %r (expected 'analysis', 'app', 'model', 'sim', "
+        "or 'model:NAME' where NAME is one of: %s)"
         % (backend, ", ".join(sorted(MODELS))))

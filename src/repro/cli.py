@@ -13,10 +13,27 @@ Subcommands::
 
     repro-litmus campaign TEST [TEST ...] [--chips A B ...] [--jobs N]
                  [--backend ...] [--cache-dir D] [--iterations N]
+                 [--prescreen]
         Run a test x chip campaign through one session (sharded across
         workers, memoised by content fingerprint) and print the
         paper-style obs/100k summary table.  ``all`` expands to every
-        library test.
+        library test.  ``--prescreen`` statically analyses each test
+        first and skips execution for provably-clean cells.
+
+    repro-litmus analyze [TEST ...] [--scenario NAME ...] [--fenced F]
+                 [--detail] [--cross-check] [--chips A B ...] [--runs N]
+                 [--jobs N] [--cache-dir D]
+        Static pre-screening (no simulation): classify every conflicting
+        access pair of the named litmus tests and/or app scenarios as
+        provably racy / provably ordered / sync-exempt / unknown under
+        the scoped-fence semantics, fold them into per-test verdicts,
+        and print guard diagnostics (spin deadlock, SIMT warp
+        divergence, unordered guards, annulled atomics).
+        ``--cross-check`` then holds every clean verdict to its proof
+        obligation — clean scenarios must never lose in a simulation
+        campaign, clean (data-race-free) litmus tests must stay SC under
+        the PTX model — and exits non-zero on any contradiction (the CI
+        ``analysis-consistency`` job).
 
     repro-litmus model TEST [--model ptx] [--model-engine fast|reference]
         Enumerate candidate executions and print the model's verdict.
@@ -31,7 +48,7 @@ Subcommands::
     repro-litmus app [--scenario NAME ...] [--chips A B ...]
                  [--fenced both|on|off] [--runs N] [--seed S]
                  [--intensity X] [--jobs N] [--engine fast|reference]
-                 [--cache-dir D]
+                 [--cache-dir D] [--prescreen]
         Run application scenario campaigns (the deque / spin-lock /
         ticket-lock case studies of Secs. 3.2 and 6-7) through the
         sharded app backend and print the losses-per-100k grid.
@@ -67,7 +84,8 @@ import sys
 
 from .api import Session
 from .api.conformance import SOUNDNESS_CHIPS, run_soundness
-from .apps import (FAMILIES, SCENARIOS, STRESS, app_session,
+from .api.result import CampaignResult
+from .apps import (FAMILIES, SCENARIOS, STRESS, app_matrix, app_session,
                    run_app_campaign, select_scenarios)
 from .diy import (default_pool, fences_from_names, generate_tests,
                   scopes_from_names)
@@ -135,7 +153,7 @@ def _session_arguments(parser):
                              "Python, so threads cannot speed it up)")
     parser.add_argument("--backend", default="sim",
                         help="execution backend: sim (default), model, "
-                             "or model:NAME")
+                             "model:NAME, or analysis (static verdicts)")
     parser.add_argument("--cache-dir", default=None,
                         help="directory for the on-disk result cache")
     _engine_argument(parser)
@@ -155,14 +173,65 @@ def _cmd_run(args):
     return 0
 
 
+def _run_prescreened_campaign(specs, session, skip=None, proof="by proof"):
+    """Static triage, then execution: analyse every cell, skip the ones
+    the proof covers, print the triage summary, and return the
+    assembled :class:`CampaignResult`."""
+    from .analysis import AnalysisBackend, run_prescreened
+    results, verdicts = run_prescreened(specs, session, skip=skip)
+    campaign = CampaignResult()
+    for result in results:
+        campaign.add(result)
+    verdict_by_test = {}
+    skipped_names = set()
+    for spec, verdict, result in zip(specs, verdicts, results):
+        verdict_by_test.setdefault(spec.test.name, verdict)
+        if result.backend == AnalysisBackend.name:
+            skipped_names.add(spec.test.name)
+    counts = {}
+    for verdict in verdict_by_test.values():
+        counts[verdict] = counts.get(verdict, 0) + 1
+    skipped = sum(1 for result in results
+                  if result.backend == AnalysisBackend.name)
+    print("prescreen: %s — skipped %d/%d cells"
+          % (", ".join("%d %s" % (counts[verdict], verdict)
+                       for verdict in ("racy", "unknown", "clean")
+                       if verdict in counts),
+             skipped, len(specs)))
+    if skipped_names:
+        print("prescreen: zero observations %s: %s"
+              % (proof, ", ".join(sorted(skipped_names))))
+    return campaign
+
+
 def _cmd_campaign(args):
     tests = _load_tests(args.tests)
     session = _session(args)
     try:
-        campaign = session.campaign(tests, args.chips,
-                                    incantations=args.incantations,
-                                    iterations=args.iterations,
-                                    seed=args.seed)
+        if args.prescreen:
+            from .analysis import CLEAN, condition_skippable
+            specs = list(session.plan(tests, args.chips,
+                                      incantations=args.incantations,
+                                      iterations=args.iterations,
+                                      seed=args.seed))
+            # A clean verdict is not enough for a litmus condition (a
+            # race-free test can still observe an SC-reachable state) —
+            # skip only conditions the SC model forbids under a
+            # DRF-implies-SC verdict.
+            memo = {}
+            def _skip(spec, verdict):
+                if spec.test.name not in memo:
+                    memo[spec.test.name] = (verdict == CLEAN
+                                            and condition_skippable(spec.test))
+                return memo[spec.test.name]
+            campaign = _run_prescreened_campaign(
+                specs, session, skip=_skip,
+                proof="by proof (clean, SC-implied, SC-forbidden condition)")
+        else:
+            campaign = session.campaign(tests, args.chips,
+                                        incantations=args.incantations,
+                                        iterations=args.iterations,
+                                        seed=args.seed)
     except ReproError as error:
         raise SystemExit(str(error))
     print(campaign.summary_table())
@@ -217,9 +286,17 @@ def _cmd_app(args):
             raise ReproError("the scenario selection is empty")
         session = app_session(jobs=args.jobs, executor=args.executor,
                               cache_dir=args.cache_dir)
-        campaign = run_app_campaign(scenarios, args.chips, runs=runs,
-                                    seed=args.seed, intensity=args.intensity,
-                                    engine=args.engine, session=session)
+        if args.prescreen:
+            specs = app_matrix(scenarios, args.chips, runs=runs,
+                               seed=args.seed, intensity=args.intensity,
+                               engine=args.engine)
+            campaign = _run_prescreened_campaign(
+                specs, session, proof="(losses) by proof")
+        else:
+            campaign = run_app_campaign(scenarios, args.chips, runs=runs,
+                                        seed=args.seed,
+                                        intensity=args.intensity,
+                                        engine=args.engine, session=session)
     except ReproError as error:
         raise SystemExit(str(error))
     print("losses per 100k launches (x%g intensity, %d runs/cell):"
@@ -236,6 +313,47 @@ def _cmd_app(args):
           % (stats.executed, stats.cache_hits, stats.deduplicated,
              stats.shards_executed, stats.simulated_iterations))
     return 1 if lossy_fenced else 0
+
+
+def _cmd_analyze(args):
+    from .analysis import analyze_test, run_consistency
+    try:
+        tests = _load_tests(args.tests) if args.tests else []
+        scenarios = (select_scenarios(args.scenarios, fenced=args.fenced)
+                     if args.scenarios else [])
+    except ReproError as error:
+        raise SystemExit(str(error))
+    if not tests and not scenarios:
+        raise SystemExit("nothing to analyze: name litmus tests (or 'all') "
+                         "and/or select scenarios with --scenario")
+    reports = ([analyze_test(scenario.test()) for scenario in scenarios]
+               + [analyze_test(test) for test in tests])
+    counts = {}
+    for report in reports:
+        counts[report.verdict] = counts.get(report.verdict, 0) + 1
+        if args.detail:
+            for line in report.lines():
+                print(line)
+        else:
+            print(report.summary())
+    print("verdicts: %s"
+          % ", ".join("%d %s" % (counts[verdict], verdict)
+                      for verdict in ("racy", "unknown", "clean")
+                      if verdict in counts))
+    if not args.cross_check:
+        return 0
+    runs = args.runs if args.runs is not None else default_iterations(300)
+    try:
+        consistency = run_consistency(
+            scenarios=scenarios, tests=tests, chips=args.chips, runs=runs,
+            seed=args.seed, intensity=args.intensity, jobs=args.jobs,
+            executor=args.executor, cache_dir=args.cache_dir, fuel=args.fuel)
+    except ReproError as error:
+        raise SystemExit(str(error))
+    print()
+    for line in consistency.lines():
+        print(line)
+    return 0 if consistency.ok else 1
 
 
 def _cmd_list(args):
@@ -354,6 +472,10 @@ def build_parser():
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument("--incantations", default="best",
                           help="as for `run`")
+    campaign.add_argument("--prescreen", action="store_true",
+                          help="statically analyse each test first; "
+                               "provably-clean cells skip execution and "
+                               "report zero observations by proof")
     _session_arguments(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
@@ -387,8 +509,58 @@ def build_parser():
                      help="worker pool kind for --jobs > 1")
     app.add_argument("--cache-dir", default=None,
                      help="directory for the on-disk result cache")
+    app.add_argument("--prescreen", action="store_true",
+                     help="statically analyse each scenario first; "
+                          "provably-clean cells skip simulation and "
+                          "report zero losses by proof")
     _engine_argument(app)
     app.set_defaults(func=_cmd_app)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static race/ordering verdicts, no simulation; --cross-check "
+             "holds clean verdicts to campaign losses and model "
+             "allowed-sets")
+    analyze.add_argument("tests", nargs="*",
+                         help="library tests / .litmus files, or 'all'")
+    analyze.add_argument("--scenario", "-s", dest="scenarios", nargs="+",
+                         default=None, metavar="NAME",
+                         help="app scenarios or families to analyse; 'all' "
+                              "= the whole registry")
+    analyze.add_argument("--fenced", choices=("both", "on", "off"),
+                         default="both",
+                         help="scenario variant filter, as for `app`")
+    analyze.add_argument("--detail", action="store_true",
+                         help="print every pair classification, unresolved "
+                              "address and guard diagnostic")
+    analyze.add_argument("--cross-check", action="store_true",
+                         help="run the consistency oracles: clean scenarios "
+                              "must never lose in a campaign, clean litmus "
+                              "tests must stay SC under the PTX model; "
+                              "exits 1 on any contradiction")
+    analyze.add_argument("--chips", nargs="+", default=list(RESULT_CHIPS),
+                         choices=sorted(CHIPS), metavar="CHIP",
+                         help="chips for the cross-check campaign (default: "
+                              "the paper's result chips)")
+    analyze.add_argument("--runs", type=int, default=None,
+                         help="launches per cross-check cell (default: "
+                              "REPRO_ITERS or 300)")
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument("--intensity", type=float, default=STRESS,
+                         help="cross-check campaign intensity (default %g)"
+                              % STRESS)
+    analyze.add_argument("--fuel", type=int, default=128,
+                         help="model enumeration fuel for the library "
+                              "cross-check (default 128)")
+    analyze.add_argument("--jobs", type=int, default=1,
+                         help="worker count for the cross-check campaign")
+    analyze.add_argument("--executor", default="process",
+                         choices=("process", "thread"),
+                         help="worker pool kind for --jobs > 1")
+    analyze.add_argument("--cache-dir", default=None,
+                         help="on-disk result cache for the cross-check "
+                              "campaign")
+    analyze.set_defaults(func=_cmd_analyze)
 
     model = sub.add_parser("model", help="model-check a test")
     model.add_argument("test")

@@ -1,0 +1,151 @@
+"""Register use/def sets for every PTX instruction class.
+
+The static analyzer's dependency tracing (`repro.analysis.accesses`)
+leans entirely on ``uses()``/``defs()``, so every instruction class is
+pinned here — including the guarded variants, whose guard register must
+appear in ``uses()``, and register-based addresses, whose base register
+must flow through ``operand_registers``.
+"""
+
+import pytest
+
+from repro.ptx.instructions import (Add, And, AtomAdd, AtomCas, AtomExch,
+                                    AtomInc, Bra, Cvt, Guard, Label, Ld,
+                                    Membar, Mov, RMW_CLASSES, Setp, St, Xor,
+                                    is_rmw)
+from repro.ptx.operands import Addr, Imm, Loc, Reg
+from repro.ptx.types import CacheOp, Scope
+
+
+LOC_X = Addr(Loc("x"))
+REG_ADDR = Addr(Reg("ra"), 4)
+
+
+class TestMemoryAccessUsesDefs:
+    def test_ld(self):
+        ld = Ld(Reg("r1"), LOC_X, cop=CacheOp.CG)
+        assert ld.uses() == set()
+        assert ld.defs() == {"r1"}
+
+    def test_ld_register_address_uses_base(self):
+        ld = Ld(Reg("r1"), REG_ADDR, cop=CacheOp.CG)
+        assert ld.uses() == {"ra"}
+        assert ld.defs() == {"r1"}
+
+    def test_st_immediate(self):
+        st = St(LOC_X, Imm(1), cop=CacheOp.CG)
+        assert st.uses() == set()
+        assert st.defs() == set()
+
+    def test_st_register_source_and_address(self):
+        st = St(REG_ADDR, Reg("rv"), cop=CacheOp.CG)
+        assert st.uses() == {"ra", "rv"}
+        assert st.defs() == set()
+
+    def test_atom_cas(self):
+        cas = AtomCas(Reg("r0"), LOC_X, Imm(0), Imm(1))
+        assert cas.uses() == set()
+        assert cas.defs() == {"r0"}
+        cas = AtomCas(Reg("r0"), REG_ADDR, Reg("rc"), Reg("rn"))
+        assert cas.uses() == {"ra", "rc", "rn"}
+
+    def test_atom_exch(self):
+        exch = AtomExch(Reg("r0"), LOC_X, Reg("rs"))
+        assert exch.uses() == {"rs"}
+        assert exch.defs() == {"r0"}
+
+    def test_atom_inc(self):
+        inc = AtomInc(Reg("r0"), REG_ADDR)
+        assert inc.uses() == {"ra"}
+        assert inc.defs() == {"r0"}
+
+    def test_atom_add(self):
+        add = AtomAdd(Reg("r0"), LOC_X, Reg("rs"))
+        assert add.uses() == {"rs"}
+        assert add.defs() == {"r0"}
+
+    def test_rmw_classification(self):
+        assert set(RMW_CLASSES) == {AtomCas, AtomExch, AtomInc, AtomAdd}
+        assert is_rmw(AtomInc(Reg("r0"), LOC_X))
+        assert not is_rmw(Ld(Reg("r0"), LOC_X, cop=CacheOp.CG))
+        assert not is_rmw(St(LOC_X, Imm(1), cop=CacheOp.CG))
+
+
+class TestAluUsesDefs:
+    def test_mov(self):
+        assert Mov(Reg("r1"), Imm(3)).uses() == set()
+        assert Mov(Reg("r1"), Reg("r2")).uses() == {"r2"}
+        assert Mov(Reg("r1"), Loc("x")).uses() == set()
+        assert Mov(Reg("r1"), Reg("r2")).defs() == {"r1"}
+
+    @pytest.mark.parametrize("cls", [Add, And, Xor])
+    def test_binary_alu(self, cls):
+        op = cls(Reg("r1"), Reg("r2"), Imm(1))
+        assert op.uses() == {"r2"}
+        assert op.defs() == {"r1"}
+        both = cls(Reg("r1"), Reg("r2"), Reg("r3"))
+        assert both.uses() == {"r2", "r3"}
+
+    def test_cvt(self):
+        cvt = Cvt(Reg("r1"), Reg("r2"))
+        assert cvt.uses() == {"r2"}
+        assert cvt.defs() == {"r1"}
+
+    def test_setp(self):
+        setp = Setp("eq", Reg("p0"), Reg("r1"), Imm(1))
+        assert setp.uses() == {"r1"}
+        assert setp.defs() == {"p0"}
+
+
+class TestControlAndFences:
+    def test_membar(self):
+        fence = Membar(Scope.GL)
+        assert fence.uses() == set()
+        assert fence.defs() == set()
+        assert fence.is_fence and not fence.is_memory_access
+
+    def test_bra(self):
+        bra = Bra("LOOP")
+        assert bra.uses() == set()
+        assert bra.defs() == set()
+
+    def test_label(self):
+        label = Label("LOOP")
+        assert label.uses() == set()
+        assert label.defs() == set()
+
+
+class TestGuardedUses:
+    """Every guarded instruction reads its predicate register."""
+
+    @pytest.mark.parametrize("negated", [False, True])
+    def test_guarded_bra(self, negated):
+        bra = Bra("LOOP", guard=Guard("p0", negated=negated))
+        assert bra.uses() == {"p0"}
+
+    def test_guarded_memory_accesses(self):
+        guard = Guard("p7")
+        assert Ld(Reg("r1"), REG_ADDR, cop=CacheOp.CG,
+                  guard=guard).uses() == {"p7", "ra"}
+        assert St(LOC_X, Reg("rv"), cop=CacheOp.CG,
+                  guard=guard).uses() == {"p7", "rv"}
+        assert AtomCas(Reg("r0"), LOC_X, Imm(0), Imm(1),
+                       guard=guard).uses() == {"p7"}
+        assert AtomExch(Reg("r0"), LOC_X, Reg("rs"),
+                        guard=guard).uses() == {"p7", "rs"}
+        assert AtomInc(Reg("r0"), LOC_X, guard=guard).uses() == {"p7"}
+        assert AtomAdd(Reg("r0"), LOC_X, Imm(2), guard=guard).uses() == {"p7"}
+
+    def test_guarded_alu_and_fence(self):
+        guard = Guard("p1", negated=True)
+        assert Mov(Reg("r1"), Imm(0), guard=guard).uses() == {"p1"}
+        assert Add(Reg("r1"), Reg("r2"), Imm(1),
+                   guard=guard).uses() == {"p1", "r2"}
+        assert Cvt(Reg("r1"), Reg("r2"), guard=guard).uses() == {"p1", "r2"}
+        assert Setp("ne", Reg("p0"), Reg("r1"), Imm(0),
+                    guard=guard).uses() == {"p1", "r1"}
+        assert Membar(Scope.CTA, guard=guard).uses() == {"p1"}
+
+    def test_guard_never_defines(self):
+        assert Bra("L", guard=Guard("p0")).defs() == set()
+        assert Membar(Scope.SYS, guard=Guard("p0")).defs() == set()
