@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Diff two BENCH_*.json perf reports and gate on speedup regressions.
+
+Pairs the cells of an old and a new report of the same benchmark
+(engine, model or apps), diffs every shared speedup column — the
+machine-independent ratios, not the absolute rates — and exits non-zero
+if any per-cell or geomean speedup dropped by more than ``--threshold``
+(fractional; default 0.15).  CI's perf-smoke job runs this against the
+tracked trajectory file at the repo root so a PR cannot silently erode
+the fast/batch engine wins.
+
+Usage::
+
+    python benchmarks/bench_compare.py BENCH_engine.json /tmp/new.json
+    python benchmarks/bench_compare.py old.json new.json --threshold 0.25
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.errors import ReproError  # noqa: E402
+from repro.perf import (DEFAULT_THRESHOLD, compare_reports,  # noqa: E402
+                        load_report, render_compare)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("old", help="baseline BENCH_*.json (e.g. the "
+                                    "tracked file at the repo root)")
+    parser.add_argument("new", help="freshly measured BENCH_*.json")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="tolerated fractional speedup drop before a "
+                             "delta counts as a regression (default %.2f)"
+                             % DEFAULT_THRESHOLD)
+    args = parser.parse_args(argv)
+
+    try:
+        result = compare_reports(load_report(args.old),
+                                 load_report(args.new))
+    except ReproError as error:
+        raise SystemExit(str(error))
+
+    print("comparing %s -> %s (%s benchmark, threshold %.0f%%)"
+          % (args.old, args.new, result.benchmark, args.threshold * 100))
+    print(render_compare(result, threshold=args.threshold))
+    if not result.deltas:
+        print("no shared speedup metrics to compare", file=sys.stderr)
+        return 1
+
+    cell_regressions, geomean_regressions = result.regressions(
+        args.threshold)
+    for delta in cell_regressions:
+        label = "/".join(str(part) for part in delta.key
+                         if part is not None)
+        print("FAIL: %s %s regressed %.2fx -> %.2fx (%.1f%% < -%.0f%%)"
+              % (label, delta.metric, delta.old, delta.new,
+                 (delta.ratio - 1.0) * 100.0, args.threshold * 100),
+              file=sys.stderr)
+    for metric, old, new in geomean_regressions:
+        print("FAIL: geomean %s regressed %.2fx -> %.2fx"
+              % (metric, old, new), file=sys.stderr)
+    return 1 if (cell_regressions or geomean_regressions) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,18 +1,22 @@
 #!/usr/bin/env python
-"""App-campaign perf benchmark: reference vs fast, tracked in
+"""App-campaign perf benchmark: reference vs fast vs batch, tracked in
 BENCH_apps.json.
 
-Times both simulation engines on a pinned ``(scenario, chip)`` corpus of
+Times the simulation engines on a pinned ``(scenario, chip)`` corpus of
 application scenarios (:data:`repro.perf.APP_PINNED_CORPUS`;
 ``--corpus tiny`` for the CI smoke subset), prints the comparison table
 and writes the machine-readable trajectory file.  Exits non-zero if
 
 * the fast engine's *warm* (steady-state) launch rate falls below
   ``--min-speedup`` times the reference rate on any cell,
-* the corpus-wide warm geomean falls below ``--min-geomean``, or
+* the batch engine's warm rate falls below ``--min-batch-speedup``
+  times the fast warm rate on any cell (skipped when numpy is missing),
+* the corpus-wide warm geomean falls below ``--min-geomean``,
 * any cell's same-seed outcome histograms or loss counts diverge
-  between the engines (the bit-identity contract; also property-tested
-  in ``tests/test_apps_campaign.py``).
+  between the reference and fast engines (the bit-identity contract;
+  also property-tested in ``tests/test_apps_campaign.py``), or
+* any cell's batch histogram fails the distribution-equivalence or
+  loss-verdict cross-check against the fast engine.
 
 Usage::
 
@@ -42,8 +46,12 @@ def main(argv=None):
                         choices=("pinned", "tiny"),
                         help="cell set: pinned (default) or the CI-sized "
                              "tiny subset")
-    parser.add_argument("--runs", type=int, default=400,
-                        help="launches per engine per cell (default 400)")
+    parser.add_argument("--runs", type=int, default=2000,
+                        help="launches per engine per cell (default 2000 "
+                             "— a campaign-scale cell; the lockstep "
+                             "batch engine amortises per-tick dispatch "
+                             "over the batch width, so small values "
+                             "understate its steady state)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of-N timing repeats (default 3)")
     parser.add_argument("--seed", type=int, default=0)
@@ -54,6 +62,11 @@ def main(argv=None):
                         help="fail if any cell's warm speedup is below "
                              "this (default 1.0: the fast engine must "
                              "never lose to the reference engine)")
+    parser.add_argument("--min-batch-speedup", type=float, default=1.0,
+                        help="fail if any cell's batch warm throughput "
+                             "is below this multiple of the fast warm "
+                             "rate (default 1.0: batch must never lose "
+                             "to fast; ignored when numpy is missing)")
     parser.add_argument("--min-geomean", type=float, default=0.0,
                         help="fail if the corpus-wide warm geomean is "
                              "below this (0 = no gate; local trajectory "
@@ -71,10 +84,16 @@ def main(argv=None):
         raise SystemExit(str(error))
     summary = summarize_apps(cells)
     print(render_app_table(cells))
-    print("geomean speedup: %.2fx warm, %.2fx cold (min warm %.2fx)"
+    print("geomean fast speedup: %.2fx warm, %.2fx cold (min warm %.2fx)"
           % (summary["geomean_speedup_warm"],
              summary["geomean_speedup_cold"],
              summary["min_speedup_warm"]))
+    if "geomean_batch_speedup_warm" in summary:
+        print("geomean batch speedup over fast warm: %.2fx (min %.2fx)"
+              % (summary["geomean_batch_speedup_warm"],
+                 summary["min_batch_speedup_warm"]))
+    else:
+        print("batch engine not measured (numpy not installed)")
     write_app_report(args.output, cells, args.corpus, args.runs, args.seed,
                      extra={"repeats": args.repeats,
                             "intensity": args.intensity})
@@ -84,11 +103,22 @@ def main(argv=None):
     if not summary["all_identical"]:
         failures.append("engines diverged: some cell's histograms or loss "
                         "counts are not bit-identical")
+    if summary.get("all_batch_equivalent") is False:
+        failures.append("batch engine diverged: some cell failed the "
+                        "distribution-equivalence/loss-verdict cross-check")
     slow = [cell for cell in cells if cell.speedup_warm < args.min_speedup]
     for cell in slow:
         failures.append("%s on %s: warm speedup %.2fx < %.2fx"
                         % (cell.scenario, cell.chip, cell.speedup_warm,
                            args.min_speedup))
+    for cell in cells:
+        if (cell.batch_speedup_warm is not None
+                and cell.batch_speedup_warm < args.min_batch_speedup):
+            failures.append("%s on %s: batch warm speedup %.2fx < %.2fx "
+                            "of fast warm"
+                            % (cell.scenario, cell.chip,
+                               cell.batch_speedup_warm,
+                               args.min_batch_speedup))
     if summary["geomean_speedup_warm"] < args.min_geomean:
         failures.append("warm geomean %.2fx < %.2fx"
                         % (summary["geomean_speedup_warm"],

@@ -1,16 +1,22 @@
 #!/usr/bin/env python
-"""Engine perf benchmark: reference vs fast, tracked in BENCH_engine.json.
+"""Engine perf benchmark: reference vs fast vs batch (BENCH_engine.json).
 
-Times both simulation engines on a pinned ``(test, chip)`` corpus
+Times the simulation engines on a pinned ``(test, chip)`` corpus
 (:data:`repro.perf.PINNED_CORPUS`; ``--corpus tiny`` for the CI smoke
 subset), prints the comparison table and writes the machine-readable
 trajectory file.  Exits non-zero if
 
 * the fast engine's *warm* (steady-state) rate falls below
-  ``--min-speedup`` times the reference rate on any cell, or
-* any cell's same-seed histograms diverge between the engines (the
-  bit-identity contract; also property-tested in
-  ``tests/test_sim_compile.py``).
+  ``--min-speedup`` times the reference rate on any cell,
+* the batch engine's warm rate falls below ``--min-batch-speedup``
+  times the fast warm rate on any cell (skipped when numpy is not
+  installed),
+* any cell's same-seed histograms diverge between the reference and
+  fast engines (the bit-identity contract; also property-tested in
+  ``tests/test_sim_compile.py``), or
+* any cell's batch histogram fails the distribution-equivalence
+  cross-check against the fast engine (``tests/test_sim_batch.py``
+  holds the same contract at higher power).
 
 Usage::
 
@@ -40,8 +46,13 @@ def main(argv=None):
                         choices=("pinned", "tiny"),
                         help="cell set: pinned (default) or the CI-sized "
                              "tiny subset")
-    parser.add_argument("--iterations", type=int, default=2000,
-                        help="iterations per engine per cell (default 2000)")
+    parser.add_argument("--iterations", type=int, default=25000,
+                        help="iterations per engine per cell (default "
+                             "25000 — one full production shard, the "
+                             "lockstep batch width campaign runs "
+                             "actually execute; smaller values "
+                             "understate the batch engine's steady "
+                             "state)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of-N timing repeats (default 3)")
     parser.add_argument("--seed", type=int, default=0)
@@ -49,6 +60,11 @@ def main(argv=None):
                         help="fail if any cell's warm speedup is below "
                              "this (default 1.0: the fast engine must "
                              "never lose to the reference engine)")
+    parser.add_argument("--min-batch-speedup", type=float, default=1.0,
+                        help="fail if any cell's batch warm throughput "
+                             "is below this multiple of the fast warm "
+                             "rate (default 1.0: batch must never lose "
+                             "to fast; ignored when numpy is missing)")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help="where to write BENCH_engine.json "
                              "(default: repo root)")
@@ -62,10 +78,16 @@ def main(argv=None):
         raise SystemExit(str(error))
     summary = summarize(cells)
     print(render_table(cells))
-    print("geomean speedup: %.2fx warm, %.2fx cold (min warm %.2fx)"
+    print("geomean fast speedup: %.2fx warm, %.2fx cold (min warm %.2fx)"
           % (summary["geomean_speedup_warm"],
              summary["geomean_speedup_cold"],
              summary["min_speedup_warm"]))
+    if "geomean_batch_speedup_warm" in summary:
+        print("geomean batch speedup over fast warm: %.2fx (min %.2fx)"
+              % (summary["geomean_batch_speedup_warm"],
+                 summary["min_batch_speedup_warm"]))
+    else:
+        print("batch engine not measured (numpy not installed)")
     write_report(args.output, cells, args.corpus, args.iterations,
                  args.seed, extra={"repeats": args.repeats})
     print("wrote %s" % os.path.relpath(args.output))
@@ -74,11 +96,22 @@ def main(argv=None):
     if not summary["all_identical"]:
         failures.append("engines diverged: some cell's histograms are not "
                         "bit-identical")
+    if summary.get("all_batch_equivalent") is False:
+        failures.append("batch engine diverged: some cell's histogram "
+                        "failed the distribution-equivalence cross-check")
     slow = [cell for cell in cells if cell.speedup_warm < args.min_speedup]
     for cell in slow:
         failures.append("%s on %s: warm speedup %.2fx < %.2fx"
                         % (cell.test, cell.chip, cell.speedup_warm,
                            args.min_speedup))
+    for cell in cells:
+        if (cell.batch_speedup_warm is not None
+                and cell.batch_speedup_warm < args.min_batch_speedup):
+            failures.append("%s on %s: batch warm speedup %.2fx < %.2fx "
+                            "of fast warm"
+                            % (cell.test, cell.chip,
+                               cell.batch_speedup_warm,
+                               args.min_batch_speedup))
     for failure in failures:
         print("FAIL: %s" % failure, file=sys.stderr)
     return 1 if failures else 0

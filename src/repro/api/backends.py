@@ -36,6 +36,7 @@ from ..harness.histogram import Histogram
 from ..harness.incantations import efficacy
 from ..litmus.writer import write_litmus
 from ..model.models import MODELS, load_model
+from ..sim.batch import compile_batch_cell
 from ..sim.compile import compile_cell
 from ..sim.engine import run_batch
 from ..sim.machine import GpuMachine
@@ -153,10 +154,16 @@ class SimBackend(Backend):
     and reuses the compiled machine for every shard this process runs
     (the memo is process-local — compiled cells hold closures and do not
     pickle, so process-pool workers each compile their own, amortised
-    over a shard's iterations); ``"reference"`` interprets through
-    :class:`~repro.sim.machine.GpuMachine`.  Both produce bit-identical
-    histograms for the same shard seeds, which the cache signature
-    nevertheless keeps apart (see :meth:`cache_signature`).
+    over a shard's iterations); ``"batch"`` lowers through
+    :func:`repro.sim.batch.compile_batch_cell` into numpy
+    structure-of-arrays kernels executing each shard as one lockstep
+    batch (same memo discipline — batch cells hold numpy buffers and
+    closures and do not pickle either); ``"reference"`` interprets
+    through :class:`~repro.sim.machine.GpuMachine`.  ``reference`` and
+    ``fast`` produce bit-identical histograms for the same shard seeds;
+    ``batch`` is distribution-equivalent under a documented seeded
+    stream-break (see :mod:`repro.sim.batch`).  The cache signature
+    keeps all three apart (see :meth:`cache_signature`).
     """
 
     name = "sim"
@@ -188,11 +195,14 @@ class SimBackend(Backend):
     def cache_signature(self, spec):
         """Fingerprint plus engine.
 
-        The engines are bit-identical by contract, but their results
-        must not share cache entries: a histogram cached by one engine
-        would otherwise satisfy (and silently mask) a run requested on
-        the other, including the equivalence tests that enforce the
-        contract in the first place.
+        The fingerprint deliberately excludes the engine (shard seeds
+        stay engine-neutral), but cached results must not cross
+        engines: a histogram cached by one engine would otherwise
+        satisfy (and silently mask) a run requested on another —
+        including the equivalence tests that enforce the
+        bit-identity/distribution-equivalence contracts in the first
+        place, and the batch engine's histograms are only
+        distribution-equivalent, not bit-identical.
         """
         return "%s-%s" % (spec.fingerprint(), spec.engine)
 
@@ -207,21 +217,24 @@ class SimBackend(Backend):
     def _machine(self, spec):
         intensity = efficacy(spec.chip.vendor, spec.test.idiom or "mp",
                              spec.incantations)
-        if spec.engine == "fast":
+        if spec.engine in ("fast", "batch"):
             cells = getattr(self._local, "cells", None)
             if cells is None:
                 cells = self._local.cells = {}
-            # Key on what the compiled cell actually depends on — test
-            # text, chip profile, incantation column — not the full
-            # fingerprint, so iteration/seed variants of one cell share
-            # a single compilation.
-            key = (spec.test.name, write_litmus(spec.test),
+            # Key on what the compiled cell actually depends on — the
+            # engine, test text, chip profile, incantation column — not
+            # the full fingerprint, so iteration/seed variants of one
+            # cell share a single compilation (and the two compiling
+            # engines never share one).
+            key = (spec.engine, spec.test.name, write_litmus(spec.test),
                    repr(spec.chip), spec.incantations.column)
             machine = cells.get(key)
             if machine is None:
                 if len(cells) >= self.MAX_COMPILED:
                     cells.clear()
-                machine = compile_cell(
+                lower = (compile_batch_cell if spec.engine == "batch"
+                         else compile_cell)
+                machine = lower(
                     spec.test, spec.chip, intensity=intensity,
                     shuffle_placement=spec.incantations.thread_rand)
                 cells[key] = machine

@@ -122,13 +122,17 @@ class RunSpec:
     iterations: int
     seed: int = 0
     #: Simulation engine for sim backends: ``"fast"`` (the compiled
-    #: cells of :mod:`repro.sim.compile`) or ``"reference"`` (the
-    #: generic interpreter).  The two are bit-identical by
-    #: property-tested contract, so the engine is *not* part of the
-    #: content fingerprint (and therefore never perturbs shard seeds) —
-    #: but it *is* part of the sim backend's cache signature, so cached
-    #: histograms never cross engines (a cached reference result must
-    #: not mask a fast-engine bug, and vice versa).
+    #: cells of :mod:`repro.sim.compile`), ``"batch"`` (the numpy
+    #: lockstep lowering of :mod:`repro.sim.batch`) or ``"reference"``
+    #: (the generic interpreter).  ``reference``/``fast`` are
+    #: bit-identical by property-tested contract and ``batch`` is
+    #: distribution-equivalent under a documented seeded stream-break,
+    #: so the engine is *not* part of the content fingerprint (and
+    #: therefore never perturbs shard seeds) — but it *is* part of the
+    #: sim backend's cache signature, so cached histograms never cross
+    #: engines (a cached reference result must not mask a fast-engine
+    #: bug, and a batch histogram must never satisfy a bit-exact
+    #: fast/reference request).
     engine: str = "fast"
     #: Model-checking engine for model backends, with the same contract
     #: as ``engine``: ``"fast"`` (compiled model + pruned enumeration,
@@ -195,8 +199,9 @@ class RunSpec:
         entries), the incantation column, iterations and seed.  The
         ``engine`` and ``model_engine`` are deliberately **excluded**:
         per-shard seeds derive from this digest, and engine-independent
-        seeding is exactly what makes the fast/reference bit-identity
-        contracts testable (and the results interchangeable).  All
+        seeding is exactly what makes the engine-equivalence contracts
+        testable (fast/reference bit-identity, batch distribution
+        equivalence on the very same shard seeds).  All
         fields are frozen, so the digest is computed once and memoised
         (cache lookup, store and every shard seed re-ask for it).
         """

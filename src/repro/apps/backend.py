@@ -16,8 +16,13 @@ session layer knowing scenarios exist:
   :func:`repro.sim.compile.compile_cell` per scenario x chip x
   intensity, memoised per worker thread and reused across shards; the
   spin-loop kernels compile once and the machine state is reused across
-  launches) or ``reference`` (the generic interpreter).  Bit-identical
-  histograms either way, kept apart in the cache signature.
+  launches), ``batch`` (the numpy lockstep lowering of
+  :mod:`repro.sim.batch` — one :func:`~repro.sim.batch.compile_batch_cell`
+  per cell under the same memo discipline, each shard executed as one
+  structure-of-arrays batch) or ``reference`` (the generic
+  interpreter).  ``reference``/``fast`` are bit-identical; ``batch`` is
+  distribution-equivalent under the documented seeded stream-break, and
+  all three are kept apart in the cache signature.
 * **projection** — each shard's raw histogram is folded onto the
   scenario's observable locations before it leaves the backend, so the
   cache stores (and campaigns merge) the projected outcome histograms
@@ -30,6 +35,7 @@ import threading
 from ..api.backends import Backend, plan_shards
 from ..harness.histogram import Histogram
 from ..litmus.writer import write_litmus
+from ..sim.batch import compile_batch_cell
 from ..sim.compile import compile_cell
 from ..sim.engine import run_batch
 from ..sim.machine import GpuMachine
@@ -71,8 +77,9 @@ class AppBackend(Backend):
 
     def cache_signature(self, spec):
         """Fingerprint plus engine — same rationale as the sim backend:
-        the engines are bit-identical by contract, but a histogram cached
-        by one engine must never mask a divergence in the other."""
+        the fingerprint stays engine-neutral, but a histogram cached by
+        one engine must never mask a divergence in another (and batch
+        histograms are only distribution-equivalent)."""
         return "%s-%s" % (spec.fingerprint(), spec.engine)
 
     def cache_variant(self, spec, shard_size):
@@ -81,21 +88,24 @@ class AppBackend(Backend):
         return "shard%d" % min(shard_size, spec.iterations)
 
     def _machine(self, spec):
-        if spec.engine == "fast":
+        if spec.engine in ("fast", "batch"):
             cells = getattr(self._local, "cells", None)
             if cells is None:
                 cells = self._local.cells = {}
-            # Key on what the compiled cell depends on — the scenario's
-            # compiled litmus text, the chip profile and the intensity —
-            # so run/seed variants of one cell share a compilation.
-            key = (spec.scenario.name, write_litmus(spec.test),
+            # Key on what the compiled cell depends on — the engine, the
+            # scenario's compiled litmus text, the chip profile and the
+            # intensity — so run/seed variants of one cell share a
+            # compilation.
+            key = (spec.engine, spec.scenario.name, write_litmus(spec.test),
                    repr(spec.chip), spec.intensity)
             machine = cells.get(key)
             if machine is None:
                 if len(cells) >= self.MAX_COMPILED:
                     cells.clear()
-                machine = compile_cell(spec.test, spec.chip,
-                                       intensity=spec.intensity)
+                lower = (compile_batch_cell if spec.engine == "batch"
+                         else compile_cell)
+                machine = lower(spec.test, spec.chip,
+                                intensity=spec.intensity)
                 cells[key] = machine
             return machine
         return GpuMachine(spec.test, spec.chip, intensity=spec.intensity)

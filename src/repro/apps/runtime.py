@@ -12,11 +12,14 @@ either simulation engine (``fast``: a
 :class:`~repro.sim.compile.CompiledCell` built once and reused across
 launches — the spin-loop kernels of the application studies are exactly
 the shapes the compiler specialises best; ``reference``: the generic
-:class:`~repro.sim.machine.GpuMachine` interpreter).  Both engines
-consume the ``Random`` stream identically, so :meth:`Grid.launch` /
-:meth:`Grid.launch_many` return bit-identical results on either —
-they are the RNG-stream-parity wrappers over
-:func:`~repro.sim.engine.run_batch`'s batched loop.
+:class:`~repro.sim.machine.GpuMachine` interpreter).  Both those
+engines consume the ``Random`` stream identically, so
+:meth:`Grid.launch` / :meth:`Grid.launch_many` return bit-identical
+results on either — they are the RNG-stream-parity wrappers over
+:func:`~repro.sim.engine.run_batch`'s batched loop.  ``engine="batch"``
+(:mod:`repro.sim.batch`) also works here — :meth:`Grid.launch_batch`
+then executes all runs as one numpy lockstep batch, with
+distribution-equivalent (not bit-identical) outcome histograms.
 
 Campaign-scale application runs should not loop over ``launch_many``;
 they go through :mod:`repro.apps.campaign`, which shards
@@ -87,8 +90,10 @@ class Grid:
     """A compiled grid: one kernel per thread, ready to launch.
 
     ``engine`` picks the execution engine (``None`` defers to
-    ``REPRO_ENGINE``, default ``fast``); results are bit-identical
-    either way for the same seed.
+    ``REPRO_ENGINE``, default ``fast``); ``reference`` and ``fast``
+    results are bit-identical for the same seed, ``batch`` results are
+    deterministic in the seed but follow the batch RNG-stream contract
+    (distribution-equivalent histograms).
     """
 
     def __init__(self, kernels, chip, init_mem, placement="inter-cta",
@@ -102,6 +107,10 @@ class Grid:
         if self.engine == "fast":
             self.machine = compile_cell(self.test, self.chip,
                                         intensity=intensity)
+        elif self.engine == "batch":
+            from ..sim.batch import compile_batch_cell
+            self.machine = compile_batch_cell(self.test, self.chip,
+                                              intensity=intensity)
         else:
             self.machine = GpuMachine(self.test, self.chip,
                                       intensity=intensity)

@@ -5,7 +5,7 @@ Subcommands::
     repro-litmus run TEST --chip Titan [--iterations N] [--seed S]
                  [--incantations best|none|stress+sync+random|COLUMN]
                  [--jobs N] [--backend sim|model|model:NAME] [--cache-dir D]
-                 [--engine fast|reference]
+                 [--engine fast|reference|batch]
         Run a litmus test (library name or .litmus file) on a simulated
         chip; print the histogram.  The default incantations are the
         paper's most effective combination; ``--incantations none``
@@ -47,7 +47,7 @@ Subcommands::
 
     repro-litmus app [--scenario NAME ...] [--chips A B ...]
                  [--fenced both|on|off] [--runs N] [--seed S]
-                 [--intensity X] [--jobs N] [--engine fast|reference]
+                 [--intensity X] [--jobs N] [--engine fast|reference|batch]
                  [--cache-dir D] [--prescreen]
         Run application scenario campaigns (the deque / spin-lock /
         ticket-lock case studies of Secs. 3.2 and 6-7) through the
@@ -93,9 +93,10 @@ from .errors import ReproError
 from .harness.runner import default_iterations
 from .litmus import library, parse_litmus, write_litmus
 from .model.dot import weak_witness_dot
-from .model.models import MODELS, MODEL_ENGINES, load_model
+from .model.models import (DEFAULT_MODEL_ENGINE, MODELS, MODEL_ENGINES,
+                           load_model)
 from .sim.chip import CHIPS, RESULT_CHIPS
-from .sim.engine import ENGINES
+from .sim.engine import DEFAULT_ENGINE, ENGINES
 
 
 def _load_test(spec):
@@ -127,10 +128,15 @@ def _session(args):
 def _engine_argument(parser):
     parser.add_argument("--engine", default=None, choices=ENGINES,
                         help="simulation engine: fast (compiled cells, "
-                             "the default) or reference (the generic "
-                             "interpreter) — bit-identical histograms, "
-                             "fast is ~3.5x quicker; REPRO_ENGINE sets "
-                             "the default")
+                             "the default; bit-identical to reference "
+                             "and several times quicker), reference "
+                             "(the generic interpreter), or batch "
+                             "(numpy lockstep shards, another order of "
+                             "magnitude quicker; distribution-"
+                             "equivalent histograms, needs the "
+                             "repro[batch] extra) — tracked speedups "
+                             "live in BENCH_engine.json; REPRO_ENGINE "
+                             "sets the default")
 
 
 def _model_engine_argument(parser):
@@ -139,7 +145,8 @@ def _model_engine_argument(parser):
                         help="model-checking engine: fast (compiled "
                              "model + pruned enumeration, the default) "
                              "or reference (materialise every candidate "
-                             "execution) — identical verdicts; "
+                             "execution) — identical verdicts, speedups "
+                             "tracked in BENCH_model.json; "
                              "REPRO_MODEL_ENGINE sets the default")
 
 
@@ -362,6 +369,10 @@ def _cmd_list(args):
         print("  %s" % name)
     print("chips: %s" % ", ".join(sorted(CHIPS)))
     print("models: %s" % ", ".join(sorted(MODELS)))
+    print("sim engines: %s (default %s)" % (", ".join(ENGINES),
+                                            DEFAULT_ENGINE))
+    print("model engines: %s (default %s)" % (", ".join(MODEL_ENGINES),
+                                              DEFAULT_MODEL_ENGINE))
     print("app scenarios (x = published, +fenced = the paper's fix):")
     for name in sorted(SCENARIOS):
         scenario = SCENARIOS[name]

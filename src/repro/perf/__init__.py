@@ -12,9 +12,11 @@ in CI's perf-smoke job.
 from .appbench import (APP_PINNED_CORPUS, APP_TINY_CORPUS, AppBenchCell,
                        app_corpus_by_name, bench_app_cell, bench_apps,
                        render_app_table, summarize_apps, write_app_report)
+from .compare import (CompareResult, DEFAULT_THRESHOLD, MetricDelta,
+                      compare_reports, load_report, render_compare)
 from .enginebench import (EngineBenchCell, PINNED_CORPUS, TINY_CORPUS,
                           bench_engines, corpus_by_name, render_table,
-                          summarize, write_report)
+                          summarize, tvd, tvd_envelope, write_report)
 from .modelbench import (MODEL_PINNED_CORPUS, MODEL_TINY_CORPUS,
                          ModelBenchCell, bench_model_cell,
                          bench_model_engines, deep_corpus_tests,
@@ -25,9 +27,11 @@ __all__ = [
     "APP_PINNED_CORPUS", "APP_TINY_CORPUS", "AppBenchCell",
     "app_corpus_by_name", "bench_app_cell", "bench_apps",
     "render_app_table", "summarize_apps", "write_app_report",
+    "CompareResult", "DEFAULT_THRESHOLD", "MetricDelta",
+    "compare_reports", "load_report", "render_compare",
     "EngineBenchCell", "PINNED_CORPUS", "TINY_CORPUS",
     "bench_engines", "corpus_by_name", "render_table", "summarize",
-    "write_report",
+    "tvd", "tvd_envelope", "write_report",
     "MODEL_PINNED_CORPUS", "MODEL_TINY_CORPUS", "ModelBenchCell",
     "bench_model_cell", "bench_model_engines", "deep_corpus_tests",
     "model_corpus_by_name", "render_model_table", "summarize_model",

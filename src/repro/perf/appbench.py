@@ -10,12 +10,16 @@ second each engine sustains —
   *plus* the run (a process-pool worker's first shard of a cell);
 * ``fast (warm)`` — the compiled cell reused: the steady state of every
   app campaign, where the spin-loop kernels compile once and machine
-  state is reused across launches.
+  state is reused across launches;
+* ``batch (cold/warm)`` — the numpy lockstep lowering of
+  :mod:`repro.sim.batch` (null fields when numpy is not installed).
 
-Each timed run cross-checks the bit-identity contract twice over: the
-engines must produce identical projected outcome histograms **and**
-identical loss counts from the same seed, so a perf number can never
-come from a semantically diverged fast path.
+Each timed run cross-checks the engine contracts twice over: the
+reference and fast engines must produce identical outcome histograms
+**and** identical loss counts from the same seed, so a perf number can
+never come from a semantically diverged fast path; the batch engine
+must stay distribution-equivalent (total variation distance within the
+sampling-noise envelope) and agree on the scenario loss verdict.
 
 ``benchmarks/bench_perf_apps.py`` emits the report as
 ``BENCH_apps.json``; CI runs the tiny corpus as a perf-smoke gate and
@@ -27,10 +31,11 @@ import random
 from dataclasses import asdict, dataclass
 
 from ..errors import ReproError
+from ..sim.batch import compile_batch_cell, have_numpy
 from ..sim.compile import compile_cell
 from ..sim.engine import run_batch
 from ..sim.machine import GpuMachine
-from .enginebench import _timed, summarize
+from .enginebench import _timed, summarize, tvd, tvd_envelope
 
 #: The pinned app perf corpus: one cell per scenario shape the campaign
 #: layer spends its cycles on — CAS spin locks (CAS loop + atomics),
@@ -86,6 +91,16 @@ class AppBenchCell:
     speedup_cold: float
     speedup_warm: float
     identical: bool           #: same-seed histograms + losses matched
+    #: Batch-engine columns (None when numpy is not installed).
+    #: Speedups are against the fast warm rate; ``batch_equivalent``
+    #: couples the distribution cross-check with loss-verdict agreement.
+    batch_cold_lps: float = None
+    batch_warm_lps: float = None
+    batch_speedup_cold: float = None
+    batch_speedup_warm: float = None
+    batch_losses: int = None
+    batch_tvd: float = None
+    batch_equivalent: bool = None
 
 
 def bench_app_cell(scenario_name, chip_short, runs=400, seed=0,
@@ -105,6 +120,9 @@ def bench_app_cell(scenario_name, chip_short, runs=400, seed=0,
     def compiled():
         return compile_cell(test, chip, intensity=intensity)
 
+    def batched():
+        return compile_batch_cell(test, chip, intensity=intensity)
+
     ref_seconds, ref_counts = _timed(None, runs, seed, setup=reference,
                                      repeats=repeats)
     cold_seconds, cold_counts = _timed(None, runs, seed, setup=compiled,
@@ -119,6 +137,33 @@ def bench_app_cell(scenario_name, chip_short, runs=400, seed=0,
     fast_losses = Histogram(dict(warm_counts)).observations(test.condition)
     identical = identical and losses == fast_losses
 
+    batch = {}
+    if have_numpy():
+        batch_cold_seconds, _ = _timed(None, runs, seed, setup=batched,
+                                       repeats=repeats)
+        batch_cell = batched()
+        run_batch(batch_cell, 50, random.Random(seed))  # pre-touch
+        batch_warm_seconds, batch_counts = _timed(batch_cell, runs, seed,
+                                                  repeats=repeats)
+        batch_losses = Histogram(dict(batch_counts)).observations(
+            test.condition)
+        distance = tvd(warm_counts, batch_counts, runs)
+        # Loss-*verdict* agreement, not loss-count equality: counts are
+        # statistical, so only a decisive loss mass may contradict a
+        # zero on the other engine.
+        decisive = max(losses, batch_losses) >= 5
+        verdict_ok = (not decisive) or ((losses > 0) == (batch_losses > 0))
+        batch = {
+            "batch_cold_lps": runs / batch_cold_seconds,
+            "batch_warm_lps": runs / batch_warm_seconds,
+            "batch_speedup_cold": warm_seconds / batch_cold_seconds,
+            "batch_speedup_warm": warm_seconds / batch_warm_seconds,
+            "batch_losses": batch_losses,
+            "batch_tvd": distance,
+            "batch_equivalent": (distance <= tvd_envelope(runs)
+                                 and verdict_ok),
+        }
+
     return AppBenchCell(
         scenario=scenario_name, chip=chip_short, runs=runs, losses=losses,
         reference_lps=runs / ref_seconds,
@@ -126,7 +171,8 @@ def bench_app_cell(scenario_name, chip_short, runs=400, seed=0,
         fast_warm_lps=runs / warm_seconds,
         speedup_cold=ref_seconds / cold_seconds,
         speedup_warm=ref_seconds / warm_seconds,
-        identical=identical)
+        identical=identical,
+        **batch)
 
 
 def bench_apps(corpus=APP_PINNED_CORPUS, runs=400, seed=0,
@@ -146,8 +192,9 @@ def summarize_apps(cells):
     return summarize(cells)
 
 
-#: Report schema version (bump on layout changes).
-APP_SCHEMA_VERSION = 1
+#: Report schema version (bump on layout changes).  v2 added the batch
+#: engine columns.
+APP_SCHEMA_VERSION = 2
 
 
 def write_app_report(path, cells, corpus_name, runs, seed, extra=None):
@@ -177,14 +224,21 @@ def render_app_table(cells):
     """Human-readable comparison table for the console."""
     from .._util import format_table
 
+    def opt(value, fmt):
+        return "-" if value is None else fmt % value
+
     rows = [[cell.scenario, cell.chip, cell.runs, cell.losses,
              "%.0f" % cell.reference_lps,
-             "%.0f" % cell.fast_cold_lps,
              "%.0f" % cell.fast_warm_lps,
+             opt(cell.batch_warm_lps, "%.0f"),
              "%.2fx" % cell.speedup_cold,
              "%.2fx" % cell.speedup_warm,
-             "yes" if cell.identical else "NO"]
+             opt(cell.batch_speedup_warm, "%.2fx"),
+             "yes" if cell.identical else "NO",
+             ("-" if cell.batch_equivalent is None
+              else ("yes" if cell.batch_equivalent else "NO"))]
             for cell in cells]
     return format_table(
-        ["scenario", "chip", "runs", "losses", "ref l/s", "fast-cold l/s",
-         "fast-warm l/s", "cold", "warm", "bit-identical"], rows)
+        ["scenario", "chip", "runs", "losses", "ref l/s", "fast-warm l/s",
+         "batch-warm l/s", "fast cold", "fast warm", "batch/fast",
+         "bit-identical", "batch-equiv"], rows)

@@ -1,0 +1,180 @@
+"""Diff two BENCH_*.json perf-trajectory reports (``bench_compare.py``).
+
+The trajectory files (``BENCH_engine.json``, ``BENCH_model.json``,
+``BENCH_apps.json``) record absolute rates *and* engine-relative
+speedups.  Absolute rates are machine-dependent — comparing them across
+a laptop and a CI runner is noise — so this module diffs the
+**speedup** columns (fast vs reference, batch vs fast), which divide
+the machine out: the same interpreter overheads appear in numerator and
+denominator.
+
+:func:`compare_reports` pairs cells by identity key (test/scenario x
+chip), computes per-cell and geomean ratios ``new / old`` for every
+speedup metric the two reports share, and flags any ratio below
+``1 - threshold`` as a regression.  ``benchmarks/bench_compare.py``
+wraps this as the CLI the CI perf-smoke job runs (nonzero exit on
+regression), so the perf trajectory is machine-checkable instead of a
+number in prose.
+"""
+
+import json
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+#: Default tolerated fractional drop before a delta counts as a
+#: regression.  Speedup ratios still carry scheduler noise even though
+#: the machine divides out; 15% covers shared-runner jitter while
+#: catching any real (2x-order) regression.
+DEFAULT_THRESHOLD = 0.15
+
+#: Cell-identity fields, in priority order, used to pair cells across
+#: the two reports.
+_KEY_FIELDS = ("test", "scenario", "chip")
+
+
+def load_report(path):
+    """Read one BENCH_*.json file; raises :class:`ReproError` on junk."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise ReproError("cannot read perf report %s: %s"
+                         % (path, error)) from None
+    except ValueError as error:
+        raise ReproError("perf report %s is not valid JSON: %s"
+                         % (path, error)) from None
+    if not isinstance(payload, dict) or "cells" not in payload:
+        raise ReproError("perf report %s has no 'cells' list "
+                         "(not a BENCH_*.json file?)" % path)
+    return payload
+
+
+def _cell_key(cell):
+    return tuple(cell.get(field) for field in _KEY_FIELDS)
+
+
+def _speedup_metrics(cell_a, cell_b):
+    """The speedup columns both cells carry with usable numbers."""
+    metrics = []
+    for key in sorted(set(cell_a) & set(cell_b)):
+        if "speedup" not in key:
+            continue
+        old, new = cell_a[key], cell_b[key]
+        if (isinstance(old, (int, float)) and isinstance(new, (int, float))
+                and old > 0 and new > 0):
+            metrics.append(key)
+    return metrics
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared speedup column of one paired cell."""
+
+    key: tuple          #: cell identity (test/scenario, chip)
+    metric: str
+    old: float
+    new: float
+
+    @property
+    def ratio(self):
+        return self.new / self.old
+
+    def regressed(self, threshold):
+        return self.ratio < 1.0 - threshold
+
+
+def _geomean(values):
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+@dataclass(frozen=True)
+class CompareResult:
+    """Everything :func:`compare_reports` measured."""
+
+    benchmark: str          #: report kind ("engine"/"model"/"apps")
+    deltas: tuple           #: per-cell MetricDelta rows
+    geomeans: tuple         #: (metric, old geomean, new geomean) rows
+    only_old: tuple         #: cell keys present only in the old report
+    only_new: tuple         #: cell keys present only in the new report
+
+    def regressions(self, threshold=DEFAULT_THRESHOLD):
+        """Per-cell and geomean regressions beyond ``threshold``."""
+        cells = [delta for delta in self.deltas
+                 if delta.regressed(threshold)]
+        summaries = [(metric, old, new)
+                     for metric, old, new in self.geomeans
+                     if old > 0 and new / old < 1.0 - threshold]
+        return cells, summaries
+
+
+def compare_reports(old, new):
+    """Pair the cells of two loaded reports and diff their speedups.
+
+    Both arguments are parsed report payloads (:func:`load_report`).
+    Comparing reports of different benchmarks (engine vs apps) is
+    refused — same-named metrics would mean different corpora.
+    """
+    kind_old = old.get("benchmark", "?")
+    kind_new = new.get("benchmark", "?")
+    if kind_old != kind_new:
+        raise ReproError(
+            "cannot compare a %r report against a %r report"
+            % (kind_old, kind_new))
+    cells_old = {_cell_key(cell): cell for cell in old["cells"]}
+    cells_new = {_cell_key(cell): cell for cell in new["cells"]}
+    deltas = []
+    per_metric = {}
+    for key in sorted(set(cells_old) & set(cells_new)):
+        cell_old, cell_new = cells_old[key], cells_new[key]
+        for metric in _speedup_metrics(cell_old, cell_new):
+            delta = MetricDelta(key=key, metric=metric,
+                                old=float(cell_old[metric]),
+                                new=float(cell_new[metric]))
+            deltas.append(delta)
+            per_metric.setdefault(metric, []).append(delta)
+    geomeans = tuple(
+        (metric,
+         _geomean([delta.old for delta in rows]),
+         _geomean([delta.new for delta in rows]))
+        for metric, rows in sorted(per_metric.items()))
+    return CompareResult(
+        benchmark=kind_old, deltas=tuple(deltas), geomeans=geomeans,
+        only_old=tuple(sorted(set(cells_old) - set(cells_new))),
+        only_new=tuple(sorted(set(cells_new) - set(cells_old))))
+
+
+def render_compare(result, threshold=DEFAULT_THRESHOLD):
+    """Human-readable delta table for the console."""
+    from .._util import format_table
+
+    rows = []
+    for delta in result.deltas:
+        label = "/".join(str(part) for part in delta.key if part is not None)
+        rows.append([label, delta.metric,
+                     "%.2fx" % delta.old, "%.2fx" % delta.new,
+                     "%+.1f%%" % ((delta.ratio - 1.0) * 100.0),
+                     "REGRESSED" if delta.regressed(threshold) else "ok"])
+    for metric, old, new in result.geomeans:
+        change = (new / old - 1.0) * 100.0 if old > 0 else 0.0
+        rows.append(["geomean", metric, "%.2fx" % old, "%.2fx" % new,
+                     "%+.1f%%" % change,
+                     ("REGRESSED" if old > 0 and new / old < 1.0 - threshold
+                      else "ok")])
+    table = format_table(
+        ["cell", "metric", "old", "new", "change", "verdict"], rows)
+    notes = []
+    if result.only_old:
+        notes.append("cells only in the old report: %s"
+                     % ", ".join("/".join(str(p) for p in key if p)
+                                 for key in result.only_old))
+    if result.only_new:
+        notes.append("cells only in the new report: %s"
+                     % ", ".join("/".join(str(p) for p in key if p)
+                                 for key in result.only_new))
+    return "\n".join([table] + notes)

@@ -10,16 +10,23 @@ iterations per second each engine sustains:
   shard of a cell;
 * ``fast (warm)`` — the compiled cell reused, i.e. the steady state of
   every campaign (all shards after the first, and every cell a
-  session's in-process memo already holds).
+  session's in-process memo already holds);
+* ``batch (cold/warm)`` — the numpy lockstep lowering of
+  :mod:`repro.sim.batch`, same cold/warm split (skipped, with null
+  fields, when numpy is not installed).
 
-Each timed run also cross-checks the bit-identity contract: the two
-engines must produce the same histogram from the same seed, so a perf
-number can never come from a semantically diverged fast path.
+Each timed run also cross-checks the engine contracts: reference and
+fast must produce bit-identical same-seed histograms, and the batch
+engine's histogram must stay distribution-equivalent to theirs (total
+variation distance within the sampling-noise envelope for the cell's
+iteration count) — so a perf number can never come from a semantically
+diverged engine.
 
 The output schema (:func:`write_report`) is the repo's perf trajectory:
 ``benchmarks/bench_perf_engine.py`` emits it as ``BENCH_engine.json``,
 CI uploads it as an artifact and fails if the fast engine loses to the
-reference engine, and the README's Performance section quotes it.
+reference engine or the batch engine loses to the fast engine, and the
+README's Performance section quotes it.
 """
 
 import json
@@ -30,13 +37,15 @@ from dataclasses import asdict, dataclass
 from ..errors import ReproError
 from ..harness.incantations import best_for, efficacy
 from ..litmus import library
+from ..sim.batch import compile_batch_cell, have_numpy
 from ..sim.chip import CHIPS
 from ..sim.compile import compile_cell
 from ..sim.engine import run_batch
 from ..sim.machine import GpuMachine
 
-#: Report schema version (bump on layout changes).
-SCHEMA_VERSION = 1
+#: Report schema version (bump on layout changes).  v2 added the batch
+#: engine columns.
+SCHEMA_VERSION = 2
 
 #: The pinned perf corpus: one cell per behaviour class the simulator
 #: spends its cycles on — plain message passing, the load-load hazard,
@@ -88,6 +97,18 @@ class EngineBenchCell:
     speedup_cold: float
     speedup_warm: float
     identical: bool           #: same-seed histograms matched exactly
+    #: Batch-engine columns (None when numpy is not installed).  The
+    #: speedups are measured against the *fast warm* rate — the number
+    #: the tentpole target (>=10x geomean) reads — and
+    #: ``batch_equivalent`` records the distribution-equivalence
+    #: cross-check (total variation distance vs the fast histogram
+    #: within the sampling-noise envelope).
+    batch_cold_ips: float = None
+    batch_warm_ips: float = None
+    batch_speedup_cold: float = None
+    batch_speedup_warm: float = None
+    batch_tvd: float = None
+    batch_equivalent: bool = None
 
 
 def _timed(machine, iterations, seed, setup=None, repeats=1):
@@ -112,6 +133,24 @@ def _timed(machine, iterations, seed, setup=None, repeats=1):
     return max(best, 1e-9), counts
 
 
+def tvd(counts_a, counts_b, iterations):
+    """Total variation distance between two outcome histograms."""
+    states = set(counts_a) | set(counts_b)
+    return 0.5 * sum(abs(counts_a.get(state, 0) - counts_b.get(state, 0))
+                     for state in states) / max(iterations, 1)
+
+
+def tvd_envelope(iterations):
+    """Acceptance envelope for the batch distribution cross-check.
+
+    Two same-distribution multinomial samples of size N have expected
+    TVD on the order of ``1/sqrt(N)``; a genuinely diverged engine
+    (a wrong transition rule shifts whole states) lands an order of
+    magnitude higher.  The floor keeps small CI-sized runs meaningful.
+    """
+    return 0.05 + 2.0 / max(iterations, 1) ** 0.5
+
+
 def bench_cell(test_name, chip_short, iterations=2000, seed=0, repeats=3):
     """Measure one corpus cell; returns an :class:`EngineBenchCell`."""
     test = library.build(test_name)
@@ -128,6 +167,10 @@ def bench_cell(test_name, chip_short, iterations=2000, seed=0, repeats=3):
         return compile_cell(test, chip, intensity=intensity,
                             shuffle_placement=shuffle)
 
+    def batched():
+        return compile_batch_cell(test, chip, intensity=intensity,
+                                  shuffle_placement=shuffle)
+
     ref_seconds, ref_counts = _timed(None, iterations, seed,
                                      setup=reference, repeats=repeats)
     cold_seconds, cold_counts = _timed(None, iterations, seed,
@@ -138,6 +181,24 @@ def bench_cell(test_name, chip_short, iterations=2000, seed=0, repeats=3):
     warm_seconds, warm_counts = _timed(warm_cell, iterations, seed,
                                        repeats=repeats)
 
+    batch = {}
+    if have_numpy():
+        batch_cold_seconds, _ = _timed(None, iterations, seed,
+                                       setup=batched, repeats=repeats)
+        batch_cell = batched()
+        run_batch(batch_cell, 50, random.Random(seed))  # pre-touch
+        batch_warm_seconds, batch_counts = _timed(batch_cell, iterations,
+                                                  seed, repeats=repeats)
+        distance = tvd(warm_counts, batch_counts, iterations)
+        batch = {
+            "batch_cold_ips": iterations / batch_cold_seconds,
+            "batch_warm_ips": iterations / batch_warm_seconds,
+            "batch_speedup_cold": warm_seconds / batch_cold_seconds,
+            "batch_speedup_warm": warm_seconds / batch_warm_seconds,
+            "batch_tvd": distance,
+            "batch_equivalent": distance <= tvd_envelope(iterations),
+        }
+
     return EngineBenchCell(
         test=test_name, chip=chip_short, iterations=iterations,
         reference_ips=iterations / ref_seconds,
@@ -145,7 +206,8 @@ def bench_cell(test_name, chip_short, iterations=2000, seed=0, repeats=3):
         fast_warm_ips=iterations / warm_seconds,
         speedup_cold=ref_seconds / cold_seconds,
         speedup_warm=ref_seconds / warm_seconds,
-        identical=(ref_counts == cold_counts == warm_counts))
+        identical=(ref_counts == cold_counts == warm_counts),
+        **batch)
 
 
 def bench_engines(corpus=PINNED_CORPUS, iterations=2000, seed=0, repeats=3):
@@ -168,7 +230,7 @@ def summarize(cells):
     """Aggregate stats over measured cells (geomean/min speedups)."""
     warm = [cell.speedup_warm for cell in cells]
     cold = [cell.speedup_cold for cell in cells]
-    return {
+    summary = {
         "cells": len(cells),
         "geomean_speedup_warm": round(_geomean(warm), 3),
         "geomean_speedup_cold": round(_geomean(cold), 3),
@@ -176,6 +238,18 @@ def summarize(cells):
         "min_speedup_cold": round(min(cold), 3) if cold else 0.0,
         "all_identical": all(cell.identical for cell in cells),
     }
+    batch_warm = [cell.batch_speedup_warm for cell in cells
+                  if cell.batch_speedup_warm is not None]
+    if batch_warm:
+        # Batch speedups are measured against the fast warm rate (the
+        # tentpole's >=10x target), not against the reference engine.
+        summary["geomean_batch_speedup_warm"] = round(
+            _geomean(batch_warm), 3)
+        summary["min_batch_speedup_warm"] = round(min(batch_warm), 3)
+        summary["all_batch_equivalent"] = all(
+            cell.batch_equivalent for cell in cells
+            if cell.batch_equivalent is not None)
+    return summary
 
 
 def write_report(path, cells, corpus_name, iterations, seed, extra=None):
@@ -205,14 +279,21 @@ def render_table(cells):
     """Human-readable comparison table for the console."""
     from .._util import format_table
 
+    def opt(value, fmt):
+        return "-" if value is None else fmt % value
+
     rows = [[cell.test, cell.chip, cell.iterations,
              "%.0f" % cell.reference_ips,
-             "%.0f" % cell.fast_cold_ips,
              "%.0f" % cell.fast_warm_ips,
+             opt(cell.batch_warm_ips, "%.0f"),
              "%.2fx" % cell.speedup_cold,
              "%.2fx" % cell.speedup_warm,
-             "yes" if cell.identical else "NO"]
+             opt(cell.batch_speedup_warm, "%.2fx"),
+             "yes" if cell.identical else "NO",
+             ("-" if cell.batch_equivalent is None
+              else ("yes" if cell.batch_equivalent else "NO"))]
             for cell in cells]
     return format_table(
-        ["test", "chip", "iters", "ref it/s", "fast-cold it/s",
-         "fast-warm it/s", "cold", "warm", "bit-identical"], rows)
+        ["test", "chip", "iters", "ref it/s", "fast-warm it/s",
+         "batch-warm it/s", "fast cold", "fast warm", "batch/fast",
+         "bit-identical", "batch-equiv"], rows)

@@ -1,12 +1,18 @@
 """Operational GPU simulator: chips, memory system, thread engines.
 
-Two engines execute litmus iterations:
+Three engines execute litmus iterations:
 
 * ``reference`` — :class:`GpuMachine`'s generic per-instruction
   interpreter (:mod:`repro.sim.engine`), the semantic ground truth;
 * ``fast`` — the compile-once/run-many specialisation of
   :mod:`repro.sim.compile`, bit-identical by property-tested contract
-  and several times faster.
+  and several times faster;
+* ``batch`` — the numpy structure-of-arrays lowering of
+  :mod:`repro.sim.batch`: whole shards execute in lockstep, another
+  order of magnitude faster again.  Distribution-equivalent rather than
+  bit-identical (a documented seeded RNG-stream-break) and gated on the
+  optional ``repro[batch]`` dependency; ``fast`` is the parity
+  reference its tests compare against.
 
 Pick one per run via :func:`run_iterations`'s ``engine`` argument, the
 ``engine`` field of :class:`repro.api.RunSpec`, or the CLI's
@@ -14,6 +20,7 @@ Pick one per run via :func:`run_iterations`'s ``engine`` argument, the
 ``REPRO_ENGINE`` environment default.
 """
 
+from .batch import BatchCell, compile_batch_cell, have_numpy
 from .chip import (AMD_RESULT_CHIPS, CHIPS, ChipProfile,
                    NVIDIA_RESULT_CHIPS, RESULT_CHIPS, chip)
 from .compile import CompiledCell, compile_cell
@@ -25,6 +32,7 @@ from .memory import MemorySystem
 __all__ = [
     "AMD_RESULT_CHIPS", "CHIPS", "ChipProfile", "NVIDIA_RESULT_CHIPS",
     "RESULT_CHIPS", "chip",
+    "BatchCell", "compile_batch_cell", "have_numpy",
     "CompiledCell", "compile_cell",
     "DEFAULT_ENGINE", "ENGINES", "PendingOp", "ThreadEngine",
     "resolve_engine", "run_batch",

@@ -1,0 +1,1329 @@
+"""Vectorized batch engine: numpy structure-of-arrays cell lowering.
+
+The fast engine of :mod:`repro.sim.compile` removed the per-instruction
+*dispatch* cost but still walks one Python closure per step per
+iteration.  This module lowers a cell one level further: all iterations
+of a shard advance **in lockstep** through the same stochastic process,
+with machine and memory state held in structure-of-arrays numpy buffers
+whose leading axis is the iteration.  One scheduler round picks a thread
+*per iteration* with a single vectorized draw; decode, the
+preserved-program-order check and memory effects each run as batched
+array kernels over the iterations that selected that thread.
+
+Lowering summary
+----------------
+
+* **Registers** — per thread, an ``(N, R)`` int64 matrix (register name
+  → column, resolved at compile time) plus an ``(N, R)`` pending mask.
+* **Pending queue** — each memory instruction owns one static *slot*;
+  the queue is an ``(N, K)`` membership mask plus per-slot sequence
+  numbers and pre-resolved dynamic operands.  (The frontend cannot
+  decode past an instruction whose sources are pending, so at most one
+  in-flight instance per static op can exist — checked at push time.)
+* **Memory** — locations become dense column indices: one ``(N, Lg)``
+  global array, an ``(N, S, Ls)`` shared array and — only on chips with
+  incoherent L1s — ``(N, S, Lg)`` L1 value/presence arrays.
+* **Incantation draws** — the per-iteration intent vector is an
+  ``(N, n_slots)`` Bernoulli matrix drawn once per batch; pass rules
+  index it with the same slot constants as the fast engine.
+* **Eligibility** — pair-blocking rules are compiled per ordered slot
+  pair into constants or tiny mask kernels (same-address hazards,
+  volatile pairs, fence bypass with the same-address-probe), evaluated
+  over the selected iterations at once.
+* **Step kernels** operate on *compact row-index arrays* (the
+  iterations that scheduled this thread and are actually decoding or
+  issuing), so per-kernel cost tracks the work, not the batch width.
+
+RNG-stream contract (the documented seeded stream-break)
+--------------------------------------------------------
+
+``reference`` and ``fast`` consume one ``random.Random`` stream in
+bit-identical order.  Batching necessarily breaks that sequential
+stream: draws become *array* draws from a ``numpy`` PCG64 generator
+seeded deterministically from the shard's ``random.Random`` (via
+``getrandbits``), so results remain a pure function of the shard seed —
+but the histograms are no longer bit-identical to the other engines.
+What *is* preserved is the stochastic process itself: every transition
+probability (intent vector, staleness, L1 warm lines, CTA placement,
+uniform runnable-thread choice, random non-oldest eligible pick,
+store/fence/cg cache draws, under-scoped fence damping) is identical,
+so the outcome *distribution* of every cell is exactly the fast
+engine's.  ``tests/test_sim_batch.py`` enforces this with
+distribution-equivalence tests plus weak-behaviour-verdict and
+scenario-loss-verdict parity on the acceptance corpora.
+
+numpy is a *guarded* dependency: importing this module without numpy is
+fine; building a cell raises
+:class:`~repro.errors.ConfigurationError` naming the ``repro[batch]``
+install extra.
+"""
+
+try:  # guarded dependency: the [batch] install extra
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    np = None
+
+from ..errors import ConfigurationError, FuelExhausted, SimulationError
+from ..litmus.condition import FinalState
+from ..ptx.operands import Imm, Loc, Reg
+from ..ptx.types import MemorySpace, Scope
+from .compile import (K_ADD, K_CAS, K_EXCH, K_FENCE, K_LOAD, K_STORE,
+                      SLOT_BYPASS_BASE, SLOT_MIXED_HAZARD, SLOT_RR_HAZARD,
+                      SLOT_VOLATILE, _bypass_slots, _PASS_PAIR, _SCOPES)
+from .machine import _FUEL_PER_INSTRUCTION
+
+#: Iterations per lockstep batch.  One default shard
+#: (:data:`repro.api.backends.DEFAULT_SHARD_SIZE`) is exactly one batch;
+#: larger requests split so state arrays stay cache- and memory-friendly.
+MAX_BATCH = 25000
+
+#: Issue-window size and decode budget (the reference engine's).
+WINDOW = 16
+BUDGET = 32
+
+_NO_SEQ = 1 << 62  # masked-argmin filler; larger than any real seq
+
+
+def have_numpy():
+    """True when the optional numpy dependency is importable."""
+    return np is not None
+
+
+def require_numpy():
+    """Raise :class:`ConfigurationError` unless numpy is available."""
+    if np is None:
+        raise ConfigurationError(
+            "engine='batch' needs numpy, which is not installed; "
+            "install the batch extra (pip install 'repro[batch]') or "
+            "pick engine='fast'/'reference' (no third-party packages)")
+
+
+def _unique_rows(matrix):
+    """``np.unique(matrix, axis=0, return_counts=True)``, but fast.
+
+    Final-state columns span tiny ranges, so the rows almost always
+    pack losslessly into one int64 key (mixed radix over the per-column
+    spans) — sorting scalars instead of void-view rows.  Falls back to
+    the generic row-unique when a pathological value range overflows.
+    """
+    if matrix.shape[1] == 0 or len(matrix) == 0:
+        return matrix[:1], np.asarray([len(matrix)] * min(len(matrix), 1))
+    lo = matrix.min(axis=0)
+    spans = [int(s) + 1 for s in (matrix.max(axis=0) - lo)]
+    total = 1
+    for span in spans:
+        total *= span
+        if total > (1 << 62):
+            states, counts = np.unique(matrix, axis=0, return_counts=True)
+            return states, counts
+    key = np.zeros(len(matrix), dtype=np.int64)
+    mult = 1
+    for column, span in enumerate(spans):
+        key += (matrix[:, column] - lo[column]) * mult
+        mult *= span
+    packed, counts = np.unique(key, return_counts=True)
+    states = np.empty((len(packed), matrix.shape[1]), dtype=np.int64)
+    mult = 1
+    for column, span in enumerate(spans):
+        states[:, column] = (packed // mult) % span + lo[column]
+        mult *= span
+    return states, counts
+
+
+class _SlotStatic:
+    """Compile-time facts for one memory-instruction queue slot."""
+
+    __slots__ = ("kind", "dst_col", "cop", "volatile", "is_load", "is_store",
+                 "atomic", "ca_load", "pass_pair", "mixed_slot", "ca_slot",
+                 "inval_prob", "addr_const", "addr_reg_col", "val_const",
+                 "val_reg_col", "cmp_const", "cmp_reg_col", "static_addr",
+                 "shared", "gloc", "sloc")
+
+    def __init__(self, kind, dst_col=None, cop=None, volatile=False,
+                 mixed_slot=0, ca_slot=0, inval_prob=0.0):
+        self.kind = kind
+        self.dst_col = dst_col
+        self.cop = cop
+        self.volatile = volatile
+        self.is_load = kind in (K_LOAD, K_CAS, K_EXCH, K_ADD)
+        self.is_store = kind in (K_STORE, K_CAS, K_EXCH, K_ADD)
+        self.atomic = kind in (K_CAS, K_EXCH, K_ADD)
+        self.ca_load = kind == K_LOAD and cop == "ca"
+        self.pass_pair = _PASS_PAIR[self.is_store]
+        self.mixed_slot = mixed_slot
+        self.ca_slot = ca_slot
+        self.inval_prob = inval_prob
+        self.addr_const = 0
+        self.addr_reg_col = None
+        self.val_const = 0
+        self.val_reg_col = None
+        self.cmp_const = 0
+        self.cmp_reg_col = None
+        self.static_addr = None   # resolved address when compile-time known
+        self.shared = False
+        self.gloc = -1
+        self.sloc = -1
+
+
+class _ThreadStatic:
+    """Compiled per-thread program: step kernels plus slot tables."""
+
+    __slots__ = ("tid", "code", "ncode", "init_regs", "n_regs", "reg_index",
+                 "slots", "K", "static_order", "pairs", "issue", "cta",
+                 "window_check")
+
+    def __init__(self, tid, cta):
+        self.tid = tid
+        self.cta = cta
+        self.code = []
+        self.ncode = 0
+        self.init_regs = None
+        self.n_regs = 0
+        self.reg_index = {}
+        self.slots = []
+        self.K = 0
+        self.static_order = True
+        self.pairs = []
+        self.issue = []
+        self.window_check = False
+
+
+class _ThreadState:
+    """Runtime SoA state for one thread across a batch."""
+
+    __slots__ = ("S", "pc", "regs", "pending", "in_q", "q_seq", "q_addr",
+                 "q_val", "q_cmp", "seq", "dec_blocked")
+
+    _ARRAYS = ("pc", "regs", "pending", "in_q", "q_seq", "q_addr",
+               "q_val", "q_cmp", "seq", "dec_blocked")
+
+    def __init__(self, S, n):
+        self.S = S
+        self.pc = np.zeros(n, dtype=np.int64)
+        self.regs = np.tile(S.init_regs, (n, 1))
+        self.pending = np.zeros((n, S.n_regs), dtype=bool)
+        self.in_q = np.zeros((n, max(S.K, 1)), dtype=bool)
+        self.q_seq = np.zeros((n, max(S.K, 1)), dtype=np.int64)
+        self.q_addr = np.zeros((n, max(S.K, 1)), dtype=np.int64)
+        self.q_val = np.zeros((n, max(S.K, 1)), dtype=np.int64)
+        self.q_cmp = np.zeros((n, max(S.K, 1)), dtype=np.int64)
+        self.seq = np.zeros(n, dtype=np.int64)
+        self.dec_blocked = np.zeros(n, dtype=bool)
+
+    def take(self, idx):
+        """Compact every array down to the rows in ``idx``."""
+        for name in self._ARRAYS:
+            setattr(self, name, getattr(self, name)[idx])
+
+
+class _BatchState:
+    """All mutable SoA state for one lockstep batch."""
+
+    __slots__ = ("n", "rng", "threads", "glob", "shm", "l1h", "l1v", "iv",
+                 "any_intent", "stale", "sm", "fuel", "stalled", "progress",
+                 "budget", "dec")
+
+    def __init__(self, cell, n, rng):
+        self.n = n
+        self.rng = rng
+        # -- incantation draws, one Bernoulli matrix per batch --------
+        self.iv = rng.random((n, len(cell.draw_probs))) < cell._probs_row
+        self.any_intent = self.iv.any(axis=1)
+        stale = rng.random(n) < cell.p_stale
+        self.stale = stale & cell.l1_active
+        # -- memory image ---------------------------------------------
+        self.glob = np.tile(cell._init_global_row, (n, 1))
+        if cell.n_shared:
+            self.shm = np.tile(cell._init_shared_row, (n, cell.n_sms, 1))
+        else:
+            self.shm = None
+        if cell.l1_active:
+            shape = (n, cell.n_sms, cell.n_global)
+            warm = (self.stale[:, None, None]
+                    & (rng.random(shape) < cell.p_l1_warm))
+            self.l1h = warm
+            # Values only matter where a line is present; fill warm
+            # lines with the initial image, leave the rest garbage.
+            self.l1v = np.empty(shape, dtype=np.int64)
+            self.l1v[warm] = np.broadcast_to(cell._init_global_row,
+                                             shape)[warm]
+        else:
+            self.l1h = None
+            self.l1v = None
+        # -- CTA placement --------------------------------------------
+        if cell.shuffle_placement:
+            cta_sm = rng.integers(0, cell.n_sms, size=(n, cell.n_ctas))
+            self.sm = cta_sm[:, cell._thread_cta_row]
+        else:
+            self.sm = np.tile(cell._static_sm_row, (n, 1))
+        # -- scheduler bookkeeping ------------------------------------
+        self.fuel = np.full(n, cell.fuel, dtype=np.int64)
+        self.stalled = np.zeros(n, dtype=np.int64)
+        self.progress = np.zeros(n, dtype=bool)
+        self.budget = np.zeros(n, dtype=np.int64)
+        self.dec = np.zeros(n, dtype=bool)
+        self.threads = [_ThreadState(S, n) for S in cell._thread_statics]
+
+    def take(self, idx):
+        for name in ("iv", "any_intent", "stale", "glob", "sm", "fuel",
+                     "stalled", "progress", "budget", "dec"):
+            setattr(self, name, getattr(self, name)[idx])
+        if self.shm is not None:
+            self.shm = self.shm[idx]
+        if self.l1h is not None:
+            self.l1h = self.l1h[idx]
+            self.l1v = self.l1v[idx]
+        for thread in self.threads:
+            thread.take(idx)
+        self.n = len(self.iv)
+
+
+class BatchCell:
+    """One cell lowered to lockstep numpy execution.
+
+    Same constructor parameters as
+    :class:`~repro.sim.compile.CompiledCell`; answers
+    ``run_many(iterations, rng, histogram)`` (the whole point) and a
+    compatibility ``run_once(rng)``.  Holds numpy buffers and kernels —
+    not picklable; process-pool backends compile per worker, exactly
+    like compiled cells.
+    """
+
+    def __init__(self, test, chip, intensity=1.0, stale_intensity=None,
+                 shuffle_placement=False, fuel=None, scope_blind=False):
+        require_numpy()
+        self.test = test
+        self.chip = chip
+        self.intensity = intensity
+        self.stale_intensity = (intensity if stale_intensity is None
+                                else stale_intensity)
+        self.shuffle_placement = shuffle_placement
+        self.scope_blind = scope_blind
+        address_map = test.address_map()
+        self.address_map = address_map
+
+        placement = test.scope_tree.classify()
+        required_scope = Scope.GL if placement == "inter-cta" else Scope.CTA
+        total_instructions = sum(len(program) for program in test.threads)
+        self.fuel = fuel or _FUEL_PER_INSTRUCTION * max(total_instructions, 1)
+
+        # -- intent draw plan (same slot order as the fast engine) ----
+        relax = chip.relax_probability
+        probs = [relax("r_pass_w") * intensity,
+                 relax("w_pass_w") * intensity,
+                 relax("r_pass_r") * intensity,
+                 relax("w_pass_r") * intensity,
+                 relax("rr_hazard") * intensity,
+                 relax("volatile_relax"),
+                 chip.p_mixed_hazard * intensity]
+        for scope in _SCOPES:
+            probs.append(chip.p_mixed_bypass.get(scope, 0.0))
+            probs.append(chip.p_ca_bypass.get(scope, 0.0))
+        if scope_blind:
+            for index in range(SLOT_BYPASS_BASE, len(probs)):
+                probs[index] = 0.0
+        self.draw_probs = probs
+        self._probs_row = np.asarray(probs)
+        self.p_stale = chip.p_stale * self.stale_intensity
+        self.l1_active = chip.l1_stale_reads
+        self.p_l1_warm = chip.p_l1_warm
+        self.p_store_inval = chip.p_store_invalidates_own_l1
+        self.p_cg_evict = chip.p_cg_evicts_l1
+        self.atomic_ordered = chip.atomic_ordered
+        self.volatile_ordered = chip.volatile_ordered
+        self.n_sms = max(chip.n_sms, 1)
+        self.n_ctas = test.scope_tree.n_ctas
+
+        # -- dense location indexing ----------------------------------
+        names = sorted(address_map)
+        addresses = sorted(address_map[name] for name in names)
+        name_of = {address_map[name]: name for name in names}
+        self._addr_sorted = np.asarray(addresses, dtype=np.int64)
+        gloc_of, sloc_of, shared_of = {}, {}, {}
+        init_global, init_shared = [], []
+        for address in addresses:
+            name = name_of[address]
+            value = test.initial_value(name)
+            if test.space_of(name) is MemorySpace.SHARED:
+                shared_of[address] = True
+                sloc_of[address] = len(init_shared)
+                init_shared.append(value)
+            else:
+                shared_of[address] = False
+                gloc_of[address] = len(init_global)
+                init_global.append(value)
+        self.n_global = len(init_global)
+        self.n_shared = len(init_shared)
+        self._init_global_row = np.asarray(init_global, dtype=np.int64)
+        self._init_shared_row = np.asarray(init_shared, dtype=np.int64)
+        # aligned lookup tables for dynamically computed addresses
+        self._loc_shared = np.asarray(
+            [shared_of[a] for a in addresses], dtype=bool)
+        self._loc_gidx = np.asarray(
+            [gloc_of.get(a, -1) for a in addresses], dtype=np.int64)
+        self._loc_sidx = np.asarray(
+            [sloc_of.get(a, -1) for a in addresses], dtype=np.int64)
+        self._shared_of = shared_of
+        self._gloc_of = gloc_of
+        self._sloc_of = sloc_of
+
+        # -- per-thread lowering --------------------------------------
+        self.thread_ctas = [test.scope_tree.placement(program.name).cta
+                            for program in test.threads]
+        observed = tuple(test.observed_registers())
+        self._thread_statics = []
+        for program, cta in zip(test.threads, self.thread_ctas):
+            compiler = _BatchCompiler(self, program, test, cta,
+                                      required_scope, scope_blind, chip)
+            self._thread_statics.append(compiler.compile())
+        self._static_sm_row = np.asarray(
+            [cta % self.n_sms for cta in self.thread_ctas], dtype=np.int64)
+        self._thread_cta_row = np.asarray(self.thread_ctas, dtype=np.int64)
+
+        # -- final-state plans ----------------------------------------
+        self._obs_plan = []
+        for key in observed:
+            tid, reg = key
+            S = self._thread_statics[tid]
+            self._obs_plan.append((key, tid, S.reg_index.get(reg)))
+        self._final_plan = []
+        for name, address in sorted(address_map.items()):
+            if shared_of[address]:
+                self._final_plan.append((name, True, sloc_of[address]))
+            else:
+                self._final_plan.append((name, False, gloc_of[address]))
+        self._stall_limit = (4 * len(self._thread_statics)
+                             * (len(test.threads) + 4))
+
+    # -- execution ---------------------------------------------------------
+
+    def run_many(self, iterations, rng, histogram=None):
+        """Run ``iterations`` lockstep iterations into ``histogram``.
+
+        ``rng`` is the shard's ``random.Random``; the numpy generator
+        seed derives from it deterministically (the documented
+        stream-break), so results remain a pure function of the shard
+        seed.
+        """
+        if histogram is None:
+            from ..harness.histogram import Histogram
+            histogram = Histogram()
+        remaining = iterations
+        blocks = []
+        while remaining > 0:
+            size = min(remaining, MAX_BATCH)
+            gen = np.random.Generator(np.random.PCG64(rng.getrandbits(64)))
+            blocks.append(self._run_batch_rows(size, gen))
+            remaining -= size
+        matrix = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+        states, counts = _unique_rows(matrix)
+        add = histogram.add
+        for row, count in zip(states.tolist(), counts.tolist()):
+            add(self._final_state(row), count)
+        return histogram
+
+    def run_once(self, rng):
+        """Compatibility single-iteration entry (``GpuMachine`` shape)."""
+        gen = np.random.Generator(np.random.PCG64(rng.getrandbits(64)))
+        row = self._run_batch_rows(1, gen)[0].tolist()
+        return self._final_state(row)
+
+    def _final_state(self, row):
+        nreg = len(self._obs_plan)
+        regs = tuple((plan[0], int(value))
+                     for plan, value in zip(self._obs_plan, row[:nreg]))
+        mem = tuple((plan[0], int(value))
+                    for plan, value in zip(self._final_plan, row[nreg:]))
+        return FinalState(regs, mem)
+
+    def _collect(self, st, idx):
+        """Observable matrix rows (obs regs, then final memory) of ``idx``."""
+        columns = []
+        for _key, tid, col in self._obs_plan:
+            if col is None:
+                columns.append(np.zeros(len(idx), dtype=np.int64))
+            else:
+                columns.append(st.threads[tid].regs[idx, col])
+        for _name, shared, loc in self._final_plan:
+            if shared:
+                # A modified shared location lives in one CTA's SM for
+                # valid tests; min over SM copies is the reference
+                # engine's sorted-first tie-break and the identity when
+                # all copies agree.
+                columns.append(st.shm[idx, :, loc].min(axis=1))
+            else:
+                columns.append(st.glob[idx, loc])
+        return np.stack(columns, axis=1)
+
+    def _run_batch_rows(self, n, rng):
+        st = _BatchState(self, n, rng)
+        statics = self._thread_statics
+        T = len(statics)
+        stall_limit = self._stall_limit
+        test_name = self.test.name
+        blocks = []
+        while True:
+            runnable = np.empty((st.n, T), dtype=bool)
+            for t in range(T):
+                th = st.threads[t]
+                runnable[:, t] = ((th.pc < th.S.ncode)
+                                  | th.in_q.any(axis=1))
+            alive = runnable.any(axis=1)
+            n_alive = int(alive.sum())
+            if n_alive == 0:
+                blocks.append(self._collect(st, np.arange(st.n)))
+                break
+            if n_alive <= (st.n * 3) // 4 and st.n - n_alive >= 64:
+                blocks.append(self._collect(st, np.nonzero(~alive)[0]))
+                keep = np.nonzero(alive)[0]
+                st.take(keep)
+                runnable = runnable[keep]
+                alive = runnable.any(axis=1)
+            if bool((alive & (st.fuel <= 0)).any()):
+                raise FuelExhausted(
+                    "test %s did not terminate (likely livelock)"
+                    % test_name)
+            # -- choose one runnable thread per iteration -------------
+            counts = runnable.sum(axis=1)
+            draw = (rng.random(st.n) * counts).astype(np.int64)
+            cum = runnable.cumsum(axis=1)
+            chosen = (cum <= draw[:, None]).sum(axis=1)
+            st.progress[:] = False
+            for t in range(T):
+                sel = np.nonzero(alive & (chosen == t))[0]
+                if not len(sel):
+                    continue
+                th = st.threads[t]
+                todo = sel[~th.dec_blocked[sel]]
+                if len(todo):
+                    self._decode(st, th, todo)
+                self._issue_round(st, th, sel)
+            idle = alive & ~st.progress
+            st.stalled[st.progress] = 0
+            st.stalled[idle] += 1
+            if bool((st.stalled > stall_limit).any()):
+                raise SimulationError(
+                    "all threads stalled in %s — dependency deadlock?"
+                    % test_name)
+            st.fuel[alive] -= 1
+        return np.concatenate(blocks) if len(blocks) > 1 else blocks[0]
+
+    # -- frontend ----------------------------------------------------------
+
+    def _decode(self, st, th, rows):
+        """In-order decode sweeps for the selected iteration rows.
+
+        Kernels drop rows from ``st.dec`` on a stall; every surviving
+        row retires at least one instruction per sweep, so the decode
+        budget bounds the sweep count.
+        """
+        S = th.S
+        st.budget[rows] = BUDGET
+        st.dec[rows] = True
+        code = S.code
+        ncode = S.ncode
+        live = rows
+        while True:
+            live = live[st.dec[live] & (st.budget[live] > 0)]
+            live = live[th.pc[live] < ncode]
+            if not len(live):
+                break
+            for p in range(ncode):
+                here = live[st.dec[live]]
+                if not len(here):
+                    break
+                sub = here[th.pc[here] == p]
+                if len(sub):
+                    code[p](st, th, sub)
+                live = here
+        st.dec[rows] = False
+        # Re-running decode with unchanged registers cannot progress
+        # (decode is deterministic in regs/pending/pc), so skip it until
+        # one of this thread's loads completes — unless the budget ran
+        # out, in which case next tick's fresh budget must retry.
+        th.dec_blocked[rows[st.budget[rows] > 0]] = True
+
+    # -- issue -------------------------------------------------------------
+
+    def _issue_round(self, st, th, sel):
+        S = th.S
+        if S.K == 0:
+            return
+        if S.K == 1:
+            rows = sel[th.in_q[sel, 0]]
+            if not len(rows):
+                return
+            th.in_q[rows, 0] = False
+            S.issue[0](st, th, rows)
+            st.progress[rows] = True
+            return
+        inq = th.in_q[sel]
+        q_seq = th.q_seq[sel]
+        elig = inq.copy()
+        static_order = S.static_order
+        for j in range(S.K):
+            if not inq[:, j].any():
+                continue
+            blocked = None
+            for i, fn in S.pairs[j]:
+                older = inq[:, i]
+                if not static_order:
+                    older = older & (q_seq[:, i] < q_seq[:, j])
+                if not older.any():
+                    continue
+                if fn is not None:
+                    older = older & fn(st, th, sel)
+                    if not older.any():
+                        continue
+                blocked = older if blocked is None else (blocked | older)
+            if blocked is not None:
+                elig[:, j] &= ~blocked
+        has = elig.any(axis=1)
+        if not has.any():
+            return
+        rows = sel[has]
+        elig = elig[has]
+        seqs = q_seq[has]
+        ecount = elig.sum(axis=1)
+        seqm = np.where(elig, seqs, _NO_SEQ)
+        oldest = seqm.argmin(axis=1)
+        # Under an active intent the engine *seeks* reorderings: uniform
+        # pick among the non-oldest eligible ops when there are several.
+        use_rand = st.any_intent[rows] & (ecount > 1)
+        if use_rand.any():
+            cand = elig.copy()
+            np.put_along_axis(cand, oldest[:, None], False, axis=1)
+            target = (st.rng.random(len(rows))
+                      * np.maximum(ecount - 1, 0)).astype(np.int64)
+            cum = cand.cumsum(axis=1)
+            rand_col = (cum <= target[:, None]).sum(axis=1)
+            col = np.where(use_rand, rand_col, oldest)
+        else:
+            col = oldest
+        for k in range(S.K):
+            mk = col == k
+            if not mk.any():
+                continue
+            krows = rows[mk]
+            th.in_q[krows, k] = False
+            S.issue[k](st, th, krows)
+        if S.window_check:
+            # A freed queue slot can unblock a window-limited decode.
+            th.dec_blocked[rows] = False
+        st.progress[rows] = True
+
+
+class _BatchCompiler:
+    """Lowers one thread program into vector step kernels + slot tables.
+
+    Step kernels share a calling convention: ``step(st, th, rows)``
+    with ``rows`` an int index array of the iterations decoding this
+    pc.  A kernel drops stalled rows from ``st.dec`` and advances the
+    rest (pc, budget, progress) — mirroring the reference decode loop's
+    per-thread semantics across all selected iterations at once.
+    """
+
+    def __init__(self, cell, program, test, cta, required_scope,
+                 scope_blind, chip):
+        self.cell = cell
+        self.program = program
+        self.test = test
+        self.required_scope = required_scope
+        self.scope_blind = scope_blind
+        self.chip = chip
+        self.S = _ThreadStatic(program.tid, cta)
+
+    # -- register table ----------------------------------------------------
+
+    def _register_columns(self):
+        names = set()
+        for (tid, name) in self.test.reg_init:
+            if tid == self.program.tid:
+                names.add(name)
+        for (tid, name) in self.test.observed_registers():
+            if tid == self.program.tid:
+                names.add(name)
+        for instruction in self.program.instructions:
+            guard = getattr(instruction, "guard", None)
+            if guard is not None:
+                names.add(guard.reg)
+            for attr in ("dst", "src", "a", "b", "cmp", "new"):
+                operand = getattr(instruction, attr, None)
+                if isinstance(operand, Reg):
+                    names.add(operand.name)
+            addr = getattr(instruction, "addr", None)
+            if addr is not None and isinstance(addr.base, Reg):
+                names.add(addr.base.name)
+        return {name: col for col, name in enumerate(sorted(names))}
+
+    def compile(self):
+        S = self.S
+        S.reg_index = self._register_columns()
+        S.n_regs = max(len(S.reg_index), 1)
+        init = np.zeros(S.n_regs, dtype=np.int64)
+        for (tid, name), binding in self.test.reg_init.items():
+            if tid != self.program.tid:
+                continue
+            if isinstance(binding, Loc):
+                init[S.reg_index[name]] = self.cell.address_map[binding.name]
+            else:
+                init[S.reg_index[name]] = binding.value
+        S.init_regs = init
+
+        # First pass: build slot statics for every memory instruction so
+        # pair compilation can see the full table.
+        from ..ptx.instructions import (AtomAdd, AtomCas, AtomExch, AtomInc,
+                                        Ld, Membar, St)
+        slot_of = {}
+        for pc, instruction in enumerate(self.program.instructions):
+            slot = None
+            if isinstance(instruction, Ld):
+                cop = (None if instruction.volatile
+                       else instruction.effective_cop.value)
+                slot = _SlotStatic(K_LOAD,
+                                   dst_col=S.reg_index[instruction.dst.name],
+                                   cop=cop, volatile=instruction.volatile)
+                self._bind_addr(slot, instruction.addr)
+            elif isinstance(instruction, St):
+                cop = (None if instruction.volatile
+                       else instruction.effective_cop.value)
+                slot = _SlotStatic(K_STORE, cop=cop,
+                                   volatile=instruction.volatile)
+                self._bind_addr(slot, instruction.addr)
+                self._bind_value(slot, instruction.src, "val")
+            elif isinstance(instruction, AtomCas):
+                slot = _SlotStatic(K_CAS,
+                                   dst_col=S.reg_index[instruction.dst.name])
+                self._bind_addr(slot, instruction.addr)
+                self._bind_value(slot, instruction.new, "val")
+                self._bind_value(slot, instruction.cmp, "cmp")
+            elif isinstance(instruction, AtomExch):
+                slot = _SlotStatic(K_EXCH,
+                                   dst_col=S.reg_index[instruction.dst.name])
+                self._bind_addr(slot, instruction.addr)
+                self._bind_value(slot, instruction.src, "val")
+            elif isinstance(instruction, AtomInc):
+                slot = _SlotStatic(K_ADD,
+                                   dst_col=S.reg_index[instruction.dst.name])
+                self._bind_addr(slot, instruction.addr)
+                slot.val_const = 1
+            elif isinstance(instruction, AtomAdd):
+                slot = _SlotStatic(K_ADD,
+                                   dst_col=S.reg_index[instruction.dst.name])
+                self._bind_addr(slot, instruction.addr)
+                self._bind_value(slot, instruction.src, "val")
+            elif isinstance(instruction, Membar):
+                scope = instruction.scope
+                mixed_slot, ca_slot = _bypass_slots(scope)
+                slot = _SlotStatic(
+                    K_FENCE, mixed_slot=mixed_slot, ca_slot=ca_slot,
+                    inval_prob=self.chip.fence_l1_inval.get(scope, 1.0))
+                slot.static_addr = -1  # fences carry no address
+            if slot is not None:
+                slot_of[pc] = len(S.slots)
+                S.slots.append(slot)
+        S.K = len(S.slots)
+        S.window_check = S.K >= WINDOW
+        S.static_order = not self.program.has_loops()
+
+        # Second pass: step kernels.
+        S.code = [self._compile_one(pc, instruction, slot_of.get(pc))
+                  for pc, instruction in enumerate(self.program.instructions)]
+        S.ncode = len(S.code)
+
+        # Pair-blocking plans and issue kernels.
+        S.pairs = [self._compile_pairs(j) for j in range(S.K)]
+        S.issue = [self._compile_issue(k) for k in range(S.K)]
+        return S
+
+    def _bind_addr(self, slot, addr):
+        if isinstance(addr.base, Loc):
+            address = self.cell.address_map[addr.base.name] + addr.offset
+            slot.addr_const = address
+            slot.static_addr = address
+            slot.shared = self.cell._shared_of.get(address, False)
+            if slot.shared:
+                slot.sloc = self.cell._sloc_of[address]
+            else:
+                gloc = self.cell._gloc_of.get(address)
+                if gloc is None:
+                    raise SimulationError(
+                        "access to uninstalled address %#x" % address)
+                slot.gloc = gloc
+        else:
+            slot.addr_const = addr.offset
+            slot.addr_reg_col = self.S.reg_index[addr.base.name]
+
+    def _bind_value(self, slot, operand, which):
+        if isinstance(operand, Imm):
+            setattr(slot, which + "_const", operand.value)
+        elif isinstance(operand, Reg):
+            setattr(slot, which + "_reg_col", self.S.reg_index[operand.name])
+        else:
+            raise SimulationError("bad value operand %r" % (operand,))
+
+    # -- step kernels ------------------------------------------------------
+
+    def _compile_one(self, pc, instruction, slot_index):
+        from ..ptx.instructions import (Add, And, Bra, Cvt, Label, Membar,
+                                        Mov, Setp, Xor)
+        if slot_index is not None:
+            if isinstance(instruction, Membar):
+                step = self._compile_fence_push(slot_index,
+                                                instruction.scope)
+            else:
+                step = self._compile_push(slot_index)
+        elif isinstance(instruction, Mov):
+            step = self._compile_mov(instruction)
+        elif isinstance(instruction, (Add, And, Xor)):
+            ops = {"add": lambda a, b: (a + b) & 0xFFFFFFFF,
+                   "and": lambda a, b: a & b,
+                   "xor": lambda a, b: a ^ b}
+            step = self._compile_binary(instruction, ops[instruction.opcode])
+        elif isinstance(instruction, Setp):
+            if instruction.cmp == "eq":
+                fn = lambda a, b: (a == b).astype(np.int64)
+            else:
+                fn = lambda a, b: (a != b).astype(np.int64)
+            step = self._compile_binary(instruction, fn)
+        elif isinstance(instruction, Cvt):
+            step = self._compile_cvt(instruction)
+        elif isinstance(instruction, Bra):
+            target = self.program.labels[instruction.target]
+
+            def step(st, th, rows, _target=target):
+                th.pc[rows] = _target
+                st.budget[rows] -= 1
+                st.progress[rows] = True
+        elif isinstance(instruction, Label):
+            def step(st, th, rows):
+                th.pc[rows] += 1
+                st.budget[rows] -= 1
+                st.progress[rows] = True
+        else:
+            raise SimulationError(
+                "batch engine cannot lower %r" % (instruction,))
+
+        guard = getattr(instruction, "guard", None)
+        if guard is None:
+            return step
+        gcol = self.S.reg_index[guard.reg]
+        wanted = not guard.negated
+
+        def guarded(st, th, rows, _inner=step, _gcol=gcol, _wanted=wanted):
+            stall = th.pending[rows, _gcol]
+            if stall.any():
+                st.dec[rows[stall]] = False
+                rows = rows[~stall]
+                if not len(rows):
+                    return
+            skip = (th.regs[rows, _gcol] != 0) != _wanted
+            if skip.any():
+                hop = rows[skip]
+                th.pc[hop] += 1
+                st.budget[hop] -= 1
+                st.progress[hop] = True
+                rows = rows[~skip]
+            if len(rows):
+                _inner(st, th, rows)
+
+        return guarded
+
+    def _ready_guard(self, cols):
+        """Build the pending-source stall check for ``cols``."""
+        cols = tuple(c for c in cols if c is not None)
+
+        def check(st, th, rows):
+            if not cols:
+                return rows
+            stall = th.pending[rows, cols[0]]
+            for c in cols[1:]:
+                stall = stall | th.pending[rows, c]
+            if stall.any():
+                st.dec[rows[stall]] = False
+                rows = rows[~stall]
+            return rows
+
+        return check
+
+    def _compile_push(self, k):
+        slot = self.S.slots[k]
+        ready = self._ready_guard((slot.addr_reg_col, slot.val_reg_col,
+                                   slot.cmp_reg_col))
+        addr_const = slot.addr_const
+        addr_col = slot.addr_reg_col
+        val_const, val_col = slot.val_const, slot.val_reg_col
+        cmp_const, cmp_col = slot.cmp_const, slot.cmp_reg_col
+        dst = slot.dst_col
+        window_check = None
+        if self.S.window_check:
+            window_check = True
+        name = self.test.name
+
+        def step(st, th, rows, _k=k):
+            rows = ready(st, th, rows)
+            if not len(rows):
+                return
+            if window_check:
+                full = th.in_q[rows].sum(axis=1) >= WINDOW
+                if full.any():
+                    st.dec[rows[full]] = False
+                    rows = rows[~full]
+                    if not len(rows):
+                        return
+            if th.in_q[rows, _k].any():
+                raise SimulationError(
+                    "batch engine: op re-enqueued while still pending "
+                    "in %s (unguarded loop over a memory op?)" % name)
+            th.in_q[rows, _k] = True
+            th.q_seq[rows, _k] = th.seq[rows]
+            th.seq[rows] += 1
+            if addr_col is None:
+                th.q_addr[rows, _k] = addr_const
+            else:
+                th.q_addr[rows, _k] = th.regs[rows, addr_col] + addr_const
+            if val_col is None:
+                th.q_val[rows, _k] = val_const
+            else:
+                th.q_val[rows, _k] = th.regs[rows, val_col]
+            if cmp_col is None:
+                th.q_cmp[rows, _k] = cmp_const
+            else:
+                th.q_cmp[rows, _k] = th.regs[rows, cmp_col]
+            if dst is not None:
+                th.pending[rows, dst] = True
+            th.pc[rows] += 1
+            st.budget[rows] -= 1
+            st.progress[rows] = True
+
+        return step
+
+    def _compile_fence_push(self, k, scope):
+        covered = self.scope_blind or scope.covers(self.required_scope)
+        damping = self.chip.underscoped_fence_damping
+
+        def push(st, th, rows, _k=k):
+            th.in_q[rows, _k] = True
+            th.q_seq[rows, _k] = th.seq[rows]
+            th.seq[rows] += 1
+            th.q_addr[rows, _k] = -1
+            th.pc[rows] += 1
+            st.budget[rows] -= 1
+            st.progress[rows] = True
+
+        if covered:
+            # The scope check is pre-bound: a sufficient fence always
+            # enters the queue, with no per-iteration decision.
+            return push
+
+        # Under-scoped fence: the chip's damping fraction of decodes
+        # sees it as a no-op (non-zero membar.cta rows of Fig. 3).
+        def step(st, th, rows):
+            enq = st.rng.random(len(rows)) >= damping
+            skip = rows[~enq]
+            if len(skip):
+                th.pc[skip] += 1
+                st.budget[skip] -= 1
+                st.progress[skip] = True
+            go = rows[enq]
+            if len(go):
+                push(st, th, go)
+
+        return step
+
+    def _compile_mov(self, instruction):
+        dst = self.S.reg_index[instruction.dst.name]
+        if isinstance(instruction.src, Loc):
+            const = self.cell.address_map[instruction.src.name]
+
+            def step(st, th, rows, _dst=dst, _const=const):
+                th.regs[rows, _dst] = _const
+                th.pc[rows] += 1
+                st.budget[rows] -= 1
+                st.progress[rows] = True
+
+            return step
+        if isinstance(instruction.src, Imm):
+            const = instruction.src.value
+
+            def step(st, th, rows, _dst=dst, _const=const):
+                th.regs[rows, _dst] = _const
+                th.pc[rows] += 1
+                st.budget[rows] -= 1
+                st.progress[rows] = True
+
+            return step
+        src = self.S.reg_index[instruction.src.name]
+        ready = self._ready_guard((src,))
+
+        def step(st, th, rows, _dst=dst, _src=src):
+            rows = ready(st, th, rows)
+            if not len(rows):
+                return
+            th.regs[rows, _dst] = th.regs[rows, _src]
+            th.pc[rows] += 1
+            st.budget[rows] -= 1
+            st.progress[rows] = True
+
+        return step
+
+    def _compile_binary(self, instruction, fn):
+        dst = self.S.reg_index[instruction.dst.name]
+        aconst, acol = self._value_spec(instruction.a)
+        bconst, bcol = self._value_spec(instruction.b)
+        ready = self._ready_guard((acol, bcol))
+
+        def step(st, th, rows, _dst=dst, _fn=fn):
+            rows = ready(st, th, rows)
+            if not len(rows):
+                return
+            a = aconst if acol is None else th.regs[rows, acol]
+            b = bconst if bcol is None else th.regs[rows, bcol]
+            th.regs[rows, _dst] = _fn(a, b)
+            th.pc[rows] += 1
+            st.budget[rows] -= 1
+            st.progress[rows] = True
+
+        return step
+
+    def _compile_cvt(self, instruction):
+        dst = self.S.reg_index[instruction.dst.name]
+        src = self.S.reg_index[instruction.src.name]
+        ready = self._ready_guard((src,))
+
+        def step(st, th, rows, _dst=dst, _src=src):
+            rows = ready(st, th, rows)
+            if not len(rows):
+                return
+            th.regs[rows, _dst] = th.regs[rows, _src]
+            th.pc[rows] += 1
+            st.budget[rows] -= 1
+            st.progress[rows] = True
+
+        return step
+
+    def _value_spec(self, operand):
+        if isinstance(operand, Imm):
+            return operand.value, None
+        if isinstance(operand, Reg):
+            return 0, self.S.reg_index[operand.name]
+        raise SimulationError("bad value operand %r" % (operand,))
+
+    # -- pair-blocking plans ----------------------------------------------
+
+    def _compile_pairs(self, j):
+        """Blocking plan for slot ``j``: a list of ``(i, fn)`` where
+        ``fn(st, th, sel) -> bool[len(sel)]`` (or None for an
+        unconditional block) is evaluated against every older in-queue
+        slot ``i``."""
+        S = self.S
+        if S.static_order:
+            candidates = range(j)
+        else:
+            candidates = (i for i in range(S.K) if i != j)
+        return [(i, self._compile_pair(j, i)) for i in candidates]
+
+    def _compile_pair(self, j, i):
+        S = self.S
+        yst, ost = S.slots[j], S.slots[i]
+        if yst.kind == K_FENCE:
+            return None  # a fence may pass nothing
+        if ost.kind == K_FENCE:
+            # Only a .ca load may slip past a fence (Figs. 3 and 4),
+            # gated by the scope's (mixed, ca) bypass intents and the
+            # same-address-probe over earlier loads in the queue.
+            if not yst.ca_load:
+                return None
+            loads = tuple(c for c in range(S.K) if S.slots[c].is_load)
+            mixed_slot, ca_slot = ost.mixed_slot, ost.ca_slot
+
+            def fence_block(st, th, sel, _j=j, _i=i, _loads=loads):
+                addr_j = th.q_addr[sel, _j]
+                fence_seq = th.q_seq[sel, _i]
+                before = None
+                for c in _loads:
+                    probe = (th.in_q[sel, c]
+                             & (th.q_seq[sel, c] < fence_seq)
+                             & (th.q_addr[sel, c] == addr_j))
+                    before = probe if before is None else (before | probe)
+                passes = np.where(before, st.iv[sel, mixed_slot],
+                                  st.iv[sel, ca_slot])
+                return ~passes
+
+            return fence_block
+        if self.chip.atomic_ordered and (yst.atomic or ost.atomic):
+            return None
+        volatile_pair = yst.volatile and ost.volatile
+        if volatile_pair and self.chip.volatile_ordered:
+            return None
+        pass_slot = yst.pass_pair[ost.is_store]
+        both_loads = yst.kind == K_LOAD and ost.kind == K_LOAD
+        hz_slot = (SLOT_RR_HAZARD if yst.cop == ost.cop
+                   else SLOT_MIXED_HAZARD)
+        static = (yst.static_addr is not None and ost.static_addr is not None)
+        if static:
+            same = yst.static_addr == ost.static_addr
+            if same and not both_loads:
+                return None  # same-address non-load-load pairs never reorder
+            slot = hz_slot if same else pass_slot
+            if volatile_pair:
+                def fn(st, th, sel, _slot=slot):
+                    return ~st.iv[sel, _slot] | ~st.iv[sel, SLOT_VOLATILE]
+            else:
+                def fn(st, th, sel, _slot=slot):
+                    return ~st.iv[sel, _slot]
+            return fn
+
+        def fn(st, th, sel, _j=j, _i=i):
+            same = th.q_addr[sel, _j] == th.q_addr[sel, _i]
+            if both_loads:
+                blocked = np.where(same, ~st.iv[sel, hz_slot],
+                                   ~st.iv[sel, pass_slot])
+            else:
+                blocked = same | ~st.iv[sel, pass_slot]
+            if volatile_pair:
+                blocked = blocked | ~st.iv[sel, SLOT_VOLATILE]
+            return blocked
+
+        return fn
+
+    # -- issue kernels ----------------------------------------------------
+
+    def _compile_issue(self, k):
+        slot = self.S.slots[k]
+        tid = self.S.tid
+        kind = slot.kind
+        if kind == K_FENCE:
+            return self._compile_issue_fence(k, slot, tid)
+        if kind == K_STORE:
+            return self._compile_issue_store(k, slot, tid)
+        if kind == K_LOAD:
+            return self._compile_issue_load(k, slot, tid)
+        return self._compile_issue_atomic(k, slot, tid)
+
+    def _dynamic_locs(self, addresses):
+        """Resolve raw addresses to dense location indices (vectorized
+        twin of the uninstalled-address check)."""
+        table = self.cell._addr_sorted
+        pos = np.searchsorted(table, addresses)
+        pos_clipped = np.minimum(pos, len(table) - 1)
+        valid = table[pos_clipped] == addresses
+        if not valid.all():
+            bad = int(addresses[~valid][0])
+            raise SimulationError(
+                "access to uninstalled address %#x" % bad)
+        return pos_clipped
+
+    def _compile_issue_load(self, k, slot, tid):
+        dst = slot.dst_col
+        plain = slot.volatile or slot.cop is None
+        cop = slot.cop
+        dynamic = slot.static_addr is None
+
+        def issue(st, th, rows, _k=k):
+            sm = st.sm[rows, tid]
+            if dynamic:
+                locs = self._dynamic_locs(th.q_addr[rows, _k])
+                value = self._read_dynamic(st, rows, sm, locs, plain, cop)
+            elif slot.shared:
+                value = st.shm[rows, sm, slot.sloc]
+            else:
+                value = self._read_global(st, rows, sm, slot.gloc,
+                                          plain, cop)
+            th.regs[rows, dst] = value
+            th.pending[rows, dst] = False
+            th.dec_blocked[rows] = False
+
+        return issue
+
+    def _read_global(self, st, idx, sm, gloc, plain, cop):
+        cell = self.cell
+        base = st.glob[idx, gloc]
+        if plain or not cell.l1_active:
+            return base
+        if cop == "ca":
+            has = st.l1h[idx, sm, gloc]
+            hit = has & st.stale[idx]
+            value = np.where(hit, st.l1v[idx, sm, gloc], base)
+            fill = ~hit
+            if fill.any():
+                st.l1v[idx[fill], sm[fill], gloc] = base[fill]
+                st.l1h[idx[fill], sm[fill], gloc] = True
+            return value
+        if cop in ("cg", "cv"):
+            has = st.l1h[idx, sm, gloc]
+            if has.any():
+                evict = has & (st.rng.random(len(idx)) < cell.p_cg_evict)
+                if evict.any():
+                    st.l1h[idx[evict], sm[evict], gloc] = False
+            return base
+        return base
+
+    def _read_dynamic(self, st, idx, sm, locs, plain, cop):
+        cell = self.cell
+        value = np.zeros(len(idx), dtype=np.int64)
+        shared = cell._loc_shared[locs]
+        if shared.any():
+            s = shared
+            value[s] = st.shm[idx[s], sm[s], cell._loc_sidx[locs[s]]]
+        g = ~shared
+        if g.any():
+            gloc = cell._loc_gidx[locs[g]]
+            gi, gs = idx[g], sm[g]
+            base = st.glob[gi, gloc]
+            if plain or not cell.l1_active:
+                value[g] = base
+            elif cop == "ca":
+                has = st.l1h[gi, gs, gloc]
+                hit = has & st.stale[gi]
+                value[g] = np.where(hit, st.l1v[gi, gs, gloc], base)
+                fill = ~hit
+                if fill.any():
+                    st.l1v[gi[fill], gs[fill], gloc[fill]] = base[fill]
+                    st.l1h[gi[fill], gs[fill], gloc[fill]] = True
+            elif cop in ("cg", "cv"):
+                has = st.l1h[gi, gs, gloc]
+                if has.any():
+                    evict = has & (st.rng.random(len(gi)) < cell.p_cg_evict)
+                    if evict.any():
+                        st.l1h[gi[evict], gs[evict], gloc[evict]] = False
+                value[g] = base
+            else:
+                value[g] = base
+        return value
+
+    def _compile_issue_store(self, k, slot, tid):
+        cell = self.cell
+        dynamic = slot.static_addr is None
+
+        def issue(st, th, rows, _k=k):
+            sm = st.sm[rows, tid]
+            value = th.q_val[rows, _k]
+            if dynamic:
+                locs = self._dynamic_locs(th.q_addr[rows, _k])
+                shared = cell._loc_shared[locs]
+                if shared.any():
+                    s = shared
+                    st.shm[rows[s], sm[s], cell._loc_sidx[locs[s]]] = value[s]
+                g = ~shared
+                if g.any():
+                    self._write_global(st, rows[g], sm[g],
+                                       cell._loc_gidx[locs[g]], value[g])
+            elif slot.shared:
+                st.shm[rows, sm, slot.sloc] = value
+            else:
+                self._write_global(st, rows, sm, slot.gloc, value)
+
+        return issue
+
+    def _write_global(self, st, idx, sm, gloc, value):
+        cell = self.cell
+        st.glob[idx, gloc] = value
+        if not cell.l1_active:
+            return
+        # Stores bypass the L1 and invalidate the writing SM's own line
+        # only unreliably; remote lines are never touched (Sec. 3.1.2).
+        has = st.l1h[idx, sm, gloc]
+        if has.any():
+            inval = has & (st.rng.random(len(idx)) < cell.p_store_inval)
+            if inval.any():
+                if getattr(gloc, "ndim", 0):
+                    st.l1h[idx[inval], sm[inval], gloc[inval]] = False
+                else:
+                    st.l1h[idx[inval], sm[inval], gloc] = False
+
+    def _compile_issue_fence(self, k, slot, tid):
+        cell = self.cell
+        prob = slot.inval_prob
+
+        def issue(st, th, rows, _k=k):
+            if not cell.l1_active or prob <= 0.0:
+                return
+            sm = st.sm[rows, tid]
+            lines = st.l1h[rows, sm, :]
+            if lines.any():
+                drop = lines & (st.rng.random(lines.shape) < prob)
+                st.l1h[rows, sm, :] = lines & ~drop
+
+        return issue
+
+    def _compile_issue_atomic(self, k, slot, tid):
+        cell = self.cell
+        kind = slot.kind
+        dst = slot.dst_col
+        dynamic = slot.static_addr is None
+
+        def issue(st, th, rows, _k=k):
+            sm = st.sm[rows, tid]
+            value = th.q_val[rows, _k]
+            if dynamic:
+                locs = self._dynamic_locs(th.q_addr[rows, _k])
+                shared = cell._loc_shared[locs]
+                sidx = cell._loc_sidx[locs]
+                gidx = cell._loc_gidx[locs]
+                old = np.zeros(len(rows), dtype=np.int64)
+                if shared.any():
+                    s = shared
+                    old[s] = st.shm[rows[s], sm[s], sidx[s]]
+                g = ~shared
+                if g.any():
+                    old[g] = st.glob[rows[g], gidx[g]]
+            elif slot.shared:
+                old = st.shm[rows, sm, slot.sloc]
+            else:
+                old = st.glob[rows, slot.gloc]
+            if kind == K_CAS:
+                write = old == th.q_cmp[rows, _k]
+                new = value
+            elif kind == K_EXCH:
+                write = None  # unconditional
+                new = value
+            else:  # K_ADD
+                write = None
+                new = old + value
+            if write is None:
+                if dynamic:
+                    if shared.any():
+                        s = shared
+                        st.shm[rows[s], sm[s], sidx[s]] = new[s]
+                    g = ~shared
+                    if g.any():
+                        st.glob[rows[g], gidx[g]] = new[g]
+                elif slot.shared:
+                    st.shm[rows, sm, slot.sloc] = new
+                else:
+                    st.glob[rows, slot.gloc] = new
+            elif write.any():
+                w = write
+                if dynamic:
+                    ws = w & shared
+                    if ws.any():
+                        st.shm[rows[ws], sm[ws], sidx[ws]] = new[ws]
+                    wg = w & ~shared
+                    if wg.any():
+                        st.glob[rows[wg], gidx[wg]] = new[wg]
+                elif slot.shared:
+                    st.shm[rows[w], sm[w], slot.sloc] = new[w]
+                else:
+                    st.glob[rows[w], slot.gloc] = new[w]
+            th.regs[rows, dst] = old
+            th.pending[rows, dst] = False
+            th.dec_blocked[rows] = False
+
+        return issue
+
+
+def compile_batch_cell(test, chip, intensity=1.0, stale_intensity=None,
+                       shuffle_placement=False, fuel=None, scope_blind=False):
+    """Lower one campaign cell into a :class:`BatchCell`.
+
+    Parameters mirror :func:`~repro.sim.compile.compile_cell`; the
+    result answers ``run_many(iterations, rng, histogram)`` with the
+    same outcome *distribution* as the fast engine (see the module
+    docstring for the RNG-stream contract).  Raises
+    :class:`~repro.errors.ConfigurationError` when numpy is missing.
+    """
+    return BatchCell(test, chip, intensity=intensity,
+                     stale_intensity=stale_intensity,
+                     shuffle_placement=shuffle_placement, fuel=fuel,
+                     scope_blind=scope_blind)

@@ -25,11 +25,17 @@ from .._util import wrap32
 #: Pending-operation kinds.
 LOAD, STORE, FENCE, CAS, EXCH, FETCH_ADD = "R", "W", "F", "CAS", "EXCH", "ADD"
 
-#: The two simulation engines.  ``reference`` is this module's generic
-#: per-instruction interpreter — the semantic ground truth.  ``fast`` is
-#: the compile-once/run-many specialisation of :mod:`repro.sim.compile`,
-#: property-tested to produce bit-identical histograms.
-ENGINES = ("reference", "fast")
+#: The three simulation engines.  ``reference`` is this module's
+#: generic per-instruction interpreter — the semantic ground truth.
+#: ``fast`` is the compile-once/run-many specialisation of
+#: :mod:`repro.sim.compile`, property-tested to produce bit-identical
+#: histograms.  ``batch`` is the numpy structure-of-arrays lowering of
+#: :mod:`repro.sim.batch`: whole shards execute in lockstep, another
+#: order of magnitude faster, distribution-equivalent rather than
+#: bit-identical (a documented seeded RNG-stream-break — see that
+#: module's docstring) and gated on the optional ``repro[batch]``
+#: dependency.
+ENGINES = ("reference", "fast", "batch")
 
 #: Engine used when nothing picks one explicitly (overridable per run
 #: via ``RunSpec``/``Session``/``--engine`` or globally via the
@@ -49,18 +55,24 @@ def resolve_engine(engine):
 def run_batch(machine, iterations, rng, histogram=None):
     """Run ``iterations`` iterations of ``machine`` into a histogram.
 
-    The batched iteration loop shared by both engines: ``machine`` is
+    The batched iteration loop shared by all engines: ``machine`` is
     anything answering ``run_once(rng)`` — a
     :class:`~repro.sim.machine.GpuMachine` or a
     :class:`~repro.sim.compile.CompiledCell` — and is *reused* across
     iterations (state resets internally; nothing is reallocated per
-    run).  Pass ``histogram`` to accumulate into an existing
+    run).  A machine answering ``run_many`` (a
+    :class:`~repro.sim.batch.BatchCell`) executes the whole request as
+    one lockstep batch instead of looping.  Pass ``histogram`` to
+    accumulate into an existing
     :class:`~repro.harness.histogram.Histogram`; otherwise a fresh one
     is returned.
     """
     if histogram is None:
         from ..harness.histogram import Histogram  # avoid an import cycle
         histogram = Histogram()
+    run_many = getattr(machine, "run_many", None)
+    if run_many is not None:
+        return run_many(iterations, rng, histogram)
     add = histogram.add
     run_once = machine.run_once
     for _ in range(iterations):
