@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Exhaustive-explorer pruning benchmark: DPOR vs naive enumeration,
+tracked in BENCH_exhaust.json.
+
+Explores every cell of a pinned corpus (:data:`repro.perf.EXHAUST_PINNED_CORPUS`;
+``--corpus tiny`` for the CI smoke subset) twice — persistent-set/
+sleep-set DPOR and naive full interleaving enumeration — prints the
+transition-count comparison and writes the machine-readable trajectory
+file.  Exits non-zero if
+
+* any cell's DPOR and naive reachable-state sets diverge (the soundness
+  contract: pruning may never lose a state), or
+* the corpus-wide total reduction factor (naive transitions / DPOR
+  transitions) falls below ``--min-reduction`` (default 10: the
+  headline the exhaustive mode was built to earn).
+
+Usage::
+
+    python benchmarks/bench_perf_exhaust.py                 # pinned corpus
+    python benchmarks/bench_perf_exhaust.py --corpus tiny \\
+        --min-reduction 10 --output BENCH_exhaust.json
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.errors import ReproError  # noqa: E402
+from repro.perf import (bench_exhaust, exhaust_corpus_by_name,  # noqa: E402
+                        render_exhaust_table, summarize_exhaust,
+                        write_exhaust_report)
+
+#: Default output: the tracked trajectory file at the repo root.
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "..",
+                              "BENCH_exhaust.json")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--corpus", default="pinned",
+                        choices=("pinned", "tiny"),
+                        help="cell set: pinned (default) or the CI-sized "
+                             "tiny subset")
+    parser.add_argument("--loop-bound", type=int, default=3,
+                        help="spin-retry bound per backward branch "
+                             "(default 3, the explorer default)")
+    parser.add_argument("--min-reduction", type=float, default=10.0,
+                        help="fail if the corpus-wide total reduction "
+                             "(naive/DPOR transitions) is below this "
+                             "(default 10)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write BENCH_exhaust.json "
+                             "(default: repo root)")
+    args = parser.parse_args(argv)
+
+    try:
+        corpus = exhaust_corpus_by_name(args.corpus)
+        cells = bench_exhaust(corpus, loop_bound=args.loop_bound)
+    except ReproError as error:
+        raise SystemExit(str(error))
+    summary = summarize_exhaust(cells)
+    print(render_exhaust_table(cells))
+    print("reduction: %.1fx total (%d -> %d transitions), %.1fx geomean, "
+          "%.1fx min / %.1fx max per cell"
+          % (summary["reduction_total"],
+             summary["total_naive_transitions"],
+             summary["total_dpor_transitions"],
+             summary["reduction_geomean"], summary["min_reduction"],
+             summary["max_reduction"]))
+    write_exhaust_report(args.output, cells, args.corpus, args.loop_bound)
+    print("wrote %s" % os.path.relpath(args.output))
+
+    failures = []
+    if not summary["all_identical"]:
+        failures.append("strategies diverged: some cell's DPOR and naive "
+                        "reachable-state sets are not identical")
+    if summary["reduction_total"] < args.min_reduction:
+        failures.append("total reduction %.1fx < %.1fx"
+                        % (summary["reduction_total"], args.min_reduction))
+    for failure in failures:
+        print("FAIL: %s" % failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,8 @@ from .backend import (ANALYSIS_LOCATION, AnalysisBackend, analysis_session,
                       condition_skippable, prescreen, run_prescreened,
                       verdict_from_histogram, verdict_state)
 from .consistency import (ConsistencyProblem, ConsistencyReport,
-                          check_library, check_scenarios, run_consistency)
+                          check_exhaustive, check_library,
+                          check_scenarios, run_consistency)
 from .races import (CLEAN, ORDERED, RACY, SYNC, UNKNOWN, AnalysisReport,
                     Diagnostic, PairFinding, analyze_test)
 
@@ -53,6 +54,7 @@ __all__ = [
     "ValueCond",
     "analysis_session",
     "analyze_test",
+    "check_exhaustive",
     "check_library",
     "check_scenarios",
     "condition_skippable",

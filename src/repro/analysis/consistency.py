@@ -1,8 +1,9 @@
 """Cross-checking analyzer verdicts against the dynamic subsystems.
 
 A ``clean`` verdict is a *proof obligation*; this module discharges it
-two ways, turning the analyzer and the simulator into soundness oracles
-for each other (the CI ``analysis-consistency`` job runs both):
+three ways, turning the analyzer, the simulator and the exhaustive
+explorer into soundness oracles for each other (the CI
+``analysis-consistency`` job runs all three):
 
 * **Scenarios vs campaigns** — a scenario the analyzer certifies clean
   must never lose in simulation, on any chip, at campaign intensity.
@@ -18,6 +19,12 @@ for each other (the CI ``analysis-consistency`` job runs both):
   volatiles *order nothing* (Fig. 5 — mp-volatile is clean and weak),
   and atomic RMW races on more than one location can still interleave
   weakly even though each lock word is coherence-ordered.
+* **Scenarios vs exhaustive verification** — strictly stronger than the
+  campaign oracle: a clean scenario must report **zero losses over all
+  executions** under :mod:`repro.exhaustive`, on every chip, not merely
+  over the sampled runs.  This is the differential lock between the
+  static tier and the verifier tier — a clean cell that loses *any*
+  execution convicts one of them.
 
 ``racy`` and ``unknown`` verdicts impose no constraint — the analyzer
 is conservative by design, and weak behaviours are *allowed*, not
@@ -36,7 +43,7 @@ from .races import CLEAN, analyze_test
 class ConsistencyProblem:
     """One contradiction between a clean verdict and a dynamic result."""
 
-    kind: str     #: "campaign-loss" | "model-weak"
+    kind: str     #: "campaign-loss" | "model-weak" | "exhaustive-loss"
     subject: str  #: scenario or test name
     detail: str
 
@@ -50,6 +57,7 @@ class ConsistencyReport:
 
     scenario_rows: list = field(default_factory=list)
     library_rows: list = field(default_factory=list)
+    exhaustive_rows: list = field(default_factory=list)
     problems: list = field(default_factory=list)
 
     @property
@@ -67,11 +75,22 @@ class ConsistencyReport:
             out.append("library verdicts vs model allowed-sets:")
             for name, verdict, note in self.library_rows:
                 out.append("  %-22s %-8s %s" % (name, verdict, note))
+        if self.exhaustive_rows:
+            out.append("clean-scenario verdicts vs exhaustive "
+                       "verification:")
+            for name, verdict, losses, executions, bounded in \
+                    self.exhaustive_rows:
+                note = "%d losses / %d executions" % (losses, executions)
+                if bounded:
+                    note += " (loop-bounded)"
+                out.append("  %-22s %-8s %s" % (name, verdict, note))
         for problem in self.problems:
             out.append("CONTRADICTION: %s" % problem)
         if not self.problems:
-            out.append("consistency: ok (%d scenarios, %d library tests)"
-                       % (len(self.scenario_rows), len(self.library_rows)))
+            out.append("consistency: ok (%d scenarios, %d library tests, "
+                       "%d exhaustively verified)"
+                       % (len(self.scenario_rows), len(self.library_rows),
+                          len(self.exhaustive_rows)))
         return out
 
 
@@ -161,14 +180,70 @@ def check_library(tests=None, fuel=128):
     return rows, problems
 
 
+def check_exhaustive(scenarios=None, chips=None, loop_bound=None,
+                     jobs=1, executor="thread", cache_dir=None):
+    """Exhaustively verify every analyzer-certified-clean scenario.
+
+    The strongest of the three oracles: a clean scenario must lose
+    *zero* of all executions on every chip — the campaign oracle's
+    sampled losses become a universally quantified claim.  Returns
+    ``(rows, problems)`` where each row is ``(name, verdict, losses,
+    executions, bounded)`` summed over the chips.  Non-clean scenarios
+    impose no constraint and are skipped (their unfenced losses are the
+    paper's point, not a contradiction).
+    """
+    from ..apps.scenario import SCENARIOS
+    from ..exhaustive import DEFAULT_LOOP_BOUND, verify_scenarios
+    from ..sim.chip import RESULT_CHIPS
+
+    if scenarios is None:
+        scenarios = list(SCENARIOS.values())
+    scenarios = list(scenarios)
+    chips = list(chips) if chips is not None else list(RESULT_CHIPS)
+    if loop_bound is None:
+        loop_bound = DEFAULT_LOOP_BOUND
+    clean = [scenario for scenario in scenarios
+             if analyze_test(scenario.test()).verdict == CLEAN]
+    rows, problems = [], []
+    if not clean:
+        return rows, problems
+    report = verify_scenarios(clean, chips, loop_bound=loop_bound,
+                              jobs=jobs, executor=executor,
+                              cache_dir=cache_dir, witnesses=False)
+    by_name = {}
+    for row in report.rows:
+        losses, executions, bounded, lossy = by_name.get(
+            row.scenario, (0, 0, False, []))
+        if row.losses:
+            lossy = lossy + [row.chip]
+        by_name[row.scenario] = (losses + row.losses,
+                                 executions + row.executions,
+                                 bounded or row.bounded, lossy)
+    for scenario in clean:
+        losses, executions, bounded, lossy = by_name[scenario.name]
+        rows.append((scenario.name, CLEAN, losses, executions, bounded))
+        if losses:
+            problems.append(ConsistencyProblem(
+                "exhaustive-loss", scenario.name,
+                "certified clean but lost %d of %d exhaustively "
+                "enumerated executions on %s"
+                % (losses, executions, ", ".join(sorted(lossy)))))
+    return rows, problems
+
+
 def run_consistency(scenarios=None, tests=None, chips=None, runs=None,
                     seed=0, intensity=None, jobs=1, executor="thread",
-                    cache_dir=None, fuel=128):
+                    cache_dir=None, fuel=128, loop_bound=None):
     """The full cross-check; returns a :class:`ConsistencyReport`."""
     scenario_rows, scenario_problems = check_scenarios(
         scenarios, chips=chips, runs=runs, seed=seed, intensity=intensity,
         jobs=jobs, executor=executor, cache_dir=cache_dir)
     library_rows, library_problems = check_library(tests, fuel=fuel)
+    exhaustive_rows, exhaustive_problems = check_exhaustive(
+        scenarios, chips=chips, loop_bound=loop_bound, jobs=jobs,
+        executor=executor, cache_dir=cache_dir)
     return ConsistencyReport(scenario_rows=scenario_rows,
                              library_rows=library_rows,
-                             problems=scenario_problems + library_problems)
+                             exhaustive_rows=exhaustive_rows,
+                             problems=(scenario_problems + library_problems
+                                       + exhaustive_problems))

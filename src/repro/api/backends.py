@@ -318,8 +318,9 @@ class ModelBackend(Backend):
 def make_backend(backend):
     """Resolve a backend argument: an instance, ``"sim"``, ``"model"``
     (the paper's PTX model), ``"model:<name>"`` for any registered
-    axiomatic model, ``"app"`` (application scenario campaigns), or
-    ``"analysis"`` (static race/ordering verdicts)."""
+    axiomatic model, ``"app"`` (application scenario campaigns),
+    ``"analysis"`` (static race/ordering verdicts), or ``"exhaustive"``
+    (DPOR stateless model checking of the compiled cell)."""
     if isinstance(backend, Backend):
         return backend
     if backend == "sim":
@@ -334,10 +335,14 @@ def make_backend(backend):
         # Local import: the analysis package sits above the api layer.
         from ..analysis.backend import AnalysisBackend
         return AnalysisBackend()
+    if backend == "exhaustive":
+        # Local import: the exhaustive package sits above the api layer.
+        from ..exhaustive.backend import ExhaustiveBackend
+        return ExhaustiveBackend()
     if isinstance(backend, str) and backend.startswith("model:"):
         return ModelBackend(backend.split(":", 1)[1])
     from ..errors import ReproError
     raise ReproError(
-        "unknown backend %r (expected 'analysis', 'app', 'model', 'sim', "
-        "or 'model:NAME' where NAME is one of: %s)"
+        "unknown backend %r (expected 'analysis', 'app', 'exhaustive', "
+        "'model', 'sim', or 'model:NAME' where NAME is one of: %s)"
         % (backend, ", ".join(sorted(MODELS))))

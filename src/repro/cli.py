@@ -160,7 +160,8 @@ def _session_arguments(parser):
                              "Python, so threads cannot speed it up)")
     parser.add_argument("--backend", default="sim",
                         help="execution backend: sim (default), model, "
-                             "model:NAME, or analysis (static verdicts)")
+                             "model:NAME, analysis (static verdicts), or "
+                             "exhaustive (DPOR stateless model checking)")
     parser.add_argument("--cache-dir", default=None,
                         help="directory for the on-disk result cache")
     _engine_argument(parser)
@@ -284,6 +285,42 @@ def _cmd_witness(args):
     return 0
 
 
+def _run_verify(scenarios, chips, intensity, jobs, executor, cache_dir,
+                loop_bound=None, max_transitions=None, witnesses=True):
+    """Shared exhaustive-verification driver for ``verify`` and
+    ``app --mode exhaustive``.  Exit status mirrors ``app``: nonzero iff
+    a *fenced* scenario loses (an unfenced loss is the paper's point)."""
+    from .exhaustive import (DEFAULT_LOOP_BOUND, DEFAULT_MAX_TRANSITIONS,
+                             verify_scenarios)
+    report = verify_scenarios(
+        scenarios, chips, intensity=intensity,
+        loop_bound=(DEFAULT_LOOP_BOUND if loop_bound is None
+                    else loop_bound),
+        max_transitions=(DEFAULT_MAX_TRANSITIONS if max_transitions is None
+                         else max_transitions),
+        jobs=jobs, executor=executor, cache_dir=cache_dir,
+        witnesses=witnesses)
+    print("exhaustive verification (intensity is structural: any positive "
+          "value explores the same space):")
+    for line in report.lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
+def _cmd_verify(args):
+    try:
+        scenarios = select_scenarios(args.scenarios, fenced=args.fenced)
+        if not scenarios:
+            raise ReproError("the scenario selection is empty")
+        return _run_verify(scenarios, args.chips, args.intensity,
+                           args.jobs, args.executor, args.cache_dir,
+                           loop_bound=args.loop_bound,
+                           max_transitions=args.max_transitions,
+                           witnesses=not args.no_witness)
+    except ReproError as error:
+        raise SystemExit(str(error))
+
+
 def _cmd_app(args):
     try:
         runs = (args.runs if args.runs is not None
@@ -291,6 +328,9 @@ def _cmd_app(args):
         scenarios = select_scenarios(args.scenarios, fenced=args.fenced)
         if not scenarios:
             raise ReproError("the scenario selection is empty")
+        if args.mode == "exhaustive":
+            return _run_verify(scenarios, args.chips, args.intensity,
+                               args.jobs, args.executor, args.cache_dir)
         session = app_session(jobs=args.jobs, executor=args.executor,
                               cache_dir=args.cache_dir)
         if args.prescreen:
@@ -524,8 +564,54 @@ def build_parser():
                      help="statically analyse each scenario first; "
                           "provably-clean cells skip simulation and "
                           "report zero losses by proof")
+    app.add_argument("--mode", choices=("stress", "exhaustive"),
+                     default="stress",
+                     help="stress (default): sample --runs launches per "
+                          "cell; exhaustive: enumerate every execution "
+                          "with DPOR pruning and report verified/lost "
+                          "verdicts (ignores --runs/--seed/--engine; see "
+                          "`repro-litmus verify` for the full knob set)")
     _engine_argument(app)
     app.set_defaults(func=_cmd_app)
+
+    verify = sub.add_parser(
+        "verify",
+        help="exhaustively verify scenarios: enumerate every execution "
+             "(DPOR-pruned) and prove fenced variants lose zero times")
+    verify.add_argument("--scenario", "-s", dest="scenarios", nargs="+",
+                        default=["all"], metavar="NAME",
+                        help="scenario names or families; 'all' (default) "
+                             "runs the whole registry")
+    verify.add_argument("--chips", "--chip", dest="chips", nargs="+",
+                        default=list(RESULT_CHIPS), choices=sorted(CHIPS),
+                        metavar="CHIP",
+                        help="chips to sweep (default: the paper's result "
+                             "chips)")
+    verify.add_argument("--fenced", choices=("both", "on", "off"),
+                        default="both",
+                        help="variant filter: off = published (buggy) code, "
+                             "on = the paper's fences, both (default)")
+    verify.add_argument("--intensity", type=float, default=1.0,
+                        help="relaxation intent (structural: any positive "
+                             "value explores the same space; default 1.0)")
+    verify.add_argument("--loop-bound", type=int, default=None,
+                        help="spin-retry bound per backward branch "
+                             "(default 3); verdicts at the bound carry an "
+                             "explicit 'bounded' marker")
+    verify.add_argument("--max-transitions", type=int, default=None,
+                        help="abort a cell loudly past this many "
+                             "transitions (default 2000000)")
+    verify.add_argument("--no-witness", action="store_true",
+                        help="skip re-deriving losing execution traces")
+    verify.add_argument("--jobs", type=int, default=1,
+                        help="worker count: cells fan out like any other "
+                             "campaign")
+    verify.add_argument("--executor", default="process",
+                        choices=("process", "thread"),
+                        help="worker pool kind for --jobs > 1")
+    verify.add_argument("--cache-dir", default=None,
+                        help="directory for the on-disk verdict cache")
+    verify.set_defaults(func=_cmd_verify)
 
     analyze = sub.add_parser(
         "analyze",

@@ -53,6 +53,15 @@ class FuelExhausted(SimulationError):
     """
 
 
+class ExplorationLimit(SimulationError):
+    """Raised when exhaustive exploration exceeds its transition budget.
+
+    The exhaustive backend treats its reachable-state set as *complete*,
+    so the budget acts like the model backend's ``max_executions``: a
+    safety valve that refuses combinatorial blow-ups loudly, never a
+    silent sampler."""
+
+
 class ConfigurationError(ReproError):
     """Raised for invalid environment/configuration values (e.g. a
     non-integer ``REPRO_ITERS``)."""

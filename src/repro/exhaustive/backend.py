@@ -1,0 +1,178 @@
+"""The :class:`ExhaustiveBackend`: verified verdicts behind the campaign API.
+
+The verifier tier of the ROADMAP: one exhaustive exploration per
+:class:`~repro.api.spec.RunSpec` / :class:`~repro.apps.scenario.ScenarioSpec`,
+delivered through the same :class:`~repro.api.session.Session` machinery
+as simulations, model enumerations and static analyses —
+fingerprint-keyed caching, in-plan deduplication, ``Shard.iterations=0``
+accounting (an exploration is not a sampled iteration).
+
+Results travel as histograms so the cache's JSON round-trip and the
+``SpecResult`` plumbing apply unchanged: every reachable final state
+appears with count 1, and the exploration's metadata (bounded flag,
+execution/transition/loss counters) rides along as synthetic single-key
+states under the reserved ``__exhaustive*`` locations, decoded back by
+:func:`split_exhaustive_histogram`.  The synthetic states never flow
+through :meth:`~repro.harness.histogram.Histogram.observations` —
+``Not(MemEq(...))`` conditions hold on states that *lack* a location, so
+callers must decode first (which is why :func:`exhaustive_verdict`
+exists).
+
+Exploration is *intensity-structural*: only which relaxation intents are
+non-zero matters (the explorer enumerates both branches of every
+surviving choice point), so verdicts dedupe across all positive
+intensities, seeds and iteration counts — the cache signature covers the
+litmus text, the chip, the structural intent vector, the loop bound and
+the strategy.
+"""
+
+import hashlib
+
+from ..api.backends import Backend, Shard
+from ..harness.histogram import Histogram
+from ..litmus.condition import FinalState
+from ..litmus.writer import write_litmus
+from .explore import (DEFAULT_LOOP_BOUND, DEFAULT_MAX_TRANSITIONS,
+                      explore_test)
+
+#: Reserved location prefix for exploration metadata states.  Real
+#: programs never name memory locations with a dunder prefix, so the
+#: split below is unambiguous.
+EXHAUSTIVE_PREFIX = "__exhaustive"
+
+#: The individual metadata locations.
+BOUNDED_LOCATION = "__exhaustive_bounded__"
+EXECUTIONS_LOCATION = "__exhaustive_executions__"
+TRANSITIONS_LOCATION = "__exhaustive_transitions__"
+LOSSES_LOCATION = "__exhaustive_losses__"
+
+#: Bump to invalidate cached explorations when the explorer changes.
+EXHAUSTIVE_VERSION = 1
+
+
+def _meta_state(location, value):
+    return FinalState.make(mem={location: int(value)})
+
+
+def encode_exhaustive_histogram(result):
+    """Encode an :class:`~repro.exhaustive.explore.ExhaustiveResult` as a
+    histogram: reachable states with count 1 plus metadata states."""
+    histogram = Histogram()
+    for state in result.reachable:
+        histogram.add(state)
+    histogram.add(_meta_state(BOUNDED_LOCATION, 1 if result.bounded else 0))
+    histogram.add(_meta_state(EXECUTIONS_LOCATION, result.executions))
+    histogram.add(_meta_state(TRANSITIONS_LOCATION, result.transitions))
+    histogram.add(_meta_state(LOSSES_LOCATION, result.losses))
+    return histogram
+
+
+def _is_meta(state):
+    mem = state.mem
+    return (len(mem) == 1 and not state.regs
+            and mem[0][0].startswith(EXHAUSTIVE_PREFIX))
+
+
+def split_exhaustive_histogram(histogram):
+    """Split an encoded histogram into ``(reachable, meta)``.
+
+    ``reachable`` is a :class:`~repro.harness.histogram.Histogram` of the
+    real final states (each with count 1); ``meta`` maps the
+    ``__exhaustive*`` locations to their integer values.
+    """
+    reachable = Histogram()
+    meta = {}
+    for state, count in histogram.counts.items():
+        if _is_meta(state):
+            meta[state.mem[0][0]] = state.mem[0][1]
+        else:
+            reachable.add(state, count)
+    if BOUNDED_LOCATION not in meta:
+        from ..errors import ReproError
+        raise ReproError("not an exhaustive histogram: missing %r state"
+                         % BOUNDED_LOCATION)
+    return reachable, meta
+
+
+def exhaustive_verdict(histogram, condition):
+    """Decode an encoded histogram into a verdict dict.
+
+    Returns ``{"states", "executions", "transitions", "losses",
+    "bounded", "losing_states", "verified"}`` where ``losing_states``
+    are the reachable states satisfying ``condition`` (the loss
+    predicate) and ``verified`` means the exploration saw zero losing
+    executions.
+    """
+    reachable, meta = split_exhaustive_histogram(histogram)
+    losing = reachable.witnesses(condition)
+    return {
+        "states": len(reachable),
+        "executions": meta[EXECUTIONS_LOCATION],
+        "transitions": meta[TRANSITIONS_LOCATION],
+        "losses": meta[LOSSES_LOCATION],
+        "bounded": bool(meta[BOUNDED_LOCATION]),
+        "losing_states": losing,
+        "verified": meta[LOSSES_LOCATION] == 0,
+    }
+
+
+class ExhaustiveBackend(Backend):
+    """Stateless model checking as a campaign backend.
+
+    ``run`` explores the spec's compiled cell exhaustively and returns
+    the encoded reachable-state histogram.  Like the model and analysis
+    backends, each spec is one indivisible work unit with
+    ``iterations=0`` (the session's simulated-iteration statistic stays
+    a sim/app-only number).  The verdict is a pure function of the spec
+    — independent of ``--jobs``, the executor and the seed — so cached
+    and fresh results are interchangeable.
+    """
+
+    name = "exhaustive"
+    supports_sharding = True
+
+    def __init__(self, strategy="dpor", loop_bound=DEFAULT_LOOP_BOUND,
+                 max_transitions=DEFAULT_MAX_TRANSITIONS):
+        self.strategy = strategy
+        self.loop_bound = loop_bound
+        self.max_transitions = max_transitions
+
+    def _structural_intent(self, spec):
+        """Exploration depends on intensity only through zero/non-zero."""
+        return 1 if float(getattr(spec, "intensity", 1.0)) > 0.0 else 0
+
+    def cache_signature(self, spec):
+        payload = "exhaustive-v%d\x1e%s\x1e%s\x1eintent=%d\x1ebound=%d\x1e%s" \
+            % (EXHAUSTIVE_VERSION, write_litmus(spec.test), repr(spec.chip),
+               self._structural_intent(spec), self.loop_bound, self.strategy)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def shards(self, spec, shard_size):
+        return [Shard(index=0, iterations=0, seed=spec.seed)]
+
+    def run_shard(self, spec, shard):
+        return self.run(spec)
+
+    def run(self, spec):
+        intensity = float(getattr(spec, "intensity", 1.0))
+        result = explore_test(
+            spec.test, spec.chip,
+            intensity=intensity if intensity > 0.0 else 0.0,
+            strategy=self.strategy, loop_bound=self.loop_bound,
+            max_transitions=self.max_transitions)
+        return encode_exhaustive_histogram(result)
+
+
+def exhaustive_session(jobs=1, executor="thread", cache=True, cache_dir=None,
+                       pool=None, strategy="dpor",
+                       loop_bound=DEFAULT_LOOP_BOUND,
+                       max_transitions=DEFAULT_MAX_TRANSITIONS):
+    """A :class:`~repro.api.session.Session` wired to the exhaustive
+    backend (the verifying twin of
+    :func:`repro.analysis.backend.analysis_session`)."""
+    from ..api.session import Session
+    return Session(backend=ExhaustiveBackend(strategy=strategy,
+                                             loop_bound=loop_bound,
+                                             max_transitions=max_transitions),
+                   jobs=jobs, executor=executor, cache=cache,
+                   cache_dir=cache_dir, pool=pool)

@@ -1,0 +1,627 @@
+"""Stateless DPOR exploration of compiled cells: the verification core.
+
+The campaign stack answers "did the scenario lose?" statistically: it
+samples scheduler interleavings and relaxation draws.  This module
+answers it *exhaustively*, GPUMC-style: every reachable final state of a
+``(test, chip)`` cell under the operational semantics, by systematically
+enumerating the per-tick choice points of the compiled fast engine
+(:mod:`repro.sim.compile`) with persistent-set/sleep-set dynamic
+partial-order reduction (Flanagan-Godefroid DPOR).
+
+**The transition system.**  A state is the compiled cell's machine state
+with every thread decoded to fixpoint; a transition issues one eligible
+pending op of one thread (``_Thread.issue``) and re-decodes that thread.
+Decode is thread-local and touches no memory, so folding it into the
+preceding issue preserves reachability; younger queue entries never
+block older ones, so eager decode only *adds* issue candidates.  The
+intent vector is *structural*: slot ``s`` is enabled iff the chip's draw
+probability is non-zero, which makes every per-iteration sampled intent
+vector a subset — any behaviour the simulator can sample is explored
+here (and the exploration realises reorderings the per-iteration
+scheduler merely makes unlikely).
+
+**Choice points.**  Three kinds, all enumerated:
+
+* the scheduler: which thread issues which eligible op (the DPOR
+  domain — persistent sets prune commuting interleavings, sleep sets
+  kill re-explorations, both provably preserving the reachable final
+  states);
+* under-scoped fence damping: the only ``rng`` draw on the decode path
+  (:meth:`_Compiler._compile_membar`), scripted through
+  :class:`_ChoiceRng` and binary-enumerated per transition;
+* spin retries: backward branches are wrapped with a per-thread loop
+  bound — exceeding it abandons the branch and flags the result
+  ``bounded`` (the explicit verdict qualifier; GPUMC bounds loops the
+  same way).
+
+Memory-system cache draws (L1 warm/evict) are *not* choice points: every
+modelled chip has ``p_stale = 0``, so L1 content is unobservable and the
+draws are semantically inert (enforced at construction).
+
+The happens-before bookkeeping uses the same integer-bitmask row idiom
+as PR 4's :class:`~repro.model.relation.IndexedRelation`;
+:func:`execution_graph` hands a witness trace back to that machinery for
+rendering and tests.
+"""
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, ExplorationLimit, SimulationError
+from ..ptx.instructions import Bra
+from ..sim.compile import (K_ADD, K_CAS, K_EXCH, K_FENCE, K_LOAD, K_STORE,
+                           compile_cell)
+
+#: Per-thread backward-branch budget per execution: enough to resolve a
+#: two-thread spin-lock handoff with a retry to spare, small enough to
+#: keep lock scenarios tractable.
+DEFAULT_LOOP_BOUND = 3
+
+#: Transition budget (see :class:`~repro.errors.ExplorationLimit`).
+DEFAULT_MAX_TRANSITIONS = 2_000_000
+
+#: Exploration strategies: ``dpor`` (persistent + sleep sets) and
+#: ``naive`` (every enabled transition at every state with no sleep-set
+#: pruning — full interleaving enumeration, the baseline the benchmark
+#: compares against).
+STRATEGIES = ("dpor", "naive")
+
+KIND_NAMES = {K_LOAD: "load", K_STORE: "store", K_FENCE: "fence",
+              K_CAS: "cas", K_EXCH: "exch", K_ADD: "add"}
+
+
+class _LoopBoundExceeded(Exception):
+    """Internal: a wrapped backward branch exceeded the loop bound."""
+
+
+class _ChoiceRng:
+    """Scriptable stand-in for the per-thread ``Random``.
+
+    The only draw the compiled decode path performs is the under-scoped
+    fence test ``rng.random() >= damping``.  Damping 0 (or scope-covered
+    fences, which draw nothing) forces *effective*; damping >= 1 forces
+    *ineffective*; anything in between is a genuine binary choice point:
+    the scripted outcome is replayed, outcomes beyond the script default
+    to effective, and every outcome taken is recorded so the caller can
+    enumerate the untaken siblings.
+    """
+
+    __slots__ = ("damping", "script", "taken", "cursor")
+
+    def __init__(self, damping):
+        self.damping = damping
+        self.script = ()
+        self.taken = []
+        self.cursor = 0
+
+    def begin(self, script):
+        self.script = script
+        self.taken = []
+        self.cursor = 0
+
+    def random(self):
+        damping = self.damping
+        if damping <= 0.0:
+            return 0.5          # always effective: not a choice point
+        if damping >= 1.0:
+            return 0.0          # never effective: not a choice point
+        index = self.cursor
+        effective = self.script[index] if index < len(self.script) else True
+        self.cursor = index + 1
+        self.taken.append(effective)
+        # The closure tests `random() >= damping`: returning the damping
+        # itself realises "effective", 0.0 realises "ineffective".
+        return damping if effective else 0.0
+
+
+class _StubRng:
+    """The memory system's rng: cache-effect draws (L1 evict/inval) only
+    touch L1 lines, which are unobservable when staleness is off, so a
+    fixed value is semantically inert."""
+
+    __slots__ = ()
+
+    def random(self):
+        return 0.5
+
+
+@dataclass(frozen=True)
+class WitnessEvent:
+    """One issued op of a witness trace."""
+
+    tid: int
+    op: str             #: kind name: load/store/fence/cas/exch/add
+    location: str       #: memory location name, or None for fences
+    value: int          #: value read (loads/atomics) or written (stores)
+    is_store: bool
+
+    def __str__(self):
+        if self.op == "fence":
+            return "T%d fence" % self.tid
+        arrow = "<-" if self.is_store and self.op == "store" else "->"
+        return "T%d %s %s %s %s" % (self.tid, self.op, self.location,
+                                    arrow, self.value)
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A concrete execution trace reaching a condition-satisfying state."""
+
+    events: tuple       #: WitnessEvent sequence, in issue order
+    state: object       #: the FinalState it reaches
+
+    def lines(self):
+        out = ["%2d. %s" % (index, event)
+               for index, event in enumerate(self.events, 1)]
+        out.append("final: %s" % (self.state,))
+        return out
+
+
+@dataclass(frozen=True)
+class ExhaustiveResult:
+    """The verdict of one exhaustive exploration."""
+
+    reachable: frozenset  #: every reachable final state
+    executions: int       #: complete executions examined
+    transitions: int      #: transitions executed (the pruning metric)
+    losses: int           #: executions satisfying the condition
+    bounded: bool         #: True if any branch hit the loop bound
+    strategy: str
+    loop_bound: int
+    witness: object       #: first condition-satisfying Witness, or None
+
+    @property
+    def complete(self):
+        """All executions covered (no loop-bound truncation)."""
+        return not self.bounded
+
+    @property
+    def verified(self):
+        """Zero condition-satisfying states among all reachable ones."""
+        return self.losses == 0
+
+
+class _Event:
+    """One executed transition on the current DPOR path."""
+
+    __slots__ = ("label", "hb", "detail")
+
+    def __init__(self, label, hb, detail):
+        self.label = label
+        self.hb = hb          # bitmask over earlier path positions
+        self.detail = detail  # (tid, kind, address, value, is_store)
+
+
+class _Frame:
+    """One state on the explicit DPOR stack."""
+
+    __slots__ = ("snapshot", "enabled", "backtrack", "done", "sleep",
+                 "label", "variants")
+
+    def __init__(self, snapshot, enabled, sleep):
+        self.snapshot = snapshot
+        self.enabled = enabled    # label -> pending _Op
+        self.backtrack = set()
+        self.done = set()
+        self.sleep = sleep
+        self.label = None         # label currently being explored
+        self.variants = []        # pending fence-choice scripts for label
+
+
+def _dependent(a, b):
+    """May the transitions labelled ``a`` and ``b`` not commute?
+
+    Same-thread transitions are always dependent (program order).
+    Cross-thread: fences touch only their own SM's L1 (unobservable, see
+    :class:`_StubRng`) and are independent of everything; memory ops
+    conflict iff they target the same address with at least one writer.
+    Shared-memory addresses are per-SM but treated address-wise —
+    conservative dependencies only cost pruning, never soundness.
+    """
+    if a[0] == b[0]:
+        return True
+    if a[2] == K_FENCE or b[2] == K_FENCE:
+        return False
+    if a[3] != b[3]:
+        return False
+    return a[4] or b[4]
+
+
+class Explorer:
+    """Exhaustive exploration of one ``(test, chip)`` cell.
+
+    Compiles a private :class:`~repro.sim.compile.CompiledCell` (default
+    CTA placement — the one every non-``thread_rand`` campaign runs) and
+    drives its threads' ``decode``/``eligible_ops``/``issue`` machinery
+    directly, so the per-transition semantics are exactly the fast
+    engine's.  ``intensity`` only matters structurally (zero vs
+    non-zero): slot ``s`` of the intent vector is enabled iff its draw
+    probability is positive.
+    """
+
+    def __init__(self, test, chip, intensity=1.0, strategy="dpor",
+                 loop_bound=DEFAULT_LOOP_BOUND,
+                 max_transitions=DEFAULT_MAX_TRANSITIONS, condition=None):
+        if strategy not in STRATEGIES:
+            raise ConfigurationError(
+                "unknown exploration strategy %r (expected one of: %s)"
+                % (strategy, ", ".join(STRATEGIES)))
+        if loop_bound < 1:
+            raise ConfigurationError(
+                "loop_bound must be >= 1, got %r" % (loop_bound,))
+        self.test = test
+        self.chip = chip
+        self.strategy = strategy
+        self.loop_bound = loop_bound
+        self.max_transitions = max_transitions
+        cell = compile_cell(test, chip, intensity=intensity)
+        if cell.p_stale > 0.0:
+            raise ConfigurationError(
+                "exhaustive mode cannot enumerate stale-L1 nondeterminism "
+                "(chip %s has p_stale=%g)" % (chip.short, cell.p_stale))
+        self.cell = cell
+        self.threads = cell.threads
+        self.memory = cell.memory
+        self.iv = [probability > 0.0 for probability in cell.draw_probs]
+        self.condition = condition if condition is not None else test.condition
+        self._choice_rng = _ChoiceRng(chip.underscoped_fence_damping)
+        self._loop_counts = [0] * len(self.threads)
+        self._wrap_backward_branches()
+        self._loc_names = {address: name
+                           for name, address in cell.address_map.items()}
+        self.memory.reset(_StubRng(), False)
+        for thread in self.threads:
+            thread.reset(self._choice_rng)
+        self.reachable = set()
+        self.executions = 0
+        self.transitions = 0
+        self.losses = 0
+        self.bounded = False
+        self.witness = None
+
+    # -- loop bounding ------------------------------------------------------
+
+    def _wrap_backward_branches(self):
+        """Wrap every backward ``bra`` with the per-thread loop counter.
+
+        Only *taken backward* jumps count (a guarded branch that falls
+        through advances the pc instead); exceeding the bound abandons
+        the branch via :class:`_LoopBoundExceeded` and flags the result
+        ``bounded``.
+        """
+        bound = self.loop_bound
+        counts = self._loop_counts
+        for tid, program in enumerate(self.test.threads):
+            thread = self.threads[tid]
+            for pc, instruction in enumerate(program.instructions):
+                if not isinstance(instruction, Bra):
+                    continue
+                target = program.labels[instruction.target]
+                if target > pc:
+                    continue
+
+                def step(t, _inner=thread.code[pc], _target=target,
+                         _tid=tid, _counts=counts, _bound=bound):
+                    result = _inner(t)
+                    if result and t.pc == _target:
+                        _counts[_tid] += 1
+                        if _counts[_tid] > _bound:
+                            raise _LoopBoundExceeded()
+                    return result
+
+                thread.code[pc] = step
+
+    # -- state save/restore -------------------------------------------------
+
+    def _snapshot(self):
+        memory = self.memory
+        return (tuple((t.pc, t.seq, dict(t.regs), set(t.pending),
+                       list(t.queue)) for t in self.threads),
+                dict(memory.global_mem),
+                [dict(bank) for bank in memory.shared_mem],
+                [dict(line) for line in memory.l1],
+                list(self._loop_counts))
+
+    def _restore(self, snapshot):
+        thread_states, global_mem, shared_mem, l1, loop_counts = snapshot
+        for thread, (pc, seq, regs, pending, queue) in zip(self.threads,
+                                                           thread_states):
+            thread.pc = pc
+            thread.seq = seq
+            thread.regs.clear()
+            thread.regs.update(regs)
+            thread.pending.clear()
+            thread.pending.update(pending)
+            thread.queue[:] = queue
+        memory = self.memory
+        memory.global_mem.clear()
+        memory.global_mem.update(global_mem)
+        for bank, saved in zip(memory.shared_mem, shared_mem):
+            bank.clear()
+            bank.update(saved)
+        for line, saved in zip(memory.l1, l1):
+            line.clear()
+            line.update(saved)
+        self._loop_counts[:] = loop_counts
+
+    # -- transitions --------------------------------------------------------
+
+    def _enabled(self):
+        """All enabled transition labels at the current (decoded) state.
+
+        A label ``(tid, seq, kind, address, is_store, is_load)`` is
+        path-stable (the pending op keeps its identity until issued) and
+        deterministically ordered: ``(tid, seq)`` alone is unique, so
+        tuple comparison never reaches the possibly-None address.
+        """
+        enabled = {}
+        iv = self.iv
+        for tid, thread in enumerate(self.threads):
+            if thread.pc < thread.ncode or thread.queue:
+                for op in thread.eligible_ops(iv):
+                    st = op.st
+                    enabled[(tid, op.seq, st.kind, op.address,
+                             st.is_store, st.is_load)] = op
+        return enabled
+
+    def _execute(self, label, op):
+        """Issue ``op`` and re-decode its thread to fixpoint."""
+        self.transitions += 1
+        if self.transitions > self.max_transitions:
+            raise ExplorationLimit(
+                "exhaustive exploration of %s on %s exceeded %d "
+                "transitions; raise max_transitions or lower the loop "
+                "bound" % (self.test.name, self.chip.short,
+                           self.max_transitions))
+        tid = label[0]
+        thread = self.threads[tid]
+        thread.issue(op)
+        st = op.st
+        if st.kind == K_STORE:
+            value = op.value
+        elif st.kind == K_FENCE:
+            value = None
+        else:
+            value = thread.regs.get(st.dst)
+        while thread.decode():
+            pass
+        return (tid, st.kind, op.address, value, st.is_store)
+
+    @staticmethod
+    def _queue_variants(worklist, script, taken):
+        """Enumerate the untaken fence-choice siblings of one execution:
+        for every effective draw beyond the forced prefix, the script
+        that flips it (classic binary-tree stateless enumeration)."""
+        for index in range(len(script), len(taken)):
+            if taken[index]:
+                worklist.append(taken[:index] + (False,))
+
+    # -- terminal states ----------------------------------------------------
+
+    def _record_terminal(self, events):
+        for thread in self.threads:
+            if not thread.done:
+                raise SimulationError(
+                    "exhaustive exploration wedged in %s: a thread has "
+                    "work but no eligible op (decode-fixpoint invariant "
+                    "violated)" % self.test.name)
+        state = self.cell._final_state()
+        self.executions += 1
+        self.reachable.add(state)
+        if self.condition is not None and self.condition.holds(state):
+            self.losses += 1
+            if self.witness is None:
+                self.witness = self._capture_witness(events, state)
+
+    def _capture_witness(self, events, state):
+        out = []
+        for event in events:
+            tid, kind, address, value, is_store = event.detail
+            out.append(WitnessEvent(
+                tid=tid, op=KIND_NAMES[kind],
+                location=self._loc_names.get(address), value=value,
+                is_store=is_store))
+        return Witness(events=tuple(out), state=state)
+
+    # -- DPOR ---------------------------------------------------------------
+
+    def _make_frame(self, sleep, events=()):
+        enabled = self._enabled()
+        if not enabled:
+            self._record_terminal(events)
+            return None
+        frame = _Frame(self._snapshot(), enabled, sleep)
+        if self.strategy == "naive":
+            frame.backtrack = set(enabled)
+        else:
+            # Seed the persistent set with *every* enabled op of one
+            # thread, not one op: a thread's eligible ops are mutually
+            # dependent (issue order is itself a relaxation choice), and
+            # cross-thread race reversal can never recover an
+            # intra-thread reordering.
+            awake = [label for label in enabled if label not in sleep]
+            if awake:
+                seed_tid = min(awake)[0]
+                frame.backtrack.update(label for label in awake
+                                       if label[0] == seed_tid)
+            # else: every enabled transition is asleep — this state's
+            # subtree is already covered elsewhere (sleep-set blocking).
+        return frame
+
+    def _pick(self, frame):
+        """Next unexplored backtrack label, or None when exhausted.
+
+        Called only between labels (never between fence variants), so
+        the previous label is fully explored here — the moment it joins
+        the sleep set for its later siblings.
+        """
+        if frame.label is not None:
+            frame.sleep.add(frame.label)
+            frame.label = None
+        candidates = [label for label in frame.backtrack
+                      if label not in frame.done and label not in frame.sleep]
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def _update_races(self, stack, events, label):
+        """Happens-before closure + persistent-set race reversal.
+
+        ``events[i]`` was executed from ``stack[i]``; its ``hb`` mask is
+        already transitively closed, so the new transition's closure is
+        the union over its direct predecessors (same thread or
+        dependent) — the same bitmask-row idiom as
+        :meth:`~repro.model.relation.IndexedRelation.transitive_closure`.
+        A dependent cross-thread event not ordered before ``label``
+        through *other* predecessors is a reversible race: seed the
+        backtrack set of its pre-state with the threads that can reach
+        the reversal (Flanagan-Godefroid's E-set, all labels of those
+        threads at our transition granularity; every enabled label if
+        none qualify).
+        """
+        tid = label[0]
+        contributors = [index for index, event in enumerate(events)
+                        if event.label[0] == tid
+                        or _dependent(event.label, label)]
+        hb = 0
+        for index in contributors:
+            hb |= events[index].hb | (1 << index)
+        if self.strategy != "dpor":
+            return hb
+        for index in contributors:
+            event = events[index]
+            if event.label[0] == tid:
+                continue
+            ordered = 0
+            for other in contributors:
+                if other != index:
+                    ordered |= events[other].hb | (1 << other)
+            if (ordered >> index) & 1:
+                continue    # ordered via intermediates: not reversible
+            frame = stack[index]
+            tids = {tid}
+            for later in range(index + 1, len(events)):
+                if (hb >> later) & 1:
+                    tids.add(events[later].label[0])
+            candidates = [other for other in frame.enabled
+                          if other[0] in tids]
+            frame.backtrack.update(candidates or frame.enabled)
+        return hb
+
+    def _dpor(self):
+        """Explore every interleaving from the current (decoded) state."""
+        root = self._make_frame(set(), [])
+        if root is None:
+            return
+        stack = [root]
+        events = []
+        rng = self._choice_rng
+        while stack:
+            depth = len(stack) - 1
+            frame = stack[depth]
+            del events[depth:]
+            if frame.variants:
+                script = frame.variants.pop()
+            else:
+                label = self._pick(frame)
+                if label is None:
+                    stack.pop()
+                    continue
+                frame.label = label
+                frame.done.add(label)
+                script = ()
+            self._restore(frame.snapshot)
+            hb = self._update_races(stack, events, frame.label)
+            rng.begin(script)
+            op = frame.enabled[frame.label]
+            try:
+                detail = self._execute(frame.label, op)
+            except _LoopBoundExceeded:
+                self.bounded = True
+                self._queue_variants(frame.variants, script,
+                                     tuple(rng.taken))
+                continue
+            self._queue_variants(frame.variants, script, tuple(rng.taken))
+            events.append(_Event(frame.label, hb, detail))
+            if self.strategy == "naive":
+                child_sleep = set()
+            else:
+                child_sleep = {other for other in frame.sleep
+                               if not _dependent(other, frame.label)}
+            child = self._make_frame(child_sleep, events)
+            if child is not None:
+                stack.append(child)
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self):
+        """Explore everything; returns the :class:`ExhaustiveResult`.
+
+        The initial decode (before any issue) may itself hit fence
+        choice points, so its outcomes are enumerated as exploration
+        roots; each root then gets the full DPOR treatment.
+        """
+        base = self._snapshot()
+        rng = self._choice_rng
+        scripts = [()]
+        while scripts:
+            script = scripts.pop()
+            self._restore(base)
+            rng.begin(script)
+            try:
+                for thread in self.threads:
+                    while thread.decode():
+                        pass
+            except _LoopBoundExceeded:
+                self.bounded = True
+                self._queue_variants(scripts, script, tuple(rng.taken))
+                continue
+            self._queue_variants(scripts, script, tuple(rng.taken))
+            self._dpor()
+        return ExhaustiveResult(
+            reachable=frozenset(self.reachable), executions=self.executions,
+            transitions=self.transitions, losses=self.losses,
+            bounded=self.bounded, strategy=self.strategy,
+            loop_bound=self.loop_bound, witness=self.witness)
+
+
+def explore_test(test, chip, intensity=1.0, strategy="dpor",
+                 loop_bound=DEFAULT_LOOP_BOUND,
+                 max_transitions=DEFAULT_MAX_TRANSITIONS, condition=None):
+    """Exhaustively explore one cell; returns an :class:`ExhaustiveResult`.
+
+    ``condition`` defaults to the test's own final condition (which for
+    scenario-built tests *is* the loss predicate), counted per execution
+    with the first satisfying trace captured as the witness.
+    """
+    return Explorer(test, chip, intensity=intensity, strategy=strategy,
+                    loop_bound=loop_bound, max_transitions=max_transitions,
+                    condition=condition).run()
+
+
+def execution_graph(witness):
+    """Index a witness trace into PR 4's relation machinery.
+
+    Returns ``(index, relations)`` where ``index`` is an
+    :class:`~repro.model.relation.EventIndex` over the event positions
+    and ``relations`` maps ``po`` (same-thread order), ``com``
+    (same-location communication with a writer) and ``hb`` (their
+    transitive closure) to :class:`~repro.model.relation.IndexedRelation`
+    bitmask rows — the same execution-graph core the axiomatic engine
+    compiles against.
+    """
+    from ..model.relation import EventIndex, IndexedRelation
+    events = witness.events
+    index = EventIndex(tuple(range(len(events))))
+    po_pairs, com_pairs = [], []
+    for i, first in enumerate(events):
+        for j in range(i + 1, len(events)):
+            second = events[j]
+            if first.tid == second.tid:
+                po_pairs.append((i, j))
+            elif (first.location is not None
+                    and first.location == second.location
+                    and (first.is_store or second.is_store)):
+                com_pairs.append((i, j))
+    po = IndexedRelation.from_pairs(index, po_pairs)
+    com = IndexedRelation.from_pairs(index, com_pairs)
+    return index, {"po": po, "com": com, "hb": (po | com).transitive_closure()}

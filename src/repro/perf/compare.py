@@ -6,7 +6,9 @@ speedups.  Absolute rates are machine-dependent — comparing them across
 a laptop and a CI runner is noise — so this module diffs the
 **speedup** columns (fast vs reference, batch vs fast), which divide
 the machine out: the same interpreter overheads appear in numerator and
-denominator.
+denominator.  ``BENCH_exhaust.json``'s **reduction** columns (naive vs
+DPOR transitions explored) are diffed the same way — they are exact
+counts, not timings, so any drop is a real pruning regression.
 
 :func:`compare_reports` pairs cells by identity key (test/scenario x
 chip), computes per-cell and geomean ratios ``new / old`` for every
@@ -30,7 +32,7 @@ DEFAULT_THRESHOLD = 0.15
 
 #: Cell-identity fields, in priority order, used to pair cells across
 #: the two reports.
-_KEY_FIELDS = ("test", "scenario", "chip")
+_KEY_FIELDS = ("test", "scenario", "name", "chip")
 
 
 def load_report(path):
@@ -55,10 +57,11 @@ def _cell_key(cell):
 
 
 def _speedup_metrics(cell_a, cell_b):
-    """The speedup columns both cells carry with usable numbers."""
+    """The speedup/reduction columns both cells carry with usable
+    numbers."""
     metrics = []
     for key in sorted(set(cell_a) & set(cell_b)):
-        if "speedup" not in key:
+        if "speedup" not in key and "reduction" not in key:
             continue
         old, new = cell_a[key], cell_b[key]
         if (isinstance(old, (int, float)) and isinstance(new, (int, float))

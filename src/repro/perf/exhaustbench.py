@@ -1,0 +1,250 @@
+"""Pruning harness for the exhaustive explorer (``BENCH_exhaust.json``).
+
+Unlike its engine/model/app siblings this bench's headline metric is not
+wall-clock but *transitions explored*: per cell of a pinned corpus it
+runs :func:`~repro.exhaustive.explore.explore_test` twice — once with
+persistent-set/sleep-set DPOR and once with naive full interleaving
+enumeration — and records the reduction factor alongside the soundness
+contract (both strategies must reach the *identical* final-state set;
+a perf number from a diverged pruned exploration would be meaningless).
+
+The corpus mixes the two regimes the explorer lives in:
+
+* **application scenarios** on a weak chip (Titan), where every thread
+  holds several co-enabled reorderable ops (issue order is itself a
+  relaxation choice, so DPOR's persistent sets seed whole threads and
+  the reduction is modest);
+* **litmus cells with independent work** — iriw and ``mp-padN``
+  (message passing behind N private stores per thread) — where
+  commuting transitions dominate and the reduction grows
+  combinatorially; GTX280 (in-order, the paper's SC-like control)
+  isolates the scheduler-interleaving space from the relaxation space.
+
+``benchmarks/bench_perf_exhaust.py`` emits the report; CI runs the tiny
+corpus as part of perf-smoke and diffs it against the checked-in
+baseline via ``bench_compare.py``.
+"""
+
+import json
+import math
+import time
+from dataclasses import asdict, dataclass
+
+from ..errors import ReproError
+from ..exhaustive.explore import DEFAULT_LOOP_BOUND, explore_test
+
+#: The pinned exhaust corpus: ``(kind, name, chip)`` cells, where kind
+#: is ``scenario`` (registry name) or ``litmus`` (see
+#: :func:`exhaust_corpus_test`).
+EXHAUST_PINNED_CORPUS = (
+    ("scenario", "deque-mp", "Titan"),
+    ("scenario", "deque-mp+fenced", "Titan"),
+    ("scenario", "isolation", "Titan"),
+    ("scenario", "ticket", "Titan"),
+    ("scenario", "ticket+fenced", "Titan"),
+    ("litmus", "iriw", "GTX280"),
+    ("litmus", "iriw", "Titan"),
+    ("litmus", "mp-pad2", "Titan"),
+    ("litmus", "mp-pad4", "GTX280"),
+    ("litmus", "mp-pad6", "GTX280"),
+)
+
+#: CI-sized subset for the perf-smoke job.
+EXHAUST_TINY_CORPUS = (
+    ("scenario", "deque-mp", "Titan"),
+    ("scenario", "ticket+fenced", "Titan"),
+    ("litmus", "iriw", "GTX280"),
+    ("litmus", "mp-pad4", "GTX280"),
+)
+
+_EXHAUST_CORPORA = {"pinned": EXHAUST_PINNED_CORPUS,
+                    "tiny": EXHAUST_TINY_CORPUS}
+
+
+def exhaust_corpus_by_name(name):
+    """Resolve an exhaust corpus name (``pinned``/``tiny``) to cells."""
+    try:
+        return _EXHAUST_CORPORA[name]
+    except KeyError:
+        raise ReproError("unknown exhaust perf corpus %r (expected %s)"
+                         % (name, "/".join(sorted(_EXHAUST_CORPORA)))
+                         ) from None
+
+
+def padded_mp(pads, threads=2):
+    """Message passing behind ``pads`` private stores per thread.
+
+    The private locations (``a0..``, ``b0..``, ``c0..``) make most
+    cross-thread transition pairs commute — the regime DPOR exists for —
+    while the mp core (flag ``y`` publishing ``x``) keeps a weak outcome
+    for the differential oracles to agree on.  ``threads=3`` adds a
+    third thread of pure private stores.
+    """
+    from ..litmus import parse_litmus
+    cols = [
+        ["st.cg.s32 [a%d], 1" % i for i in range(pads)]
+        + ["st.cg.s32 [x], 1", "st.cg.s32 [y], 1"],
+        ["st.cg.s32 [b%d], 1" % i for i in range(pads)]
+        + ["ld.cg.s32 r0, [y]", "ld.cg.s32 r1, [x]"],
+    ]
+    if threads == 3:
+        cols.append(["st.cg.s32 [c%d], 1" % i for i in range(pads)])
+    height = max(len(col) for col in cols)
+    for col in cols:
+        col += [""] * (height - len(col))
+    rows = "\n".join(" " + " | ".join(row) + " ;" for row in zip(*cols))
+    header = " | ".join("T%d" % i for i in range(len(cols)))
+    tree = " ".join("(cta (warp T%d))" % i for i in range(len(cols)))
+    name = "mp-pad%d" % pads if threads == 2 else "mp-pad%d-%dt" % (pads,
+                                                                    threads)
+    source = """GPU_PTX %s
+"mp behind %d private stores per thread"
+{
+ 1:.reg .s32 r0;
+ 1:.reg .s32 r1;
+}
+ %s ;
+%s
+ScopeTree (grid %s)
+exists (1:r0=1 /\\ 1:r1=0)
+""" % (name, pads, header, rows, tree)
+    return parse_litmus(source)
+
+
+def exhaust_corpus_test(kind, name):
+    """Resolve a corpus cell to a litmus test.
+
+    ``scenario`` names resolve through the app registry (the compiled
+    launch test whose condition is the loss predicate); ``litmus`` names
+    are ``iriw`` or ``mp-padN[-3t]``.
+    """
+    if kind == "scenario":
+        from ..apps.scenario import get_scenario
+        return get_scenario(name).test()
+    if kind == "litmus":
+        if name == "iriw":
+            from ..litmus import iriw
+            return iriw()
+        if name.startswith("mp-pad"):
+            spec = name[len("mp-pad"):]
+            threads = 3 if spec.endswith("-3t") else 2
+            pads = int(spec[:-3] if spec.endswith("-3t") else spec)
+            return padded_mp(pads, threads)
+        raise ReproError("unknown exhaust litmus cell %r" % name)
+    raise ReproError("unknown exhaust corpus kind %r" % kind)
+
+
+@dataclass(frozen=True)
+class ExhaustBenchCell:
+    """Measured exploration sizes for one (test, chip) cell."""
+
+    name: str
+    chip: str
+    kind: str                 #: scenario or litmus
+    loop_bound: int
+    states: int               #: reachable final states (both strategies)
+    losses: int               #: losing executions under DPOR
+    bounded: bool
+    identical: bool           #: DPOR and naive reachable sets matched
+    dpor_transitions: int
+    naive_transitions: int
+    dpor_executions: int
+    naive_executions: int
+    reduction: float          #: naive / DPOR transitions (the headline)
+    dpor_seconds: float
+    naive_seconds: float
+
+
+def bench_exhaust_cell(kind, name, chip_short,
+                       loop_bound=DEFAULT_LOOP_BOUND):
+    """Measure one corpus cell; returns an :class:`ExhaustBenchCell`."""
+    from ..sim.chip import CHIPS
+    test = exhaust_corpus_test(kind, name)
+    chip = CHIPS[chip_short]
+
+    began = time.perf_counter()
+    dpor = explore_test(test, chip, strategy="dpor", loop_bound=loop_bound)
+    dpor_seconds = time.perf_counter() - began
+    began = time.perf_counter()
+    naive = explore_test(test, chip, strategy="naive", loop_bound=loop_bound)
+    naive_seconds = time.perf_counter() - began
+
+    return ExhaustBenchCell(
+        name=name, chip=chip_short, kind=kind, loop_bound=loop_bound,
+        states=len(dpor.reachable), losses=dpor.losses,
+        bounded=dpor.bounded or naive.bounded,
+        identical=dpor.reachable == naive.reachable,
+        dpor_transitions=dpor.transitions,
+        naive_transitions=naive.transitions,
+        dpor_executions=dpor.executions,
+        naive_executions=naive.executions,
+        reduction=naive.transitions / max(1, dpor.transitions),
+        dpor_seconds=dpor_seconds, naive_seconds=naive_seconds)
+
+
+def bench_exhaust(corpus=EXHAUST_PINNED_CORPUS,
+                  loop_bound=DEFAULT_LOOP_BOUND):
+    """Measure every corpus cell; returns a list of cells."""
+    return [bench_exhaust_cell(kind, name, chip, loop_bound=loop_bound)
+            for kind, name, chip in corpus]
+
+
+def summarize_exhaust(cells):
+    """Aggregate stats: total and per-cell-geomean reduction factors."""
+    total_dpor = sum(cell.dpor_transitions for cell in cells)
+    total_naive = sum(cell.naive_transitions for cell in cells)
+    log_sum = sum(math.log(max(cell.reduction, 1e-9)) for cell in cells)
+    return {
+        "cells": len(cells),
+        "total_dpor_transitions": total_dpor,
+        "total_naive_transitions": total_naive,
+        "reduction_total": total_naive / max(1, total_dpor),
+        "reduction_geomean": math.exp(log_sum / max(1, len(cells))),
+        "min_reduction": min(cell.reduction for cell in cells),
+        "max_reduction": max(cell.reduction for cell in cells),
+        "all_identical": all(cell.identical for cell in cells),
+    }
+
+
+#: Report schema version (bump on layout changes).
+EXHAUST_SCHEMA_VERSION = 1
+
+
+def write_exhaust_report(path, cells, corpus_name, loop_bound, extra=None):
+    """Write the ``BENCH_exhaust.json`` trajectory entry."""
+    payload = {
+        "version": EXHAUST_SCHEMA_VERSION,
+        "benchmark": "exhaust",
+        "corpus": corpus_name,
+        "loop_bound": loop_bound,
+        "cells": [
+            {key: (round(value, 4) if isinstance(value, float) else value)
+             for key, value in asdict(cell).items()}
+            for cell in cells
+        ],
+        "summary": {key: (round(value, 4) if isinstance(value, float)
+                          else value)
+                    for key, value in summarize_exhaust(cells).items()},
+    }
+    if extra:
+        payload.update(extra)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=False)
+        handle.write("\n")
+    return payload
+
+
+def render_exhaust_table(cells):
+    """Human-readable comparison table for the console."""
+    from .._util import format_table
+    rows = [[cell.name, cell.chip, cell.kind, cell.states, cell.losses,
+             "yes" if cell.bounded else "no",
+             cell.dpor_transitions, cell.naive_transitions,
+             "%.1fx" % cell.reduction,
+             "%.3fs" % cell.dpor_seconds, "%.3fs" % cell.naive_seconds,
+             "yes" if cell.identical else "NO"]
+            for cell in cells]
+    return format_table(
+        ["cell", "chip", "kind", "states", "losses", "bounded",
+         "dpor tr", "naive tr", "reduction", "dpor s", "naive s",
+         "identical"], rows)

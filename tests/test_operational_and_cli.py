@@ -41,6 +41,45 @@ class TestSorensenModel:
                                        model=model._axiomatic)
         assert model.sample_outcomes(test, runs=400, seed=1) <= allowed
 
+    def test_unsoundness_witness_on_gtx660(self):
+        """The other refutation chip of Sec. 6 — a far rarer observation
+        than Titan's (19/100k vs 586/100k), so the sampling budget is
+        bigger."""
+        forbids, observed = unsoundness_witness(chip("GTX6"), runs=20000,
+                                                seed=2)
+        assert forbids
+        assert observed > 0
+
+    def test_no_witness_on_the_in_order_chip(self):
+        """GTX280 reorders nothing, so the model stays forbidding and
+        the hardware never observes the outcome: no refutation there."""
+        forbids, observed = unsoundness_witness(chip("GTX280"), runs=4000,
+                                                seed=2)
+        assert forbids
+        assert observed == 0
+
+    def test_sample_outcomes_are_seed_deterministic(self):
+        model = SorensenOperationalModel(chip("Titan"))
+        test = library.build("lb")
+        first = model.sample_outcomes(test, runs=300, seed=4)
+        second = model.sample_outcomes(test, runs=300, seed=4)
+        assert first == second
+
+    def test_exhaustive_explorer_confirms_the_refutation(self):
+        """Sec. 6 closed loop: the outcome the scope-blind model forbids
+        is exhaustively *reachable* on the chip semantics, with a
+        concrete witness trace — the refutation is a proof, not a
+        sampling artefact."""
+        from repro.exhaustive import explore_test
+
+        test = library.build("lb+membar.ctas")
+        model = SorensenOperationalModel(chip("Titan"))
+        assert not model.allows_condition(test)
+        result = explore_test(test, chip("Titan"))
+        assert result.losses > 0
+        assert result.witness is not None
+        assert test.condition.holds(result.witness.state)
+
 
 class TestCli:
     def test_list(self, capsys):
@@ -125,3 +164,29 @@ class TestCli:
         assert main(["generate", "--length", "3", "--max", "5"]) == 0
         out = capsys.readouterr().out
         assert "GPU_PTX" in out
+
+    def test_verify_fenced_scenario(self, capsys):
+        assert main(["verify", "-s", "isolation", "--fenced", "on",
+                     "--chips", "Titan"]) == 0
+        out = capsys.readouterr().out
+        assert "verified: 0 losses over all executions" in out
+
+    def test_verify_unfenced_scenario_reports_the_loss(self, capsys):
+        """An unfenced cell losing is the expected result, not a
+        failure: exit 0, but with a concrete losing trace."""
+        assert main(["verify", "-s", "deque-mp", "--fenced", "off",
+                     "--chips", "Titan"]) == 0
+        out = capsys.readouterr().out
+        assert "LOST" in out and "losing execution" in out
+
+    def test_app_exhaustive_mode(self, capsys):
+        assert main(["app", "-s", "deque-mp", "--chips", "Titan",
+                     "--mode", "exhaustive"]) == 0
+        out = capsys.readouterr().out
+        assert "exhaustive verification" in out and "LOST" in out
+
+    def test_unknown_backend_mentions_exhaustive(self):
+        from repro.api import make_backend
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="exhaustive"):
+            make_backend("banana")
