@@ -34,6 +34,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.errors import ReproError  # noqa: E402
 from repro.perf import (app_corpus_by_name, bench_apps,  # noqa: E402
                         render_app_table, summarize_apps, write_app_report)
+from repro.perf.appbench import BENCH_APP_RUNS  # noqa: E402
 
 #: Default output: the tracked trajectory file at the repo root.
 DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "..",
@@ -46,12 +47,13 @@ def main(argv=None):
                         choices=("pinned", "tiny"),
                         help="cell set: pinned (default) or the CI-sized "
                              "tiny subset")
-    parser.add_argument("--runs", type=int, default=2000,
-                        help="launches per engine per cell (default 2000 "
-                             "— a campaign-scale cell; the lockstep "
-                             "batch engine amortises per-tick dispatch "
-                             "over the batch width, so small values "
-                             "understate its steady state)")
+    parser.add_argument("--runs", type=int, default=BENCH_APP_RUNS,
+                        help="launches per engine per cell (default %d — "
+                             "one campaign shard, the unit the session "
+                             "layer dispatches; the lockstep batch "
+                             "engine sizes its chunks adaptively within "
+                             "this width, so small values understate "
+                             "its steady state)" % BENCH_APP_RUNS)
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of-N timing repeats (default 3)")
     parser.add_argument("--seed", type=int, default=0)

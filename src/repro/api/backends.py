@@ -145,6 +145,13 @@ class Backend:
         raise NotImplementedError(
             "%s does not support sharded execution" % self.name)
 
+    def consume_stats(self):
+        """Execution statistics accumulated since the previous call
+        (e.g. plan-cache hits), or ``None``.  Called in the worker that
+        ran the shard, so process pools ship the counts back with the
+        histogram."""
+        return None
+
 
 class SimBackend(Backend):
     """Operational execution on the simulated chips (Sec. 4 campaigns).
@@ -180,6 +187,17 @@ class SimBackend(Backend):
         # one.  (Process pools sidestep this via pickling, which drops
         # the memo entirely — see __getstate__.)
         self._local = threading.local()
+        # Plan-cache directory (a plain string, so it *does* pickle
+        # into process-pool workers — that is the whole point: workers
+        # share lowered batch plans through it instead of re-analysing
+        # per process).  Set via set_plan_cache, typically by the
+        # session when it has a disk cache directory.
+        self.plan_dir = None
+
+    def set_plan_cache(self, directory):
+        """Share lowered batch plans through ``directory`` (None
+        disables).  See :mod:`repro.sim.plancache`."""
+        self.plan_dir = directory
 
     def __getstate__(self):
         # Compiled cells hold closures; drop the memo when a process
@@ -203,7 +221,17 @@ class SimBackend(Backend):
         bit-identity/distribution-equivalence contracts in the first
         place, and the batch engine's histograms are only
         distribution-equivalent, not bit-identical.
+
+        The batch engine's tail fraction joins for the same reason:
+        the straggler hand-off changes the RNG stream, so histograms
+        produced under different tails are distinct statistical draws
+        and must not share cache entries.  The other engines have no
+        tail, so the knob is omitted (their entries stay stable however
+        ``REPRO_BATCH_TAIL`` is set).
         """
+        if spec.engine == "batch":
+            return "%s-%s-tail%g" % (spec.fingerprint(), spec.engine,
+                                     spec.batch_tail)
         return "%s-%s" % (spec.fingerprint(), spec.engine)
 
     def cache_variant(self, spec, shard_size):
@@ -225,22 +253,59 @@ class SimBackend(Backend):
             # engine, test text, chip profile, incantation column — not
             # the full fingerprint, so iteration/seed variants of one
             # cell share a single compilation (and the two compiling
-            # engines never share one).
+            # engines never share one).  The batch tail joins for batch
+            # cells: it is baked into the lowered cell.
             key = (spec.engine, spec.test.name, write_litmus(spec.test),
                    repr(spec.chip), spec.incantations.column)
+            if spec.engine == "batch":
+                key += (spec.batch_tail,)
             machine = cells.get(key)
             if machine is None:
                 if len(cells) >= self.MAX_COMPILED:
                     cells.clear()
-                lower = (compile_batch_cell if spec.engine == "batch"
-                         else compile_cell)
-                machine = lower(
-                    spec.test, spec.chip, intensity=intensity,
-                    shuffle_placement=spec.incantations.thread_rand)
+                if spec.engine == "batch":
+                    machine = self._lower_batch(spec, intensity)
+                else:
+                    machine = compile_cell(
+                        spec.test, spec.chip, intensity=intensity,
+                        shuffle_placement=spec.incantations.thread_rand)
                 cells[key] = machine
             return machine
         return GpuMachine(spec.test, spec.chip, intensity=intensity,
                           shuffle_placement=spec.incantations.thread_rand)
+
+    def _lower_batch(self, spec, intensity):
+        """Lower a batch cell, sharing analysis plans across workers.
+
+        With a plan cache attached, the picklable analysis product of
+        the lowering is looked up by content signature before paying
+        the analysis pass, and published after a miss — so a process
+        pool analyses each cell once per campaign, not once per worker.
+        The tail fraction is deliberately not part of the signature
+        (plans are tail-independent runtime parameters).
+        """
+        plan = store = signature = None
+        if self.plan_dir:
+            from ..sim.batch import PLAN_VERSION
+            from ..sim.plancache import plan_signature, plan_store
+            store = plan_store(self.plan_dir)
+            signature = plan_signature(
+                "sim-batch", PLAN_VERSION, write_litmus(spec.test),
+                repr(spec.chip), spec.incantations.column)
+            plan = store.get(signature)
+        machine = compile_batch_cell(
+            spec.test, spec.chip, intensity=intensity,
+            shuffle_placement=spec.incantations.thread_rand,
+            tail_fraction=spec.batch_tail, plan=plan)
+        if store is not None and plan is None:
+            store.put(signature, machine.plan())
+        return machine
+
+    def consume_stats(self):
+        if not self.plan_dir:
+            return None
+        from ..sim.plancache import plan_store
+        return plan_store(self.plan_dir).consume_stats()
 
     def run_shard(self, spec, shard):
         return run_batch(self._machine(spec), shard.iterations,

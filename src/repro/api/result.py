@@ -25,6 +25,11 @@ class SpecResult:
     backend: str                   #: name of the backend that ran it
     histogram: object              #: Histogram of final states
     cached: bool = False           #: satisfied from the result cache?
+    #: Backend execution statistics for this spec (e.g. plan-cache
+    #: hits/misses of the batch engine's cross-worker lowering cache),
+    #: or ``None`` when the backend reported nothing.  Cached results
+    #: carry ``None`` — nothing executed.
+    stats: dict = None
 
     # -- spec delegation (RunResult-compatible surface) -------------------
 

@@ -20,6 +20,7 @@ a single-shard run reproduces the legacy serial iteration stream.
 """
 
 import contextlib
+import os
 from concurrent import futures as _futures
 from dataclasses import asdict, dataclass
 
@@ -51,12 +52,29 @@ def chunked(iterable, size):
 
 
 def _execute_shard(backend, spec, shard):
-    """Module-level so process pools can pickle the work unit."""
-    return backend.run_shard(spec, shard)
+    """Module-level so process pools can pickle the work unit.
+
+    Returns ``(histogram, stats)`` — the stats delta (e.g. plan-cache
+    hits) is captured *in the worker that ran the shard*, so process
+    pools ship their counters back with the result.
+    """
+    histogram = backend.run_shard(spec, shard)
+    return histogram, backend.consume_stats()
 
 
 def _execute_spec(backend, spec):
-    return backend.run(spec)
+    histogram = backend.run(spec)
+    return histogram, backend.consume_stats()
+
+
+def _merge_stats(parts):
+    """Sum per-shard stats dicts; ``None`` when no shard reported any."""
+    total = {}
+    for part in parts:
+        if part:
+            for key, value in part.items():
+                total[key] = total.get(key, 0) + value
+    return total or None
 
 
 @dataclass
@@ -69,6 +87,8 @@ class SessionStats:
     deduplicated: int = 0           #: specs satisfied by an in-plan twin
     shards_executed: int = 0        #: shards run on the backend
     simulated_iterations: int = 0   #: iterations executed (sharded backends)
+    plan_cache_hits: int = 0        #: batch lowering plans reused from disk
+    plan_cache_misses: int = 0      #: batch lowerings analysed from scratch
 
     def snapshot(self):
         return asdict(self)
@@ -133,7 +153,7 @@ class Session:
 
     def __init__(self, backend="sim", jobs=1, cache=True, cache_dir=None,
                  shard_size=DEFAULT_SHARD_SIZE, executor="thread", pool=None,
-                 engine=None, model_engine=None):
+                 engine=None, model_engine=None, batch_tail=None):
         self.backend = make_backend(backend)
         if jobs < 1:
             raise ReproError("jobs must be >= 1, got %r" % jobs)
@@ -154,18 +174,29 @@ class Session:
             from ..model.models import resolve_model_engine
             model_engine = resolve_model_engine(model_engine)
         self.model_engine = model_engine
+        if batch_tail is not None:
+            from ..sim.engine import resolve_batch_tail
+            batch_tail = resolve_batch_tail(batch_tail)
+        self.batch_tail = batch_tail
         if isinstance(cache, ResultCache):
             self.cache = cache
         elif cache_dir or cache:
             self.cache = ResultCache(cache_dir=cache_dir)
         else:
             self.cache = None
+        # A disk-backed session also shares lowered batch plans between
+        # workers (and future sessions on the same directory): the plan
+        # store lives next to the result entries.
+        if (self.cache is not None and self.cache.cache_dir
+                and hasattr(self.backend, "set_plan_cache")):
+            self.backend.set_plan_cache(
+                os.path.join(self.cache.cache_dir, "plans"))
         self.stats = SessionStats()
 
     # -- public API -------------------------------------------------------
 
     def run(self, test, chip=None, incantations=BEST, iterations=None,
-            seed=0, engine=None, model_engine=None):
+            seed=0, engine=None, model_engine=None, batch_tail=None):
         """Execute one cell; accepts a prepared :class:`RunSpec` or the
         (test, chip, ...) fields of one.
 
@@ -186,7 +217,8 @@ class Session:
             spec = RunSpec.make(test, chip, incantations=incantations,
                                 iterations=iterations, seed=seed,
                                 engine=self._engine(engine),
-                                model_engine=self._model_engine(model_engine))
+                                model_engine=self._model_engine(model_engine),
+                                batch_tail=self._batch_tail(batch_tail))
         return self.run_specs([spec])[0]
 
     def run_specs(self, specs):
@@ -233,19 +265,20 @@ class Session:
         return [results[index] for index in range(len(specs))]
 
     def campaign(self, tests, chips, incantations=BEST, iterations=None,
-                 seed=0, engine=None, model_engine=None):
+                 seed=0, engine=None, model_engine=None, batch_tail=None):
         """Plan and execute the cartesian product campaign."""
         specs = matrix(tests, chips, incantations=incantations,
                        iterations=iterations, seed=seed,
                        engine=self._engine(engine),
-                       model_engine=self._model_engine(model_engine))
+                       model_engine=self._model_engine(model_engine),
+                       batch_tail=self._batch_tail(batch_tail))
         campaign = CampaignResult()
         for result in self.run_specs(specs):
             campaign.add(result)
         return campaign
 
     def plan(self, tests, chips, incantations=BEST, iterations=None, seed=0,
-             engine=None, model_engine=None):
+             engine=None, model_engine=None, batch_tail=None):
         """Lazily yield the cartesian-product plan of :meth:`campaign`.
 
         The generator twin of :func:`~repro.api.spec.matrix`: ``tests``
@@ -257,11 +290,13 @@ class Session:
         chips = list(chips)
         engine = self._engine(engine)
         model_engine = self._model_engine(model_engine)
+        batch_tail = self._batch_tail(batch_tail)
         for test in tests:
             for chip in chips:
                 yield RunSpec.make(test, chip, incantations=incantations,
                                    iterations=iterations, seed=seed,
-                                   engine=engine, model_engine=model_engine)
+                                   engine=engine, model_engine=model_engine,
+                                   batch_tail=batch_tail)
 
     def run_stream(self, specs, chunk_size=DEFAULT_CHUNK_SIZE):
         """Execute a plan in chunks; yields results in plan order.
@@ -292,6 +327,9 @@ class Session:
     def _model_engine(self, model_engine):
         return model_engine if model_engine is not None else self.model_engine
 
+    def _batch_tail(self, batch_tail):
+        return batch_tail if batch_tail is not None else self.batch_tail
+
     # -- execution strategies ---------------------------------------------
 
     def _shards(self, spec):
@@ -304,13 +342,15 @@ class Session:
         for index, spec in pending:
             shards = self._shards(spec)
             if shards is not None:
-                histogram = Histogram.merge(
-                    self.backend.run_shard(spec, shard) for shard in shards)
+                outcomes = [_execute_shard(self.backend, spec, shard)
+                            for shard in shards]
+                histogram = Histogram.merge(h for h, _ in outcomes)
+                stats = _merge_stats(s for _, s in outcomes)
                 self._account(spec, shards)
             else:
-                histogram = self.backend.run(spec)
+                histogram, stats = _execute_spec(self.backend, spec)
                 self._account(spec, None)
-            executed.append((index, self._result(spec, histogram)))
+            executed.append((index, self._result(spec, histogram, stats)))
         return executed
 
     def _run_parallel(self, pending):
@@ -343,10 +383,12 @@ class Session:
         for index, spec, shards in plans:
             # Merge in shard-index order: bit-identical to the serial path
             # no matter which worker finished first.
-            histogram = Histogram.merge(
-                tasks[(index, shard.index)].result() for shard in shards)
+            outcomes = [tasks[(index, shard.index)].result()
+                        for shard in shards]
+            histogram = Histogram.merge(h for h, _ in outcomes)
+            stats = _merge_stats(s for _, s in outcomes)
             self._account(spec, shards)
-            executed.append((index, self._result(spec, histogram)))
+            executed.append((index, self._result(spec, histogram, stats)))
         return executed
 
     def _run_parallel_whole(self, pool, pending):
@@ -355,9 +397,9 @@ class Session:
                      for index, spec in pending]
         executed = []
         for index, spec, future in submitted:
-            histogram = future.result()
+            histogram, stats = future.result()
             self._account(spec, None)
-            executed.append((index, self._result(spec, histogram)))
+            executed.append((index, self._result(spec, histogram, stats)))
         return executed
 
     def _pool(self):
@@ -371,9 +413,13 @@ class Session:
 
     # -- bookkeeping ------------------------------------------------------
 
-    def _result(self, spec, histogram):
+    def _result(self, spec, histogram, stats=None):
+        if stats:
+            self.stats.plan_cache_hits += stats.get("plan_cache_hits", 0)
+            self.stats.plan_cache_misses += stats.get(
+                "plan_cache_misses", 0)
         return SpecResult(spec=spec, backend=self.backend.name,
-                          histogram=histogram, cached=False)
+                          histogram=histogram, cached=False, stats=stats)
 
     def _account(self, spec, shards):
         self.stats.executed += 1
@@ -408,9 +454,10 @@ class Session:
 
 def run_campaign(tests, chips, incantations=BEST, iterations=None, seed=0,
                  backend="sim", jobs=1, cache_dir=None, engine=None,
-                 model_engine=None):
+                 model_engine=None, batch_tail=None):
     """One-shot convenience: build a Session, run the campaign."""
     session = Session(backend=backend, jobs=jobs, cache_dir=cache_dir,
-                      engine=engine, model_engine=model_engine)
+                      engine=engine, model_engine=model_engine,
+                      batch_tail=batch_tail)
     return session.campaign(tests, chips, incantations=incantations,
                             iterations=iterations, seed=seed)

@@ -43,10 +43,14 @@ from ..sim.machine import GpuMachine
 #: Default launches per shard.  Application launches are an order of
 #: magnitude slower than litmus iterations (spin loops, multi-statement
 #: critical sections), so app campaigns shard finer than the sim
-#: backend's 25k: a paper-scale 100k-launch cell splits into twenty
+#: backend's 25k: a paper-scale 100k-launch cell splits into ten
 #: parallelisable shards while every interactive/test-sized cell still
 #: fits in one shard and reproduces the serial driver stream exactly.
-DEFAULT_APP_SHARD_SIZE = 5000
+#: The batch engine sizes its own chunks adaptively from the cell's
+#: retirement profile (see :func:`repro.sim.batch.compile_batch_cell`),
+#: so the shard is a pure parallelism granule — wide shards keep the
+#: numpy lockstep dense instead of fragmenting it.
+DEFAULT_APP_SHARD_SIZE = 10000
 
 
 class AppBackend(Backend):
@@ -63,6 +67,16 @@ class AppBackend(Backend):
         # Per-*thread* memo: a CompiledCell mutates its own machine state
         # during run_once, so two pool threads must never share one.
         self._local = threading.local()
+        # Plan-cache directory — a plain string so it pickles into
+        # process-pool workers, which then share lowered batch plans
+        # instead of re-analysing per process (see
+        # :mod:`repro.sim.plancache`).
+        self.plan_dir = None
+
+    def set_plan_cache(self, directory):
+        """Share lowered batch plans through ``directory`` (None
+        disables)."""
+        self.plan_dir = directory
 
     def __getstate__(self):
         # Compiled cells hold closures; drop the memo when a process
@@ -79,7 +93,12 @@ class AppBackend(Backend):
         """Fingerprint plus engine — same rationale as the sim backend:
         the fingerprint stays engine-neutral, but a histogram cached by
         one engine must never mask a divergence in another (and batch
-        histograms are only distribution-equivalent)."""
+        histograms are only distribution-equivalent).  The batch tail
+        joins for batch cells: different tails are different RNG
+        streams and must not share entries."""
+        if spec.engine == "batch":
+            return "%s-%s-tail%g" % (spec.fingerprint(), spec.engine,
+                                     spec.batch_tail)
         return "%s-%s" % (spec.fingerprint(), spec.engine)
 
     def cache_variant(self, spec, shard_size):
@@ -98,17 +117,48 @@ class AppBackend(Backend):
             # compilation.
             key = (spec.engine, spec.scenario.name, write_litmus(spec.test),
                    repr(spec.chip), spec.intensity)
+            if spec.engine == "batch":
+                key += (spec.batch_tail,)
             machine = cells.get(key)
             if machine is None:
                 if len(cells) >= self.MAX_COMPILED:
                     cells.clear()
-                lower = (compile_batch_cell if spec.engine == "batch"
-                         else compile_cell)
-                machine = lower(spec.test, spec.chip,
-                                intensity=spec.intensity)
+                if spec.engine == "batch":
+                    machine = self._lower_batch(spec)
+                else:
+                    machine = compile_cell(spec.test, spec.chip,
+                                           intensity=spec.intensity)
                 cells[key] = machine
             return machine
         return GpuMachine(spec.test, spec.chip, intensity=spec.intensity)
+
+    def _lower_batch(self, spec):
+        """Lower a batch cell through the cross-worker plan cache —
+        same discipline as ``SimBackend._lower_batch``: plans are
+        content-keyed, tail-independent, and any miss publishes the
+        fresh analysis for the other workers."""
+        plan = store = signature = None
+        if self.plan_dir:
+            from ..sim.batch import PLAN_VERSION
+            from ..sim.plancache import plan_signature, plan_store
+            store = plan_store(self.plan_dir)
+            signature = plan_signature(
+                "app-batch", PLAN_VERSION, write_litmus(spec.test),
+                repr(spec.chip), spec.intensity)
+            plan = store.get(signature)
+        machine = compile_batch_cell(spec.test, spec.chip,
+                                     intensity=spec.intensity,
+                                     tail_fraction=spec.batch_tail,
+                                     plan=plan)
+        if store is not None and plan is None:
+            store.put(signature, machine.plan())
+        return machine
+
+    def consume_stats(self):
+        if not self.plan_dir:
+            return None
+        from ..sim.plancache import plan_store
+        return plan_store(self.plan_dir).consume_stats()
 
     def run_shard(self, spec, shard):
         histogram = run_batch(self._machine(spec), shard.iterations,

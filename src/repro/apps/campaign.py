@@ -43,7 +43,7 @@ def app_session(jobs=1, executor="thread", cache=True, cache_dir=None,
 
 
 def app_matrix(scenarios, chips, runs=None, seed=0, intensity=STRESS,
-               engine=None):
+               engine=None, batch_tail=None):
     """Cartesian-product campaign plan: one :class:`ScenarioSpec` per
     (scenario, chip) cell — the app twin of :func:`repro.api.spec.matrix`."""
     specs = []
@@ -51,25 +51,27 @@ def app_matrix(scenarios, chips, runs=None, seed=0, intensity=STRESS,
         for chip in chips:
             specs.append(ScenarioSpec.make(scenario, chip, runs=runs,
                                            seed=seed, intensity=intensity,
-                                           engine=engine))
+                                           engine=engine,
+                                           batch_tail=batch_tail))
     return specs
 
 
 def run_scenario(scenario, chip, runs=None, seed=0, intensity=STRESS,
-                 engine=None, jobs=1, session=None):
+                 engine=None, batch_tail=None, jobs=1, session=None):
     """Execute one scenario cell; returns its
     :class:`~repro.api.result.SpecResult` (``result.observations`` is
     the loss count over ``runs`` launches)."""
     if session is None:
         session = app_session(jobs=jobs)
     spec = ScenarioSpec.make(scenario, chip, runs=runs, seed=seed,
-                             intensity=intensity, engine=engine)
+                             intensity=intensity, engine=engine,
+                             batch_tail=batch_tail)
     return session.run_specs([spec])[0]
 
 
 def run_app_campaign(scenarios, chips, runs=None, seed=0, intensity=STRESS,
-                     engine=None, jobs=1, executor="thread", cache_dir=None,
-                     session=None):
+                     engine=None, batch_tail=None, jobs=1, executor="thread",
+                     cache_dir=None, session=None):
     """Plan and execute a scenarios x chips campaign; returns a
     :class:`~repro.api.result.CampaignResult` keyed by
     ``(scenario name, chip short)``."""
@@ -77,7 +79,8 @@ def run_app_campaign(scenarios, chips, runs=None, seed=0, intensity=STRESS,
         session = app_session(jobs=jobs, executor=executor,
                               cache_dir=cache_dir)
     specs = app_matrix(scenarios, chips, runs=runs, seed=seed,
-                       intensity=intensity, engine=engine)
+                       intensity=intensity, engine=engine,
+                       batch_tail=batch_tail)
     campaign = CampaignResult()
     for result in session.run_specs(specs):
         campaign.add(result)

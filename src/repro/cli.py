@@ -120,7 +120,8 @@ def _session(args):
         return Session(backend=args.backend, jobs=args.jobs,
                        executor=args.executor, cache_dir=args.cache_dir,
                        engine=args.engine,
-                       model_engine=getattr(args, "model_engine", None))
+                       model_engine=getattr(args, "model_engine", None),
+                       batch_tail=getattr(args, "batch_tail", None))
     except ReproError as error:
         raise SystemExit(str(error))
 
@@ -137,6 +138,18 @@ def _engine_argument(parser):
                              "repro[batch] extra) — tracked speedups "
                              "live in BENCH_engine.json; REPRO_ENGINE "
                              "sets the default")
+
+
+def _batch_tail_argument(parser):
+    parser.add_argument("--batch-tail", default=None,
+                        help="batch-engine straggler hand-off threshold: "
+                             "the live-row fraction below which a "
+                             "chunk's survivors leave numpy lockstep "
+                             "and drain on the compiled fast engine "
+                             "(float in [0, 0.5]; 0 disables the "
+                             "hand-off and reproduces the pre-tail "
+                             "bit-exact batch stream; REPRO_BATCH_TAIL "
+                             "sets the default)")
 
 
 def _model_engine_argument(parser):
@@ -165,6 +178,7 @@ def _session_arguments(parser):
     parser.add_argument("--cache-dir", default=None,
                         help="directory for the on-disk result cache")
     _engine_argument(parser)
+    _batch_tail_argument(parser)
     _model_engine_argument(parser)
 
 
@@ -336,14 +350,17 @@ def _cmd_app(args):
         if args.prescreen:
             specs = app_matrix(scenarios, args.chips, runs=runs,
                                seed=args.seed, intensity=args.intensity,
-                               engine=args.engine)
+                               engine=args.engine,
+                               batch_tail=args.batch_tail)
             campaign = _run_prescreened_campaign(
                 specs, session, proof="(losses) by proof")
         else:
             campaign = run_app_campaign(scenarios, args.chips, runs=runs,
                                         seed=args.seed,
                                         intensity=args.intensity,
-                                        engine=args.engine, session=session)
+                                        engine=args.engine,
+                                        batch_tail=args.batch_tail,
+                                        session=session)
     except ReproError as error:
         raise SystemExit(str(error))
     print("losses per 100k launches (x%g intensity, %d runs/cell):"
@@ -359,6 +376,9 @@ def _cmd_app(args):
           "%d shards, %d launches"
           % (stats.executed, stats.cache_hits, stats.deduplicated,
              stats.shards_executed, stats.simulated_iterations))
+    if stats.plan_cache_hits or stats.plan_cache_misses:
+        print("plan cache: %d hits, %d misses"
+              % (stats.plan_cache_hits, stats.plan_cache_misses))
     return 1 if lossy_fenced else 0
 
 
@@ -572,6 +592,7 @@ def build_parser():
                           "verdicts (ignores --runs/--seed/--engine; see "
                           "`repro-litmus verify` for the full knob set)")
     _engine_argument(app)
+    _batch_tail_argument(app)
     app.set_defaults(func=_cmd_app)
 
     verify = sub.add_parser(

@@ -29,6 +29,7 @@ reference engine or the batch engine loses to the fast engine, and the
 README's Performance section quotes it.
 """
 
+import gc
 import json
 import random
 import time
@@ -118,19 +119,57 @@ def _timed(machine, iterations, seed, setup=None, repeats=1):
     — that is how the cold-compile cost is charged.  Every repeat
     reseeds identically, so the returned histogram counts are the same
     each time and the minimum wall-clock is a fair noise filter.
+
+    The collector is paused (and drained) around each repeat so a GC
+    cycle triggered by a previous measurement's garbage cannot land
+    inside this one — that is how a warm pass used to lose to its own
+    cold pass in the tracked reports.
     """
     best = None
     counts = None
-    for _ in range(max(repeats, 1)):
-        rng = random.Random(seed)
-        start = time.perf_counter()
-        timed_machine = setup() if setup is not None else machine
-        histogram = run_batch(timed_machine, iterations, rng)
-        elapsed = time.perf_counter() - start
-        if best is None or elapsed < best:
-            best = elapsed
-        counts = histogram.counts
+    was_enabled = gc.isenabled()
+    try:
+        for _ in range(max(repeats, 1)):
+            gc.collect()
+            gc.disable()
+            rng = random.Random(seed)
+            start = time.perf_counter()
+            timed_machine = setup() if setup is not None else machine
+            histogram = run_batch(timed_machine, iterations, rng)
+            elapsed = time.perf_counter() - start
+            if was_enabled:
+                gc.enable()
+            if best is None or elapsed < best:
+                best = elapsed
+            counts = histogram.counts
+    finally:
+        if was_enabled:
+            gc.enable()
     return max(best, 1e-9), counts
+
+
+def _timed_set(configs, iterations, seed, repeats=1):
+    """Interleaved best-of-``repeats`` timing of several engine
+    configurations of one cell.
+
+    ``configs`` is a list of ``(machine, setup)`` pairs as for
+    :func:`_timed`.  Timing each engine's repeats back to back lets
+    machine-state drift between the phases land entirely in one
+    engine's numbers and skew the speedup *ratios* the trajectory
+    files track; round-robin interleaving samples every engine under
+    the same noise, so the best-of ratios compare like with like.
+    Returns ``[(seconds, counts), ...]`` in input order.
+    """
+    best = [None] * len(configs)
+    counts = [None] * len(configs)
+    for _ in range(max(repeats, 1)):
+        for index, (machine, setup) in enumerate(configs):
+            seconds, observed = _timed(machine, iterations, seed,
+                                       setup=setup, repeats=1)
+            if best[index] is None or seconds < best[index]:
+                best[index] = seconds
+            counts[index] = observed
+    return list(zip(best, counts))
 
 
 def tvd(counts_a, counts_b, iterations):
@@ -171,24 +210,22 @@ def bench_cell(test_name, chip_short, iterations=2000, seed=0, repeats=3):
         return compile_batch_cell(test, chip, intensity=intensity,
                                   shuffle_placement=shuffle)
 
-    ref_seconds, ref_counts = _timed(None, iterations, seed,
-                                     setup=reference, repeats=repeats)
-    cold_seconds, cold_counts = _timed(None, iterations, seed,
-                                       setup=compiled, repeats=repeats)
     warm_cell = compile_cell(test, chip, intensity=intensity,
                              shuffle_placement=shuffle)
     run_batch(warm_cell, 50, random.Random(seed))  # pre-touch
-    warm_seconds, warm_counts = _timed(warm_cell, iterations, seed,
-                                       repeats=repeats)
+    configs = [(None, reference), (None, compiled), (warm_cell, None)]
+    if have_numpy():
+        batch_cell = batched()
+        run_batch(batch_cell, 50, random.Random(seed))  # pre-touch
+        configs += [(None, batched), (batch_cell, None)]
+    results = _timed_set(configs, iterations, seed, repeats=repeats)
+    (ref_seconds, ref_counts), (cold_seconds, cold_counts), \
+        (warm_seconds, warm_counts) = results[:3]
 
     batch = {}
     if have_numpy():
-        batch_cold_seconds, _ = _timed(None, iterations, seed,
-                                       setup=batched, repeats=repeats)
-        batch_cell = batched()
-        run_batch(batch_cell, 50, random.Random(seed))  # pre-touch
-        batch_warm_seconds, batch_counts = _timed(batch_cell, iterations,
-                                                  seed, repeats=repeats)
+        (batch_cold_seconds, _), (batch_warm_seconds, batch_counts) = \
+            results[3:]
         distance = tvd(warm_counts, batch_counts, iterations)
         batch = {
             "batch_cold_ips": iterations / batch_cold_seconds,

@@ -58,6 +58,8 @@ fine; building a cell raises
 install extra.
 """
 
+import random as _random
+
 try:  # guarded dependency: the [batch] install extra
     import numpy as np
 except ImportError:  # pragma: no cover - exercised via monkeypatching
@@ -69,7 +71,9 @@ from ..ptx.operands import Imm, Loc, Reg
 from ..ptx.types import MemorySpace, Scope
 from .compile import (K_ADD, K_CAS, K_EXCH, K_FENCE, K_LOAD, K_STORE,
                       SLOT_BYPASS_BASE, SLOT_MIXED_HAZARD, SLOT_RR_HAZARD,
-                      SLOT_VOLATILE, _bypass_slots, _PASS_PAIR, _SCOPES)
+                      SLOT_VOLATILE, _bypass_slots, _PASS_PAIR, _SCOPES,
+                      compile_cell)
+from .engine import resolve_batch_tail
 from .machine import _FUEL_PER_INSTRUCTION
 
 #: Iterations per lockstep batch.  One default shard
@@ -82,6 +86,29 @@ WINDOW = 16
 BUDGET = 32
 
 _NO_SEQ = 1 << 62  # masked-argmin filler; larger than any real seq
+
+#: Once a straggler tail has coalesced down to this many rows, lockstep
+#: dispatch stops paying for itself (fixed per-tick kernel overhead
+#: dwarfs the per-row work) and the survivors are drained one by one on
+#: the embedded fast-engine cell instead.  A scalar resume costs about
+#: as much as a fast-engine iteration (~tens of µs), so the cutover
+#: sits where a lockstep tick's fixed cost exceeds the handful of
+#: scalar finishes it would replace — measured on the pinned corpus,
+#: that is a few dozen rows, not hundreds.
+_DRAIN_ROWS = 32
+
+#: Adaptive chunk sizing targets this much live SoA state per chunk —
+#: beyond it the working set falls out of shared cache and per-tick
+#: kernels slow down measurably on the pinned corpus.
+_CACHE_TARGET = 12 << 20
+
+#: Floor for adaptive chunk widths: below this the fixed per-tick
+#: dispatch overhead dominates and wider always wins.
+_MIN_CHUNK = 2048
+
+#: Version tag of the picklable lowering plan (bump on layout changes
+#: to :class:`_ThreadStatic`/:class:`_SlotStatic`).
+PLAN_VERSION = 1
 
 
 def have_numpy():
@@ -170,7 +197,7 @@ class _ThreadStatic:
 
     __slots__ = ("tid", "code", "ncode", "init_regs", "n_regs", "reg_index",
                  "slots", "K", "static_order", "pairs", "issue", "cta",
-                 "window_check")
+                 "window_check", "slot_of")
 
     def __init__(self, tid, cta):
         self.tid = tid
@@ -186,15 +213,16 @@ class _ThreadStatic:
         self.pairs = []
         self.issue = []
         self.window_check = False
+        self.slot_of = {}
 
 
 class _ThreadState:
     """Runtime SoA state for one thread across a batch."""
 
-    __slots__ = ("S", "pc", "regs", "pending", "in_q", "q_seq", "q_addr",
-                 "q_val", "q_cmp", "seq", "dec_blocked")
+    __slots__ = ("S", "pc", "regs", "pending", "in_q", "q_n", "q_seq",
+                 "q_addr", "q_val", "q_cmp", "seq", "dec_blocked")
 
-    _ARRAYS = ("pc", "regs", "pending", "in_q", "q_seq", "q_addr",
+    _ARRAYS = ("pc", "regs", "pending", "in_q", "q_n", "q_seq", "q_addr",
                "q_val", "q_cmp", "seq", "dec_blocked")
 
     def __init__(self, S, n):
@@ -203,6 +231,10 @@ class _ThreadState:
         self.regs = np.tile(S.init_regs, (n, 1))
         self.pending = np.zeros((n, S.n_regs), dtype=bool)
         self.in_q = np.zeros((n, max(S.K, 1)), dtype=bool)
+        # Per-row occupancy count of ``in_q`` — maintained at every
+        # enqueue/dequeue so runnability and window-limit checks are a
+        # scalar compare instead of an axis reduction per tick.
+        self.q_n = np.zeros(n, dtype=np.int64)
         self.q_seq = np.zeros((n, max(S.K, 1)), dtype=np.int64)
         self.q_addr = np.zeros((n, max(S.K, 1)), dtype=np.int64)
         self.q_val = np.zeros((n, max(S.K, 1)), dtype=np.int64)
@@ -221,32 +253,64 @@ class _BatchState:
 
     __slots__ = ("n", "rng", "threads", "glob", "shm", "l1h", "l1v", "iv",
                  "any_intent", "stale", "sm", "fuel", "stalled", "progress",
-                 "budget", "dec")
+                 "budget", "dec", "adaptive")
 
-    def __init__(self, cell, n, rng):
+    def __init__(self, cell, n, rng, adaptive=False):
         self.n = n
         self.rng = rng
+        # Adaptive-path flag: chunks of the tail hand-off path may
+        # break the legacy RNG stream (the contract there is
+        # distribution equivalence, not bit-identity), which lets both
+        # the draws below and the kernels skip semantically inert work.
+        self.adaptive = adaptive
         # -- incantation draws, one Bernoulli matrix per batch --------
-        self.iv = rng.random((n, len(cell.draw_probs))) < cell._probs_row
+        cols = cell._nz_prob_cols
+        if adaptive and len(cols) < len(cell.draw_probs):
+            # Zero-probability slots can never fire: draw only the
+            # live columns (stream-breaking, adaptive chunks only).
+            self.iv = np.zeros((n, len(cell.draw_probs)), dtype=bool)
+            if len(cols):
+                self.iv[:, cols] = (rng.random((n, len(cols)))
+                                    < cell._probs_row[cols])
+        else:
+            self.iv = rng.random((n, len(cell.draw_probs))) < cell._probs_row
         self.any_intent = self.iv.any(axis=1)
         stale = rng.random(n) < cell.p_stale
         self.stale = stale & cell.l1_active
         # -- memory image ---------------------------------------------
         self.glob = np.tile(cell._init_global_row, (n, 1))
         if cell.n_shared:
-            self.shm = np.tile(cell._init_shared_row, (n, cell.n_sms, 1))
+            self.shm = np.tile(cell._init_shared_row,
+                               (n, cell.n_sms_eff, 1))
         else:
             self.shm = None
         if cell.l1_active:
-            shape = (n, cell.n_sms, cell.n_global)
-            warm = (self.stale[:, None, None]
-                    & (rng.random(shape) < cell.p_l1_warm))
+            eshape = (n, cell.n_sms_eff, cell.n_global)
+            if adaptive:
+                # Stream-breaking compact draw: only the SMs the static
+                # placement uses, and none at all when lines can never
+                # start warm.
+                if cell.p_l1_warm > 0.0:
+                    warm = (self.stale[:, None, None]
+                            & (rng.random(eshape) < cell.p_l1_warm))
+                else:
+                    warm = np.zeros(eshape, dtype=bool)
+            else:
+                # The warm draw keeps the full n_sms shape so the RNG
+                # stream is unchanged; only the used-SM slices are
+                # stored.
+                shape = (n, cell.n_sms, cell.n_global)
+                draw = rng.random(shape) < cell.p_l1_warm
+                if cell.n_sms_eff != cell.n_sms:
+                    draw = draw[:, cell._sm_used, :]
+                warm = self.stale[:, None, None] & draw
             self.l1h = warm
             # Values only matter where a line is present; fill warm
             # lines with the initial image, leave the rest garbage.
-            self.l1v = np.empty(shape, dtype=np.int64)
-            self.l1v[warm] = np.broadcast_to(cell._init_global_row,
-                                             shape)[warm]
+            self.l1v = np.empty(eshape, dtype=np.int64)
+            if warm.any():
+                self.l1v[warm] = np.broadcast_to(cell._init_global_row,
+                                                 eshape)[warm]
         else:
             self.l1h = None
             self.l1v = None
@@ -255,7 +319,7 @@ class _BatchState:
             cta_sm = rng.integers(0, cell.n_sms, size=(n, cell.n_ctas))
             self.sm = cta_sm[:, cell._thread_cta_row]
         else:
-            self.sm = np.tile(cell._static_sm_row, (n, 1))
+            self.sm = np.tile(cell._sm_compact_row, (n, 1))
         # -- scheduler bookkeeping ------------------------------------
         self.fuel = np.full(n, cell.fuel, dtype=np.int64)
         self.stalled = np.zeros(n, dtype=np.int64)
@@ -290,7 +354,8 @@ class BatchCell:
     """
 
     def __init__(self, test, chip, intensity=1.0, stale_intensity=None,
-                 shuffle_placement=False, fuel=None, scope_blind=False):
+                 shuffle_placement=False, fuel=None, scope_blind=False,
+                 tail_fraction=None, plan=None):
         require_numpy()
         self.test = test
         self.chip = chip
@@ -299,6 +364,7 @@ class BatchCell:
                                 else stale_intensity)
         self.shuffle_placement = shuffle_placement
         self.scope_blind = scope_blind
+        self.tail_fraction = resolve_batch_tail(tail_fraction)
         address_map = test.address_map()
         self.address_map = address_map
 
@@ -324,6 +390,9 @@ class BatchCell:
                 probs[index] = 0.0
         self.draw_probs = probs
         self._probs_row = np.asarray(probs)
+        # Columns that can actually fire — adaptive chunks (free to
+        # break the legacy stream) draw only these.
+        self._nz_prob_cols = np.nonzero(self._probs_row > 0.0)[0]
         self.p_stale = chip.p_stale * self.stale_intensity
         self.l1_active = chip.l1_stale_reads
         self.p_l1_warm = chip.p_l1_warm
@@ -371,14 +440,40 @@ class BatchCell:
         self.thread_ctas = [test.scope_tree.placement(program.name).cta
                             for program in test.threads]
         observed = tuple(test.observed_registers())
+        if plan is not None and (plan.get("version") != PLAN_VERSION
+                                 or len(plan.get("threads", ()))
+                                 != len(test.threads)):
+            plan = None  # stale or foreign plan: fall back to analysis
         self._thread_statics = []
-        for program, cta in zip(test.threads, self.thread_ctas):
+        for index, (program, cta) in enumerate(zip(test.threads,
+                                                   self.thread_ctas)):
             compiler = _BatchCompiler(self, program, test, cta,
                                       required_scope, scope_blind, chip)
-            self._thread_statics.append(compiler.compile())
+            if plan is not None:
+                # Plan-cache hit: skip the analysis pass (register
+                # columns + slot tables) and regenerate only the
+                # closures, which cannot be pickled.
+                compiler.S = plan["threads"][index]
+                self._thread_statics.append(compiler.codegen())
+            else:
+                self._thread_statics.append(compiler.compile())
         self._static_sm_row = np.asarray(
             [cta % self.n_sms for cta in self.thread_ctas], dtype=np.int64)
         self._thread_cta_row = np.asarray(self.thread_ctas, dtype=np.int64)
+        # With static placement only a handful of SMs are ever
+        # addressed, so per-SM state (shared memory, L1 lines) is
+        # allocated for the used subset only and ``sm`` ids are
+        # remapped to compact indices; ``_sm_used[compact]`` recovers
+        # the real id (needed when a row is handed to the fast engine).
+        # Row compaction then copies kilobytes instead of megabytes.
+        if self.shuffle_placement:
+            self._sm_used = np.arange(self.n_sms, dtype=np.int64)
+        else:
+            self._sm_used = np.unique(self._static_sm_row)
+        self.n_sms_eff = len(self._sm_used)
+        remap = np.zeros(self.n_sms, dtype=np.int64)
+        remap[self._sm_used] = np.arange(self.n_sms_eff, dtype=np.int64)
+        self._sm_compact_row = remap[self._static_sm_row]
 
         # -- final-state plans ----------------------------------------
         self._obs_plan = []
@@ -395,6 +490,50 @@ class BatchCell:
         self._stall_limit = (4 * len(self._thread_statics)
                              * (len(test.threads) + 4))
 
+        # -- straggler-tail support -----------------------------------
+        # Address per dense location column (gloc/sloc order), used to
+        # rebuild a dict-keyed memory image when a row is handed off to
+        # the fast engine.
+        self._gaddr_list = [a for a in addresses if not shared_of[a]]
+        self._saddr_list = [a for a in addresses if shared_of[a]]
+        self._fast = None        # lazily compiled fast-engine twin
+        self._reg_names = None   # per-thread column -> register name
+        self._profile = None     # retirement telemetry of the last run
+        self._last_ticks = (0, 0)
+        # Static state-bytes-per-row estimate feeding adaptive chunk
+        # sizing (refined by the measured retirement profile per call).
+        per_row = 8 * (len(self.draw_probs) + self.n_global
+                       + self.n_sms_eff * self.n_shared + 8)
+        if self.l1_active:
+            per_row += 9 * self.n_sms_eff * self.n_global
+        for S in self._thread_statics:
+            per_row += 8 * (2 * S.n_regs + 4 * max(S.K, 1) + 4)
+        self._row_bytes = per_row
+
+    # -- plan extraction ---------------------------------------------------
+
+    def plan(self):
+        """Picklable lowering plan for the cross-worker plan cache.
+
+        Contains the analysis product of every thread — register
+        columns, slot tables, pair metadata — with the unpicklable
+        closures stripped; :class:`BatchCell` rebuilt with ``plan=``
+        skips straight to closure generation.
+        """
+        stripped = []
+        for S in self._thread_statics:
+            clone = _ThreadStatic(S.tid, S.cta)
+            clone.init_regs = S.init_regs
+            clone.n_regs = S.n_regs
+            clone.reg_index = S.reg_index
+            clone.slots = S.slots
+            clone.K = S.K
+            clone.static_order = S.static_order
+            clone.window_check = S.window_check
+            clone.slot_of = S.slot_of
+            stripped.append(clone)
+        return {"version": PLAN_VERSION, "threads": stripped}
+
     # -- execution ---------------------------------------------------------
 
     def run_many(self, iterations, rng, histogram=None):
@@ -408,19 +547,75 @@ class BatchCell:
         if histogram is None:
             from ..harness.histogram import Histogram
             histogram = Histogram()
-        remaining = iterations
+        tail = self.tail_fraction
         blocks = []
-        while remaining > 0:
-            size = min(remaining, MAX_BATCH)
-            gen = np.random.Generator(np.random.PCG64(rng.getrandbits(64)))
-            blocks.append(self._run_batch_rows(size, gen))
-            remaining -= size
+        if tail <= 0.0:
+            # Legacy fixed-width chunking — kept *bit-identical* to the
+            # pre-tail batch stream (property-tested), which is why the
+            # tail/adaptive paths below are fully fenced off here.
+            remaining = iterations
+            while remaining > 0:
+                size = min(remaining, MAX_BATCH)
+                gen = np.random.Generator(
+                    np.random.PCG64(rng.getrandbits(64)))
+                blocks.append(self._run_batch_rows(size, gen))
+                remaining -= size
+        else:
+            tails = []
+            remaining = iterations
+            width = self._first_width()
+            ticks = row_ticks = peak = 0
+            while remaining > 0:
+                size = min(remaining, width)
+                gen = np.random.Generator(
+                    np.random.PCG64(rng.getrandbits(64)))
+                st = _BatchState(self, size, gen, adaptive=True)
+                survivor = self._advance(st, blocks, int(tail * size))
+                chunk_ticks, chunk_rows = self._last_ticks
+                ticks += chunk_ticks
+                row_ticks += chunk_rows
+                peak = max(peak, size)
+                if survivor is not None and survivor.n:
+                    tails.append(survivor)
+                remaining -= size
+                width = self._next_width(size, ticks, row_ticks)
+            drained = sum(t.n for t in tails)
+            if tails:
+                self._drain_tail(tails, rng, blocks)
+            self._profile = {"ticks": ticks, "row_ticks": row_ticks,
+                             "peak_width": peak, "drained": drained}
         matrix = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
         states, counts = _unique_rows(matrix)
         add = histogram.add
         for row, count in zip(states.tolist(), counts.tolist()):
             add(self._final_state(row), count)
         return histogram
+
+    # -- adaptive chunk sizing --------------------------------------------
+
+    def _first_width(self):
+        """Chunk width before any retirement has been measured: bound
+        the *full-width* working set by the cache target."""
+        cap = _CACHE_TARGET // max(self._row_bytes, 1)
+        return int(min(MAX_BATCH, max(_MIN_CHUNK, cap)))
+
+    def _next_width(self, width, ticks, row_ticks):
+        """Refine the chunk width from the measured retirement profile.
+
+        ``row_ticks / ticks`` is the mean number of live rows per tick
+        over the chunks executed so far *in this call* — compaction
+        shrinks the hot arrays as rows retire, so the sustained working
+        set is ``row_bytes * live_fraction`` per row of width.  The
+        profile is a deterministic function of the shard seed, keeping
+        sharded results independent of execution order; it is never
+        carried across ``run_many`` calls.
+        """
+        if not ticks:
+            return width
+        live_fraction = min(max(row_ticks / ticks / max(width, 1), 0.05),
+                            1.0)
+        cap = int(_CACHE_TARGET / max(self._row_bytes * live_fraction, 1))
+        return int(min(MAX_BATCH, max(_MIN_CHUNK, cap)))
 
     def run_once(self, rng):
         """Compatibility single-iteration entry (``GpuMachine`` shape)."""
@@ -449,48 +644,93 @@ class BatchCell:
                 # A modified shared location lives in one CTA's SM for
                 # valid tests; min over SM copies is the reference
                 # engine's sorted-first tie-break and the identity when
-                # all copies agree.
-                columns.append(st.shm[idx, :, loc].min(axis=1))
+                # all copies agree.  Unused SMs (dropped by the compact
+                # allocation) always hold the initial image, so fold it
+                # back into the min.
+                column = st.shm[idx, :, loc].min(axis=1)
+                if self.n_sms_eff != self.n_sms:
+                    column = np.minimum(column,
+                                        self._init_shared_row[loc])
+                columns.append(column)
             else:
                 columns.append(st.glob[idx, loc])
         return np.stack(columns, axis=1)
 
     def _run_batch_rows(self, n, rng):
         st = _BatchState(self, n, rng)
+        blocks = []
+        self._advance(st, blocks, 0)
+        return np.concatenate(blocks) if len(blocks) > 1 else blocks[0]
+
+    def _advance(self, st, blocks, tail_rows):
+        """Advance a lockstep batch until every row retires — or, with
+        ``tail_rows > 0``, until at most that many rows remain live.
+
+        Retired rows' observables are appended to ``blocks``.  Returns
+        ``None`` when the batch fully retired, or the suspended
+        :class:`_BatchState` (compacted to the live rows) for the
+        straggler hand-off.  Suspension happens at a tick boundary —
+        before the scheduler draw — so the surviving rows' state is a
+        complete, consistent machine snapshot.
+        """
+        rng = st.rng
         statics = self._thread_statics
         T = len(statics)
         stall_limit = self._stall_limit
         test_name = self.test.name
-        blocks = []
+        ticks = 0
+        row_ticks = 0
+        # Scalar guards let the per-tick safety checks skip their array
+        # reductions entirely until they can possibly fire: fuel drops
+        # by at most one per tick, and a stall streak grows by at most
+        # one per tick, so entry-time extrema bound both from above.
+        # Compaction only removes rows, which keeps the bounds sound.
+        fuel_floor = int(st.fuel.min())
+        stall_head = stall_limit - int(st.stalled.max())
         while True:
+            # ``cum[:, t]`` counts the runnable threads up to ``t``:
+            # its last column is the per-row runnable count (zero means
+            # retired) and it directly drives the scheduler pick, so
+            # one cumulative sum replaces the any/sum reductions a
+            # separate ``runnable``/``alive`` formulation needs.
             runnable = np.empty((st.n, T), dtype=bool)
             for t in range(T):
                 th = st.threads[t]
-                runnable[:, t] = ((th.pc < th.S.ncode)
-                                  | th.in_q.any(axis=1))
-            alive = runnable.any(axis=1)
-            n_alive = int(alive.sum())
+                runnable[:, t] = (th.pc < th.S.ncode) | (th.q_n > 0)
+            cum = runnable.cumsum(axis=1)
+            counts = cum[:, T - 1]
+            n_alive = int(np.count_nonzero(counts))
             if n_alive == 0:
                 blocks.append(self._collect(st, np.arange(st.n)))
-                break
+                self._last_ticks = (ticks, row_ticks)
+                return None
+            if tail_rows and n_alive <= tail_rows:
+                done = np.nonzero(counts == 0)[0]
+                if len(done):
+                    blocks.append(self._collect(st, done))
+                    st.take(np.nonzero(counts != 0)[0])
+                self._last_ticks = (ticks, row_ticks)
+                return st
             if n_alive <= (st.n * 3) // 4 and st.n - n_alive >= 64:
-                blocks.append(self._collect(st, np.nonzero(~alive)[0]))
-                keep = np.nonzero(alive)[0]
+                dead = counts == 0
+                blocks.append(self._collect(st, np.nonzero(dead)[0]))
+                keep = np.nonzero(~dead)[0]
                 st.take(keep)
-                runnable = runnable[keep]
-                alive = runnable.any(axis=1)
-            if bool((alive & (st.fuel <= 0)).any()):
+                cum = cum[keep]
+                counts = cum[:, T - 1]
+            alive = counts > 0
+            if ticks >= fuel_floor and bool((alive & (st.fuel <= 0)).any()):
                 raise FuelExhausted(
                     "test %s did not terminate (likely livelock)"
                     % test_name)
             # -- choose one runnable thread per iteration -------------
-            counts = runnable.sum(axis=1)
             draw = (rng.random(st.n) * counts).astype(np.int64)
-            cum = runnable.cumsum(axis=1)
             chosen = (cum <= draw[:, None]).sum(axis=1)
             st.progress[:] = False
             for t in range(T):
-                sel = np.nonzero(alive & (chosen == t))[0]
+                # Retired rows land at ``chosen == T`` (every cumsum
+                # entry is zero), so the pick itself masks them out.
+                sel = np.nonzero(chosen == t)[0]
                 if not len(sel):
                     continue
                 th = st.threads[t]
@@ -500,13 +740,149 @@ class BatchCell:
                 self._issue_round(st, th, sel)
             idle = alive & ~st.progress
             st.stalled[st.progress] = 0
-            st.stalled[idle] += 1
-            if bool((st.stalled > stall_limit).any()):
+            st.stalled += idle
+            if (ticks >= stall_head
+                    and bool((st.stalled > stall_limit).any())):
                 raise SimulationError(
                     "all threads stalled in %s — dependency deadlock?"
                     % test_name)
-            st.fuel[alive] -= 1
-        return np.concatenate(blocks) if len(blocks) > 1 else blocks[0]
+            st.fuel -= alive
+            ticks += 1
+            row_ticks += n_alive
+
+    # -- straggler hand-off ------------------------------------------------
+
+    def _concat_states(self, states):
+        """Coalesce suspended chunk tails into one dense batch state."""
+        if len(states) == 1:
+            return states[0]
+        st = _BatchState.__new__(_BatchState)
+        st.rng = states[0].rng
+        st.adaptive = states[0].adaptive
+        for name in ("iv", "any_intent", "stale", "glob", "sm", "fuel",
+                     "stalled", "progress", "budget", "dec"):
+            setattr(st, name,
+                    np.concatenate([getattr(s, name) for s in states]))
+        st.shm = (np.concatenate([s.shm for s in states])
+                  if states[0].shm is not None else None)
+        if states[0].l1h is not None:
+            st.l1h = np.concatenate([s.l1h for s in states])
+            st.l1v = np.concatenate([s.l1v for s in states])
+        else:
+            st.l1h = None
+            st.l1v = None
+        threads = []
+        for t, S in enumerate(self._thread_statics):
+            th = _ThreadState.__new__(_ThreadState)
+            th.S = S
+            for name in _ThreadState._ARRAYS:
+                setattr(th, name,
+                        np.concatenate([getattr(s.threads[t], name)
+                                        for s in states]))
+            threads.append(th)
+        st.threads = threads
+        st.n = len(st.iv)
+        return st
+
+    def _drain_tail(self, tails, rng, blocks):
+        """Finish suspended straggler rows off the lockstep fast path.
+
+        The per-chunk tails first coalesce into one dense batch (so a
+        sharded request pays one final narrow batch rather than one
+        sparse tail per chunk) and re-enter lockstep while still wide
+        enough to amortize dispatch; once at most :data:`_DRAIN_ROWS`
+        rows survive, each is transplanted onto the embedded fast-engine
+        cell and run to completion scalar-style.  Each drained row gets
+        an independent ``random.Random`` seeded from the batch
+        generator — the same documented stream-break contract as the
+        chunk seeds themselves.
+        """
+        st = self._concat_states(tails)
+        st.rng = np.random.Generator(np.random.PCG64(rng.getrandbits(64)))
+        fraction = self.tail_fraction
+        while st is not None and st.n > _DRAIN_ROWS:
+            threshold = max(int(fraction * st.n), _DRAIN_ROWS)
+            st = self._advance(st, blocks, threshold)
+        if st is None or not st.n:
+            return
+        fast = self._fast_twin()
+        width = len(self._obs_plan) + len(self._final_plan)
+        out = np.empty((st.n, width), dtype=np.int64)
+        for row in range(st.n):
+            snap = self._snapshot_row(st, row)
+            seed = int(st.rng.integers(0, 1 << 63))
+            state = fast.resume(snap, _random.Random(seed))
+            out[row, :] = ([value for _, value in state.regs]
+                           + [value for _, value in state.mem])
+        blocks.append(out)
+
+    def _fast_twin(self):
+        """The embedded fast-engine cell straggler rows resume on."""
+        if self._fast is None:
+            self._fast = compile_cell(
+                self.test, self.chip, intensity=self.intensity,
+                stale_intensity=self.stale_intensity,
+                shuffle_placement=self.shuffle_placement, fuel=self.fuel,
+                scope_blind=self.scope_blind)
+        return self._fast
+
+    def _thread_reg_names(self):
+        if self._reg_names is None:
+            self._reg_names = []
+            for S in self._thread_statics:
+                names = [""] * len(S.reg_index)
+                for name, col in S.reg_index.items():
+                    names[col] = name
+                self._reg_names.append(names)
+        return self._reg_names
+
+    def _snapshot_row(self, st, row):
+        """Extract one row's complete machine state for the fast engine.
+
+        The payload mirrors the fast cell's mutable state exactly: the
+        drawn intent vector, the memory image keyed by real addresses,
+        per-SM L1 lines, and per-thread register files, pending sets and
+        queues (slot index ``k`` maps onto the fast cell's ``k``-th op
+        static — both compilers assign slots to memory instructions in
+        program order).
+        """
+        reg_names = self._thread_reg_names()
+        threads = []
+        for t, th in enumerate(st.threads):
+            names = reg_names[t]
+            regs = {name: int(value)
+                    for name, value in zip(names, th.regs[row].tolist())}
+            pending = {names[c] for c in np.nonzero(th.pending[row])[0]}
+            queue = []
+            for k in np.nonzero(th.in_q[row])[0].tolist():
+                queue.append((int(th.q_seq[row, k]), k,
+                              int(th.q_addr[row, k]),
+                              int(th.q_val[row, k]),
+                              int(th.q_cmp[row, k])))
+            queue.sort()  # the fast queue is seq-ascending by invariant
+            threads.append({"sm": int(self._sm_used[st.sm[row, t]]),
+                            "pc": int(th.pc[row]),
+                            "seq": int(th.seq[row]),
+                            "regs": regs, "pending": pending,
+                            "queue": queue})
+        glob = {address: int(value) for address, value in
+                zip(self._gaddr_list, st.glob[row].tolist())}
+        shared = [{} for _ in range(self.n_sms)]
+        if self.n_shared:
+            for s, real in enumerate(self._sm_used.tolist()):
+                shared[real] = {address: int(value) for address, value in
+                                zip(self._saddr_list,
+                                    st.shm[row, s].tolist())}
+        l1 = [{} for _ in range(self.n_sms)]
+        if self.l1_active:
+            for s, real in enumerate(self._sm_used.tolist()):
+                for g in np.nonzero(st.l1h[row, s])[0].tolist():
+                    l1[real][self._gaddr_list[g]] = int(st.l1v[row, s, g])
+        return {"iv": [bool(v) for v in st.iv[row].tolist()],
+                "stale": bool(st.stale[row]),
+                "fuel": int(st.fuel[row]),
+                "global": glob, "shared": shared, "l1": l1,
+                "threads": threads}
 
     # -- frontend ----------------------------------------------------------
 
@@ -528,20 +904,56 @@ class BatchCell:
             live = live[th.pc[live] < ncode]
             if not len(live):
                 break
+            # ``here`` is fixed for the sweep; ``pcs``/``dmask`` are
+            # per-position shadows refreshed only for the rows the last
+            # kernel actually ran (a step kernel is the only thing that
+            # can clear ``st.dec`` or move a pc), so the refresh cost
+            # scales with the kernel's row set, not the sweep width.
+            here = live[st.dec[live]]
+            if not len(here):
+                break
+            pcs = th.pc[here]
+            # ``counts[p]`` is the exact number of still-decodable rows
+            # sitting at pc ``p``, maintained incrementally as kernels
+            # move rows — it gates the scan (absent pcs cost one python
+            # int check instead of a full-width compare) and makes the
+            # post-mask emptiness test free: a positive count
+            # guarantees a non-empty ``sub``.
+            counts = np.bincount(pcs, minlength=ncode)
+            dmask = None
             for p in range(ncode):
-                here = live[st.dec[live]]
-                if not len(here):
-                    break
-                sub = here[th.pc[here] == p]
-                if len(sub):
-                    code[p](st, th, sub)
-                live = here
+                if not counts[p]:
+                    continue
+                sub_mask = pcs == p
+                if dmask is not None:
+                    sub_mask &= dmask
+                sub = here[sub_mask]
+                code[p](st, th, sub)
+                newpc = th.pc[sub]
+                newd = st.dec[sub]
+                pcs[sub_mask] = newpc
+                if dmask is None:
+                    dmask = np.ones(len(here), dtype=bool)
+                dmask[sub_mask] = newd
+                moved = newpc[newd]
+                moved = moved[moved < ncode]
+                counts[p] = 0
+                if len(moved):
+                    counts += np.bincount(moved, minlength=ncode)
         st.dec[rows] = False
+        # Every kernel pairs a budget decrement with instruction
+        # retirement, so a single compare recovers per-row progress —
+        # the per-kernel ``st.progress`` scatters this replaces were a
+        # measurable share of tick time.  Rows of other threads are
+        # untouched: each row schedules one thread per tick, so decode
+        # row sets are disjoint across threads.
+        budgets = st.budget[rows]
+        st.progress[rows] = budgets < BUDGET
         # Re-running decode with unchanged registers cannot progress
         # (decode is deterministic in regs/pending/pc), so skip it until
         # one of this thread's loads completes — unless the budget ran
         # out, in which case next tick's fresh budget must retry.
-        th.dec_blocked[rows[st.budget[rows] > 0]] = True
+        th.dec_blocked[rows[budgets > 0]] = True
 
     # -- issue -------------------------------------------------------------
 
@@ -554,36 +966,72 @@ class BatchCell:
             if not len(rows):
                 return
             th.in_q[rows, 0] = False
+            th.q_n[rows] = 0
             S.issue[0](st, th, rows)
             st.progress[rows] = True
             return
         inq = th.in_q[sel]
-        q_seq = th.q_seq[sel]
-        elig = inq.copy()
+        # One reduction yields per-slot membership counts as plain ints;
+        # the per-slot/per-pair ``.any()`` gates they replace were the
+        # dominant fixed per-tick cost at narrow batch widths.
+        nq = inq.sum(axis=0).tolist()
+        if not any(nq):
+            return
+        occupied = [j for j in range(S.K) if nq[j]]
+        if len(occupied) == 1:
+            # Only one slot holds queued ops: nothing can block it,
+            # every row's single eligible op is trivially the oldest,
+            # and no reordering draw happens (``ecount`` is 1 for every
+            # eligible row), so the general selection machinery reduces
+            # to issuing that slot directly.  This is the steady state
+            # of a spin loop — the dominant issue shape on the app
+            # scenarios — and consumes no generator draws, exactly like
+            # the general path it shortcuts.
+            j = occupied[0]
+            rows = sel[inq[:, j]]
+            th.in_q[rows, j] = False
+            th.q_n[rows] -= 1
+            S.issue[j](st, th, rows)
+            if S.window_check:
+                th.dec_blocked[rows] = False
+            st.progress[rows] = True
+            return
+        # Selection only ever involves the occupied slots, so the
+        # matrices below are built over that column subset; slot
+        # indices map back through ``occupied`` at issue time.  The
+        # subset preserves ascending column order, which keeps argmin
+        # tie-breaks and the cumulative reorder pick identical to the
+        # full-width formulation (empty columns contribute nothing to
+        # either), so the generator stream is untouched.
+        m = len(occupied)
+        inq_o = inq[:, occupied]
+        q_seq_o = th.q_seq[np.ix_(sel, occupied)]
+        elig = inq_o.copy()
         static_order = S.static_order
-        for j in range(S.K):
-            if not inq[:, j].any():
-                continue
+        for jj, j in enumerate(occupied):
             blocked = None
             for i, fn in S.pairs[j]:
-                older = inq[:, i]
-                if not static_order:
-                    older = older & (q_seq[:, i] < q_seq[:, j])
-                if not older.any():
+                if not nq[i]:
                     continue
+                ii = occupied.index(i)
+                older = inq_o[:, ii]
+                if not static_order:
+                    older = older & (q_seq_o[:, ii] < q_seq_o[:, jj])
+                    if not older.any():
+                        continue
                 if fn is not None:
                     older = older & fn(st, th, sel)
                     if not older.any():
                         continue
                 blocked = older if blocked is None else (blocked | older)
             if blocked is not None:
-                elig[:, j] &= ~blocked
+                elig[:, jj] &= ~blocked
         has = elig.any(axis=1)
         if not has.any():
             return
         rows = sel[has]
         elig = elig[has]
-        seqs = q_seq[has]
+        seqs = q_seq_o[has]
         ecount = elig.sum(axis=1)
         seqm = np.where(elig, seqs, _NO_SEQ)
         oldest = seqm.argmin(axis=1)
@@ -592,7 +1040,7 @@ class BatchCell:
         use_rand = st.any_intent[rows] & (ecount > 1)
         if use_rand.any():
             cand = elig.copy()
-            np.put_along_axis(cand, oldest[:, None], False, axis=1)
+            cand[np.arange(len(rows)), oldest] = False
             target = (st.rng.random(len(rows))
                       * np.maximum(ecount - 1, 0)).astype(np.int64)
             cum = cand.cumsum(axis=1)
@@ -600,12 +1048,13 @@ class BatchCell:
             col = np.where(use_rand, rand_col, oldest)
         else:
             col = oldest
-        for k in range(S.K):
-            mk = col == k
-            if not mk.any():
+        kcounts = np.bincount(col, minlength=m).tolist()
+        for kk, k in enumerate(occupied):
+            if not kcounts[kk]:
                 continue
-            krows = rows[mk]
+            krows = rows[col == kk]
             th.in_q[krows, k] = False
+            th.q_n[krows] -= 1
             S.issue[k](st, th, krows)
         if S.window_check:
             # A freed queue slot can unblock a window-limited decode.
@@ -657,6 +1106,16 @@ class _BatchCompiler:
         return {name: col for col, name in enumerate(sorted(names))}
 
     def compile(self):
+        self.analyze()
+        return self.codegen()
+
+    def analyze(self):
+        """First pass: register columns and slot tables.
+
+        Everything this pass produces is picklable — it is exactly the
+        payload of :meth:`BatchCell.plan` that the cross-worker plan
+        cache stores; :meth:`codegen` rebuilds only the closures.
+        """
         S = self.S
         S.reg_index = self._register_columns()
         S.n_regs = max(len(S.reg_index), 1)
@@ -725,13 +1184,17 @@ class _BatchCompiler:
         S.K = len(S.slots)
         S.window_check = S.K >= WINDOW
         S.static_order = not self.program.has_loops()
+        S.slot_of = slot_of
+        return S
 
-        # Second pass: step kernels.
+    def codegen(self):
+        """Second pass: step kernels, pair-blocking plans, issue kernels
+        — the closures, regenerated per process on a plan-cache hit."""
+        S = self.S
+        slot_of = S.slot_of
         S.code = [self._compile_one(pc, instruction, slot_of.get(pc))
                   for pc, instruction in enumerate(self.program.instructions)]
         S.ncode = len(S.code)
-
-        # Pair-blocking plans and issue kernels.
         S.pairs = [self._compile_pairs(j) for j in range(S.K)]
         S.issue = [self._compile_issue(k) for k in range(S.K)]
         return S
@@ -794,12 +1257,10 @@ class _BatchCompiler:
             def step(st, th, rows, _target=target):
                 th.pc[rows] = _target
                 st.budget[rows] -= 1
-                st.progress[rows] = True
         elif isinstance(instruction, Label):
             def step(st, th, rows):
                 th.pc[rows] += 1
                 st.budget[rows] -= 1
-                st.progress[rows] = True
         else:
             raise SimulationError(
                 "batch engine cannot lower %r" % (instruction,))
@@ -822,7 +1283,6 @@ class _BatchCompiler:
                 hop = rows[skip]
                 th.pc[hop] += 1
                 st.budget[hop] -= 1
-                st.progress[hop] = True
                 rows = rows[~skip]
             if len(rows):
                 _inner(st, th, rows)
@@ -865,7 +1325,7 @@ class _BatchCompiler:
             if not len(rows):
                 return
             if window_check:
-                full = th.in_q[rows].sum(axis=1) >= WINDOW
+                full = th.q_n[rows] >= WINDOW
                 if full.any():
                     st.dec[rows[full]] = False
                     rows = rows[~full]
@@ -876,6 +1336,7 @@ class _BatchCompiler:
                     "batch engine: op re-enqueued while still pending "
                     "in %s (unguarded loop over a memory op?)" % name)
             th.in_q[rows, _k] = True
+            th.q_n[rows] += 1
             th.q_seq[rows, _k] = th.seq[rows]
             th.seq[rows] += 1
             if addr_col is None:
@@ -894,7 +1355,6 @@ class _BatchCompiler:
                 th.pending[rows, dst] = True
             th.pc[rows] += 1
             st.budget[rows] -= 1
-            st.progress[rows] = True
 
         return step
 
@@ -904,12 +1364,12 @@ class _BatchCompiler:
 
         def push(st, th, rows, _k=k):
             th.in_q[rows, _k] = True
+            th.q_n[rows] += 1
             th.q_seq[rows, _k] = th.seq[rows]
             th.seq[rows] += 1
             th.q_addr[rows, _k] = -1
             th.pc[rows] += 1
             st.budget[rows] -= 1
-            st.progress[rows] = True
 
         if covered:
             # The scope check is pre-bound: a sufficient fence always
@@ -924,7 +1384,6 @@ class _BatchCompiler:
             if len(skip):
                 th.pc[skip] += 1
                 st.budget[skip] -= 1
-                st.progress[skip] = True
             go = rows[enq]
             if len(go):
                 push(st, th, go)
@@ -940,7 +1399,6 @@ class _BatchCompiler:
                 th.regs[rows, _dst] = _const
                 th.pc[rows] += 1
                 st.budget[rows] -= 1
-                st.progress[rows] = True
 
             return step
         if isinstance(instruction.src, Imm):
@@ -950,7 +1408,6 @@ class _BatchCompiler:
                 th.regs[rows, _dst] = _const
                 th.pc[rows] += 1
                 st.budget[rows] -= 1
-                st.progress[rows] = True
 
             return step
         src = self.S.reg_index[instruction.src.name]
@@ -963,7 +1420,6 @@ class _BatchCompiler:
             th.regs[rows, _dst] = th.regs[rows, _src]
             th.pc[rows] += 1
             st.budget[rows] -= 1
-            st.progress[rows] = True
 
         return step
 
@@ -982,7 +1438,6 @@ class _BatchCompiler:
             th.regs[rows, _dst] = _fn(a, b)
             th.pc[rows] += 1
             st.budget[rows] -= 1
-            st.progress[rows] = True
 
         return step
 
@@ -998,7 +1453,6 @@ class _BatchCompiler:
             th.regs[rows, _dst] = th.regs[rows, _src]
             th.pc[rows] += 1
             st.budget[rows] -= 1
-            st.progress[rows] = True
 
         return step
 
@@ -1146,6 +1600,12 @@ class _BatchCompiler:
             hit = has & st.stale[idx]
             value = np.where(hit, st.l1v[idx, sm, gloc], base)
             fill = ~hit
+            if st.adaptive:
+                # Lines of non-stale rows can never hit (``hit`` needs
+                # ``stale``), so filling them is semantically inert; it
+                # only perturbs downstream ``has.any()`` draw gates,
+                # i.e. the RNG stream — skipped off the legacy path.
+                fill &= st.stale[idx]
             if fill.any():
                 st.l1v[idx[fill], sm[fill], gloc] = base[fill]
                 st.l1h[idx[fill], sm[fill], gloc] = True
@@ -1178,6 +1638,8 @@ class _BatchCompiler:
                 hit = has & st.stale[gi]
                 value[g] = np.where(hit, st.l1v[gi, gs, gloc], base)
                 fill = ~hit
+                if st.adaptive:
+                    fill &= st.stale[gi]
                 if fill.any():
                     st.l1v[gi[fill], gs[fill], gloc[fill]] = base[fill]
                     st.l1h[gi[fill], gs[fill], gloc[fill]] = True
@@ -1314,7 +1776,8 @@ class _BatchCompiler:
 
 
 def compile_batch_cell(test, chip, intensity=1.0, stale_intensity=None,
-                       shuffle_placement=False, fuel=None, scope_blind=False):
+                       shuffle_placement=False, fuel=None, scope_blind=False,
+                       tail_fraction=None, plan=None):
     """Lower one campaign cell into a :class:`BatchCell`.
 
     Parameters mirror :func:`~repro.sim.compile.compile_cell`; the
@@ -1322,8 +1785,15 @@ def compile_batch_cell(test, chip, intensity=1.0, stale_intensity=None,
     same outcome *distribution* as the fast engine (see the module
     docstring for the RNG-stream contract).  Raises
     :class:`~repro.errors.ConfigurationError` when numpy is missing.
+
+    ``tail_fraction`` tunes the straggler hand-off threshold (``None``
+    resolves ``REPRO_BATCH_TAIL``/the default; ``0`` disables the tail
+    and reproduces the legacy bit-exact batch stream).  ``plan`` is an
+    optional pre-analyzed lowering plan from :meth:`BatchCell.plan` —
+    a plan-cache hit skips the analysis pass.
     """
     return BatchCell(test, chip, intensity=intensity,
                      stale_intensity=stale_intensity,
                      shuffle_placement=shuffle_placement, fuel=fuel,
-                     scope_blind=scope_blind)
+                     scope_blind=scope_blind, tail_fraction=tail_fraction,
+                     plan=plan)

@@ -433,6 +433,11 @@ class _Compiler:
         self.scope_blind = scope_blind
         self.underscoped_damping = underscoped_damping
         self.fence_inval = fence_inval  # Scope -> invalidation probability
+        #: One :class:`_OpStatic` per memory instruction, in program
+        #: order — the same order the batch compiler assigns queue
+        #: slots, which is what lets a suspended batch row be
+        #: transplanted onto this cell (slot k <-> op_statics[k]).
+        self.op_statics = []
 
     def compile(self):
         return [self._compile_one(instruction)
@@ -539,6 +544,7 @@ class _Compiler:
                else instruction.effective_cop.value)
         st = _OpStatic(K_LOAD, dst=instruction.dst.name, cop=cop,
                        volatile=instruction.volatile)
+        self.op_statics.append(st)
         addr_const, addr_reg = self._addr(instruction.addr)
         return self._push_step(st, addr_const, addr_reg)
 
@@ -546,6 +552,7 @@ class _Compiler:
         cop = (None if instruction.volatile
                else instruction.effective_cop.value)
         st = _OpStatic(K_STORE, cop=cop, volatile=instruction.volatile)
+        self.op_statics.append(st)
         addr_const, addr_reg = self._addr(instruction.addr)
         value = self._value(instruction.src)
         return self._push_step(st, addr_const, addr_reg, value=value,
@@ -553,6 +560,7 @@ class _Compiler:
 
     def _compile_cas(self, instruction):
         st = _OpStatic(K_CAS, dst=instruction.dst.name)
+        self.op_statics.append(st)
         addr_const, addr_reg = self._addr(instruction.addr)
         compare = self._value(instruction.cmp)
         value = self._value(instruction.new)
@@ -562,6 +570,7 @@ class _Compiler:
 
     def _compile_exch(self, instruction):
         st = _OpStatic(K_EXCH, dst=instruction.dst.name)
+        self.op_statics.append(st)
         addr_const, addr_reg = self._addr(instruction.addr)
         value = self._value(instruction.src)
         return self._push_step(st, addr_const, addr_reg, value=value,
@@ -569,11 +578,13 @@ class _Compiler:
 
     def _compile_inc(self, instruction):
         st = _OpStatic(K_ADD, dst=instruction.dst.name)
+        self.op_statics.append(st)
         addr_const, addr_reg = self._addr(instruction.addr)
         return self._push_step(st, addr_const, addr_reg, value=(1, None))
 
     def _compile_atom_add(self, instruction):
         st = _OpStatic(K_ADD, dst=instruction.dst.name)
+        self.op_statics.append(st)
         addr_const, addr_reg = self._addr(instruction.addr)
         value = self._value(instruction.src)
         return self._push_step(st, addr_const, addr_reg, value=value,
@@ -584,6 +595,7 @@ class _Compiler:
         mixed_slot, ca_slot = _bypass_slots(scope)
         st = _OpStatic(K_FENCE, mixed_slot=mixed_slot, ca_slot=ca_slot,
                        inval_prob=self.fence_inval.get(scope, 1.0))
+        self.op_statics.append(st)
         covered = self.scope_blind or scope.covers(self.required_scope)
         if covered:
             # The scope check is pre-bound: a sufficient fence always
@@ -790,6 +802,7 @@ class CompiledCell:
         self.thread_ctas = [test.scope_tree.placement(program.name).cta
                             for program in test.threads]
         self.threads = []
+        self._op_statics = []
         for program in test.threads:
             init_regs = {}
             for (tid, name), binding in test.reg_init.items():
@@ -799,10 +812,12 @@ class CompiledCell:
                     init_regs[name] = address_map[binding.name]
                 else:
                     init_regs[name] = binding.value
-            code = _Compiler(
+            compiler = _Compiler(
                 program, address_map, required_scope, scope_blind,
                 chip.underscoped_fence_damping,
-                chip.fence_l1_inval).compile()
+                chip.fence_l1_inval)
+            code = compiler.compile()
+            self._op_statics.append(compiler.op_statics)
             self.threads.append(_Thread(code, init_regs, self.memory, chip))
         if not shuffle_placement:
             for thread, cta in zip(self.threads, self.thread_ctas):
@@ -836,7 +851,12 @@ class CompiledCell:
         for thread in threads:
             thread.reset(rng)
 
-        fuel = self.fuel
+        return self._run_loop(rng, iv, any_intent, self.fuel)
+
+    def _run_loop(self, rng, iv, any_intent, fuel):
+        """The scheduler loop shared by :meth:`run_once` and
+        :meth:`resume`: tick random runnable threads until quiescence."""
+        threads = self.threads
         stall_limit = self._stall_limit
         stalled_rounds = 0
         choice = rng.choice
@@ -861,6 +881,61 @@ class CompiledCell:
             fuel -= 1
 
         return self._final_state()
+
+    def resume(self, snap, rng):
+        """Finish one suspended iteration from a mid-flight snapshot.
+
+        ``snap`` is the straggler hand-off payload built by
+        :meth:`repro.sim.batch.BatchCell._snapshot_row`: the iteration's
+        drawn intent vector plus complete machine state (memory image,
+        L1 lines, per-thread registers/pending/queue) at a tick
+        boundary.  The queue is rebuilt against this cell's op-static
+        table — the batch compiler assigns slot ``k`` to the ``k``-th
+        memory instruction of each thread, the same order
+        ``_Compiler.op_statics`` records — and the scheduler loop then
+        runs the iteration to quiescence on ``rng``.
+
+        Fresh draws (scheduler picks, cache effects) come from ``rng``,
+        not from the suspended batch stream: suspension happens at a
+        tick boundary of a memoryless process, so continuing with any
+        independent deterministic stream preserves the outcome
+        distribution — the same documented stream-break contract as the
+        batch engine itself.
+        """
+        iv = snap["iv"]
+        any_intent = True in iv
+        memory = self.memory
+        memory.rng = rng
+        memory.stale = snap["stale"]
+        memory.global_mem.clear()
+        memory.global_mem.update(snap["global"])
+        for shared, image in zip(memory.shared_mem, snap["shared"]):
+            shared.clear()
+            shared.update(image)
+        for line, image in zip(memory.l1, snap["l1"]):
+            line.clear()
+            line.update(image)
+        for thread, statics, tsnap in zip(self.threads, self._op_statics,
+                                          snap["threads"]):
+            thread.rng = rng
+            thread.sm = tsnap["sm"]
+            thread.pc = tsnap["pc"]
+            thread.seq = tsnap["seq"]
+            regs = thread.regs
+            regs.clear()
+            regs.update(tsnap["regs"])
+            pending = thread.pending
+            pending.clear()
+            pending.update(tsnap["pending"])
+            queue = thread.queue
+            del queue[:]
+            for seq, slot, address, value, compare in tsnap["queue"]:
+                st = statics[slot]
+                if st.kind == K_FENCE:
+                    queue.append(_Op(seq, None, None, None, st))
+                else:
+                    queue.append(_Op(seq, address, value, compare, st))
+        return self._run_loop(rng, iv, any_intent, snap["fuel"])
 
     def _final_state(self):
         # _observed and _final_addresses are pre-sorted, so the tuples
