@@ -3,21 +3,27 @@
 tracked in BENCH_exhaust.json.
 
 Explores every cell of a pinned corpus (:data:`repro.perf.EXHAUST_PINNED_CORPUS`;
-``--corpus tiny`` for the CI smoke subset) twice — persistent-set/
-sleep-set DPOR and naive full interleaving enumeration — prints the
-transition-count comparison and writes the machine-readable trajectory
+``--corpus tiny`` for the CI smoke subset) with persistent-set/
+sleep-set DPOR, with naive full interleaving enumeration (skipped on
+the dpor-only cells whose naive space is intractable) and through a
+``--workers``-wide process-pool session (the branch-sharded parallel
+mode), prints the comparison and writes the machine-readable trajectory
 file.  Exits non-zero if
 
-* any cell's DPOR and naive reachable-state sets diverge (the soundness
-  contract: pruning may never lose a state), or
+* any cell's oracle pairs diverge (DPOR vs naive reachable sets where
+  both ran; serial vs parallel merged verdicts everywhere — pruning
+  and sharding may never lose a state), or
 * the corpus-wide total reduction factor (naive transitions / DPOR
-  transitions) falls below ``--min-reduction`` (default 10: the
-  headline the exhaustive mode was built to earn).
+  transitions over the differential cells) falls below
+  ``--min-reduction`` (default 10), or
+* the branch partition of any dpor-only (wide) cell admits less than
+  ``--min-balance`` speedup at ``--workers`` workers (default 2.5: the
+  deterministic load-balance bound, not a wall measurement).
 
 Usage::
 
     python benchmarks/bench_perf_exhaust.py                 # pinned corpus
-    python benchmarks/bench_perf_exhaust.py --corpus tiny \\
+    python benchmarks/bench_perf_exhaust.py --corpus tiny \
         --min-reduction 10 --output BENCH_exhaust.json
 """
 
@@ -31,6 +37,7 @@ from repro.errors import ReproError  # noqa: E402
 from repro.perf import (bench_exhaust, exhaust_corpus_by_name,  # noqa: E402
                         render_exhaust_table, summarize_exhaust,
                         write_exhaust_report)
+from repro.perf.exhaustbench import DEFAULT_WORKERS  # noqa: E402
 
 #: Default output: the tracked trajectory file at the repo root.
 DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "..",
@@ -50,6 +57,14 @@ def main(argv=None):
                         help="fail if the corpus-wide total reduction "
                              "(naive/DPOR transitions) is below this "
                              "(default 10)")
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS,
+                        help="process-pool width for the parallel leg and "
+                             "the balance bound (default %d)"
+                             % DEFAULT_WORKERS)
+    parser.add_argument("--min-balance", type=float, default=2.5,
+                        help="fail if any dpor-only cell's branch "
+                             "partition admits less than this speedup at "
+                             "--workers workers (default 2.5)")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help="where to write BENCH_exhaust.json "
                              "(default: repo root)")
@@ -57,28 +72,37 @@ def main(argv=None):
 
     try:
         corpus = exhaust_corpus_by_name(args.corpus)
-        cells = bench_exhaust(corpus, loop_bound=args.loop_bound)
+        cells = bench_exhaust(corpus, loop_bound=args.loop_bound,
+                              workers=args.workers)
     except ReproError as error:
         raise SystemExit(str(error))
     summary = summarize_exhaust(cells)
     print(render_exhaust_table(cells))
     print("reduction: %.1fx total (%d -> %d transitions), %.1fx geomean, "
-          "%.1fx min / %.1fx max per cell"
+          "%.1fx min / %.1fx max per differential cell"
           % (summary["reduction_total"],
              summary["total_naive_transitions"],
              summary["total_dpor_transitions"],
              summary["reduction_geomean"], summary["min_reduction"],
              summary["max_reduction"]))
+    print("parallel: %d dpor-only cells, balance bound >= %.2fx at %d "
+          "workers" % (summary["dpor_only_cells"],
+                       summary["min_balance_speedup"], args.workers))
     write_exhaust_report(args.output, cells, args.corpus, args.loop_bound)
     print("wrote %s" % os.path.relpath(args.output))
 
     failures = []
     if not summary["all_identical"]:
-        failures.append("strategies diverged: some cell's DPOR and naive "
-                        "reachable-state sets are not identical")
+        failures.append("oracles diverged: some cell's DPOR/naive or "
+                        "serial/parallel reachable results are not "
+                        "identical")
     if summary["reduction_total"] < args.min_reduction:
         failures.append("total reduction %.1fx < %.1fx"
                         % (summary["reduction_total"], args.min_reduction))
+    if summary["min_balance_speedup"] < args.min_balance:
+        failures.append("balance bound %.2fx < %.2fx at %d workers"
+                        % (summary["min_balance_speedup"],
+                           args.min_balance, args.workers))
     for failure in failures:
         print("FAIL: %s" % failure, file=sys.stderr)
     return 1 if failures else 0

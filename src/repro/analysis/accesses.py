@@ -205,6 +205,23 @@ def compatible_guards(access):
     return frozenset(() if access.guard is None else (access.guard,))
 
 
+def decode_read_registers(program):
+    """Every register the decode path of ``program`` may read.
+
+    The union of :meth:`~repro.ptx.instructions.Instruction.uses` over
+    the whole program: operand registers (addresses, stored values,
+    compare/new values, ALU sources) plus predication-guard registers.
+    A register *outside* this set is written only as a load destination
+    and never consulted while decoding — the intra-thread independence
+    analysis of :mod:`repro.exhaustive.explore` uses that to prove a
+    load's issue timing cannot steer its own thread's front end.
+    """
+    read = set()
+    for instruction in program.instructions:
+        read.update(instruction.uses())
+    return frozenset(read)
+
+
 def resolve_address(addr, tid, reg_init, defs_by_reg):
     """Resolve an :class:`~repro.ptx.operands.Addr` to ``(location
     name, offset)`` or ``(None, offset)`` when the base register is

@@ -625,8 +625,10 @@ def build_parser():
     verify.add_argument("--no-witness", action="store_true",
                         help="skip re-deriving losing execution traces")
     verify.add_argument("--jobs", type=int, default=1,
-                        help="worker count: cells fan out like any other "
-                             "campaign")
+                        help="worker count: each cell's exploration shards "
+                             "by root branch across the pool (and cells fan "
+                             "out like any other campaign); verdicts are "
+                             "bit-identical to --jobs 1")
     verify.add_argument("--executor", default="process",
                         choices=("process", "thread"),
                         help="worker pool kind for --jobs > 1")

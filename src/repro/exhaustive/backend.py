@@ -7,16 +7,27 @@ as simulations, model enumerations and static analyses —
 fingerprint-keyed caching, in-plan deduplication, ``Shard.iterations=0``
 accounting (an exploration is not a sampled iteration).
 
+Explorations shard by root branch: :meth:`ExhaustiveBackend.shards`
+materialises one shard per :meth:`~repro.exhaustive.explore.Explorer.root_plan`
+entry, each worker explores its branch independently
+(:meth:`~repro.exhaustive.explore.Explorer.run_branch`), and the
+session's shard-index-ordered merge reassembles exactly the serial
+result — ``repro-litmus verify --jobs N`` scales with cores without
+perturbing a single verdict bit.
+
 Results travel as histograms so the cache's JSON round-trip and the
 ``SpecResult`` plumbing apply unchanged: every reachable final state
-appears with count 1, and the exploration's metadata (bounded flag,
-execution/transition/loss counters) rides along as synthetic single-key
-states under the reserved ``__exhaustive*`` locations, decoded back by
-:func:`split_exhaustive_histogram`.  The synthetic states never flow
-through :meth:`~repro.harness.histogram.Histogram.observations` —
-``Not(MemEq(...))`` conditions hold on states that *lack* a location, so
-callers must decode first (which is why :func:`exhaustive_verdict`
-exists).
+appears with its branch multiplicity, and the exploration's metadata
+(bounded flag, execution/transition/loss counters) rides along as
+synthetic states under the reserved ``__exhaustive*`` locations.  The
+encoding is *merge-additive*: every metadata state keys the same
+``{location: 0}`` image and carries its payload in the *count* (value
+plus one per branch, so counts stay positive), which makes
+``Histogram.merge`` of per-branch encodings equal the encoding of the
+merged exploration.  :func:`split_exhaustive_histogram` divides the
+shard tally back out.  The synthetic states never flow through
+:meth:`~repro.harness.histogram.Histogram.observations` — decode first
+(which is why :func:`exhaustive_verdict` exists).
 
 Exploration is *intensity-structural*: only which relaxation intents are
 non-zero matters (the explorer enumerates both branches of every
@@ -32,8 +43,7 @@ from ..api.backends import Backend, Shard
 from ..harness.histogram import Histogram
 from ..litmus.condition import FinalState
 from ..litmus.writer import write_litmus
-from .explore import (DEFAULT_LOOP_BOUND, DEFAULT_MAX_TRANSITIONS,
-                      explore_test)
+from .explore import (DEFAULT_LOOP_BOUND, DEFAULT_MAX_TRANSITIONS, Explorer)
 
 #: Reserved location prefix for exploration metadata states.  Real
 #: programs never name memory locations with a dunder prefix, so the
@@ -45,25 +55,38 @@ BOUNDED_LOCATION = "__exhaustive_bounded__"
 EXECUTIONS_LOCATION = "__exhaustive_executions__"
 TRANSITIONS_LOCATION = "__exhaustive_transitions__"
 LOSSES_LOCATION = "__exhaustive_losses__"
+SHARDS_LOCATION = "__exhaustive_shards__"
 
 #: Bump to invalidate cached explorations when the explorer changes.
-EXHAUSTIVE_VERSION = 1
+#: v2: branch-sharded explorations, merge-additive metadata encoding,
+#: intra-thread independence and state-hash loop closure.
+EXHAUSTIVE_VERSION = 2
 
 
-def _meta_state(location, value):
-    return FinalState.make(mem={location: int(value)})
+def _meta_state(location):
+    # The *value* in the state is always 0: the payload lives in the
+    # histogram count so per-branch encodings merge by addition.
+    return FinalState.make(mem={location: 0})
 
 
 def encode_exhaustive_histogram(result):
-    """Encode an :class:`~repro.exhaustive.explore.ExhaustiveResult` as a
-    histogram: reachable states with count 1 plus metadata states."""
+    """Encode an :class:`~repro.exhaustive.explore.ExhaustiveResult` —
+    of a full exploration or of a single branch — as a histogram:
+    reachable states plus count-carrying metadata states.
+
+    Counters encode as ``value + 1`` (counts must stay positive) and
+    the bounded flag as ``2 if bounded else 1``; the shard state counts
+    how many encodings were merged, so the decoder can subtract the
+    per-branch offsets back out.
+    """
     histogram = Histogram()
     for state in result.reachable:
         histogram.add(state)
-    histogram.add(_meta_state(BOUNDED_LOCATION, 1 if result.bounded else 0))
-    histogram.add(_meta_state(EXECUTIONS_LOCATION, result.executions))
-    histogram.add(_meta_state(TRANSITIONS_LOCATION, result.transitions))
-    histogram.add(_meta_state(LOSSES_LOCATION, result.losses))
+    histogram.add(_meta_state(SHARDS_LOCATION))
+    histogram.add(_meta_state(BOUNDED_LOCATION), 2 if result.bounded else 1)
+    histogram.add(_meta_state(EXECUTIONS_LOCATION), result.executions + 1)
+    histogram.add(_meta_state(TRANSITIONS_LOCATION), result.transitions + 1)
+    histogram.add(_meta_state(LOSSES_LOCATION), result.losses + 1)
     return histogram
 
 
@@ -76,21 +99,32 @@ def _is_meta(state):
 def split_exhaustive_histogram(histogram):
     """Split an encoded histogram into ``(reachable, meta)``.
 
-    ``reachable`` is a :class:`~repro.harness.histogram.Histogram` of the
-    real final states (each with count 1); ``meta`` maps the
-    ``__exhaustive*`` locations to their integer values.
+    ``reachable`` is a :class:`~repro.harness.histogram.Histogram` of
+    the real final states (counted once per branch that reached them);
+    ``meta`` maps the ``__exhaustive*`` locations to their decoded
+    integer values (branch offsets already divided out) plus the shard
+    tally itself.
     """
     reachable = Histogram()
-    meta = {}
+    tallies = {}
     for state, count in histogram.counts.items():
         if _is_meta(state):
-            meta[state.mem[0][0]] = state.mem[0][1]
+            tallies[state.mem[0][0]] = count
         else:
             reachable.add(state, count)
-    if BOUNDED_LOCATION not in meta:
+    if SHARDS_LOCATION not in tallies or BOUNDED_LOCATION not in tallies:
         from ..errors import ReproError
-        raise ReproError("not an exhaustive histogram: missing %r state"
-                         % BOUNDED_LOCATION)
+        raise ReproError("not an exhaustive histogram: missing %r/%r states"
+                         % (SHARDS_LOCATION, BOUNDED_LOCATION))
+    shards = tallies[SHARDS_LOCATION]
+    meta = {SHARDS_LOCATION: shards}
+    for location, count in tallies.items():
+        if location == SHARDS_LOCATION:
+            continue
+        if location == BOUNDED_LOCATION:
+            meta[location] = 1 if count > shards else 0
+        else:
+            meta[location] = count - shards
     return reachable, meta
 
 
@@ -119,13 +153,20 @@ def exhaustive_verdict(histogram, condition):
 class ExhaustiveBackend(Backend):
     """Stateless model checking as a campaign backend.
 
-    ``run`` explores the spec's compiled cell exhaustively and returns
-    the encoded reachable-state histogram.  Like the model and analysis
-    backends, each spec is one indivisible work unit with
-    ``iterations=0`` (the session's simulated-iteration statistic stays
-    a sim/app-only number).  The verdict is a pure function of the spec
-    — independent of ``--jobs``, the executor and the seed — so cached
-    and fresh results are interchangeable.
+    ``shards`` splits the spec's exploration into its root branches (one
+    shard each, ``iterations=0`` — the session's simulated-iteration
+    statistic stays a sim/app-only number) and ``run_shard`` explores a
+    single branch; the session merges the per-branch histograms in shard
+    order, which by the explorer's determinism invariant reproduces the
+    serial result bit for bit.  The verdict is a pure function of the
+    spec — independent of ``--jobs``, the executor and the seed — so
+    cached and fresh results are interchangeable.
+
+    A fresh :class:`~repro.exhaustive.explore.Explorer` is compiled per
+    ``run_shard`` call: compiled cells hold closures (unpicklable, so
+    process workers must compile locally anyway) and per-run mutable
+    state (so thread workers must not share one).  Compilation is
+    microseconds against any exploration worth sharding.
     """
 
     name = "exhaustive"
@@ -141,6 +182,14 @@ class ExhaustiveBackend(Backend):
         """Exploration depends on intensity only through zero/non-zero."""
         return 1 if float(getattr(spec, "intensity", 1.0)) > 0.0 else 0
 
+    def _explorer(self, spec):
+        intensity = float(getattr(spec, "intensity", 1.0))
+        return Explorer(
+            spec.test, spec.chip,
+            intensity=intensity if intensity > 0.0 else 0.0,
+            strategy=self.strategy, loop_bound=self.loop_bound,
+            max_transitions=self.max_transitions)
+
     def cache_signature(self, spec):
         payload = "exhaustive-v%d\x1e%s\x1e%s\x1eintent=%d\x1ebound=%d\x1e%s" \
             % (EXHAUSTIVE_VERSION, write_litmus(spec.test), repr(spec.chip),
@@ -148,19 +197,21 @@ class ExhaustiveBackend(Backend):
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def shards(self, spec, shard_size):
-        return [Shard(index=0, iterations=0, seed=spec.seed)]
+        plan = self._explorer(spec).root_plan()
+        return [Shard(index=index, iterations=0, seed=spec.seed)
+                for index in range(len(plan))]
 
     def run_shard(self, spec, shard):
-        return self.run(spec)
+        result = self._explorer(spec).run_branch(shard.index)
+        return encode_exhaustive_histogram(result)
 
     def run(self, spec):
-        intensity = float(getattr(spec, "intensity", 1.0))
-        result = explore_test(
-            spec.test, spec.chip,
-            intensity=intensity if intensity > 0.0 else 0.0,
-            strategy=self.strategy, loop_bound=self.loop_bound,
-            max_transitions=self.max_transitions)
-        return encode_exhaustive_histogram(result)
+        """One whole exploration, encoded as the merge of its branches
+        (so unsharded and sharded runs produce identical histograms)."""
+        explorer = self._explorer(spec)
+        return Histogram.merge(
+            encode_exhaustive_histogram(explorer.run_branch(index))
+            for index in range(len(explorer.root_plan())))
 
 
 def exhaustive_session(jobs=1, executor="thread", cache=True, cache_dir=None,

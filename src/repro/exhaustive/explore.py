@@ -34,6 +34,39 @@ scheduler merely makes unlikely).
   ``bounded`` (the explicit verdict qualifier; GPUMC bounds loops the
   same way).
 
+**Intra-thread independence.**  Same-thread transitions are not blanket
+dependent: a static commutation analysis (piggybacking on
+:mod:`repro.analysis.accesses`) marks *free* ops — plain non-volatile
+loads/stores of straight-line threads whose address resolves statically
+and whose destination register the decode path never reads — and two
+free ops of one thread targeting distinct addresses with distinct
+destinations commute whenever the chip's pass rule lets them reorder at
+all.  Persistent-set seeds then shrink from whole threads to
+dependence-clusters, which is what makes wide per-thread windows
+(``mp-padN``) tractable on reordering chips.
+
+**State-hash loop closure.**  At every taken backward branch the
+explorer hashes the machine state (memory, registers, queue occupancy —
+not loop counters).  A spin iteration that reproduces a state already
+seen in the current same-thread run is a pure cycle: its continuation
+duplicates the previous visit's, so the branch closes instead of
+re-unrolling (the frames of the cycle are conservatively fully expanded
+first, so no race reversal is lost with the truncated future).  Closure
+is enabled only when the cell has no genuine fence choice points — a
+pending fence script is invisible to the state hash.  Cells that close
+every spin no longer flag ``bounded`` and tolerate ``--loop-bound 4+``.
+
+**Parallel exploration.**  The root state's enabled transitions define a
+static branch partition: :meth:`Explorer.root_plan` enumerates
+``(fence-script, branch)`` entries and :meth:`Explorer.run_branch`
+explores one entry in isolation (root backtrack pinned to that branch's
+label, earlier siblings asleep).  Serial :meth:`Explorer.run` iterates
+the identical entries in order, so a parallel run that merges per-branch
+results in plan order is *bit-identical* to the serial one — reachable
+sets, transition counts, loss counts and the bounded flag all agree
+regardless of ``--jobs`` or executor.  The transition budget applies
+per branch for the same reason.
+
 Memory-system cache draws (L1 warm/evict) are *not* choice points: every
 modelled chip has ``p_stale = 0``, so L1 content is unobservable and the
 draws are semantically inert (enforced at construction).
@@ -46,17 +79,23 @@ rendering and tests.
 
 from dataclasses import dataclass
 
+from ..analysis.accesses import decode_read_registers, resolve_address
 from ..errors import ConfigurationError, ExplorationLimit, SimulationError
 from ..ptx.instructions import Bra
-from ..sim.compile import (K_ADD, K_CAS, K_EXCH, K_FENCE, K_LOAD, K_STORE,
-                           compile_cell)
+from ..ptx.types import Scope
+from ..sim.compile import (_PASS_PAIR, K_ADD, K_CAS, K_EXCH, K_FENCE, K_LOAD,
+                           K_STORE, SLOT_BYPASS_BASE, SLOT_MIXED_HAZARD,
+                           SLOT_RR_HAZARD, _Thread, compile_cell)
 
 #: Per-thread backward-branch budget per execution: enough to resolve a
 #: two-thread spin-lock handoff with a retry to spare, small enough to
-#: keep lock scenarios tractable.
+#: keep lock scenarios tractable.  Cells whose spins close via the state
+#: hash tolerate much larger bounds (the closure fires first).
 DEFAULT_LOOP_BOUND = 3
 
-#: Transition budget (see :class:`~repro.errors.ExplorationLimit`).
+#: Per-branch transition budget (see
+#: :class:`~repro.errors.ExplorationLimit`).  Per *branch*, not per run,
+#: so parallel and serial explorations abort identically.
 DEFAULT_MAX_TRANSITIONS = 2_000_000
 
 #: Exploration strategies: ``dpor`` (persistent + sleep sets) and
@@ -65,12 +104,26 @@ DEFAULT_MAX_TRANSITIONS = 2_000_000
 #: compares against).
 STRATEGIES = ("dpor", "naive")
 
+#: Cells whose programs enqueue at most this many ops *in total* skip
+#: the persistent-seed/race-reversal bookkeeping and explore with full
+#: backtrack sets plus sleep sets only: on tiny graphs the happens-before
+#: bitmask accounting costs more wall-clock than the transitions it
+#: prunes (the deque-mp regression in BENCH_exhaust), while sleep sets
+#: alone already visit every Mazurkiewicz trace exactly once.
+SLEEP_ONLY_MAX_OPS = 8
+
 KIND_NAMES = {K_LOAD: "load", K_STORE: "store", K_FENCE: "fence",
               K_CAS: "cas", K_EXCH: "exch", K_ADD: "add"}
+
+_ATOMIC_KINDS = (K_CAS, K_EXCH, K_ADD)
 
 
 class _LoopBoundExceeded(Exception):
     """Internal: a wrapped backward branch exceeded the loop bound."""
+
+
+class _LoopClosed(Exception):
+    """Internal: a backward branch reproduced an already-seen state."""
 
 
 class _ChoiceRng:
@@ -183,12 +236,13 @@ class ExhaustiveResult:
 class _Event:
     """One executed transition on the current DPOR path."""
 
-    __slots__ = ("label", "hb", "detail")
+    __slots__ = ("label", "hb", "detail", "marks")
 
-    def __init__(self, label, hb, detail):
+    def __init__(self, label, hb, detail, marks):
         self.label = label
         self.hb = hb          # bitmask over earlier path positions
         self.detail = detail  # (tid, kind, address, value, is_store)
+        self.marks = marks    # back-edge state hashes seen during it
 
 
 class _Frame:
@@ -207,25 +261,6 @@ class _Frame:
         self.variants = []        # pending fence-choice scripts for label
 
 
-def _dependent(a, b):
-    """May the transitions labelled ``a`` and ``b`` not commute?
-
-    Same-thread transitions are always dependent (program order).
-    Cross-thread: fences touch only their own SM's L1 (unobservable, see
-    :class:`_StubRng`) and are independent of everything; memory ops
-    conflict iff they target the same address with at least one writer.
-    Shared-memory addresses are per-SM but treated address-wise —
-    conservative dependencies only cost pruning, never soundness.
-    """
-    if a[0] == b[0]:
-        return True
-    if a[2] == K_FENCE or b[2] == K_FENCE:
-        return False
-    if a[3] != b[3]:
-        return False
-    return a[4] or b[4]
-
-
 class Explorer:
     """Exhaustive exploration of one ``(test, chip)`` cell.
 
@@ -236,6 +271,13 @@ class Explorer:
     engine's.  ``intensity`` only matters structurally (zero vs
     non-zero): slot ``s`` of the intent vector is enabled iff its draw
     probability is positive.
+
+    Transition labels are ``(tid, seq, kind, address, is_store, is_load,
+    flag)`` tuples; ``(tid, seq)`` alone is unique, so tuple comparison
+    never reaches the possibly-``None`` tail.  ``flag`` carries the
+    commutation verdict of the static analysis: ``None`` for *barrier*
+    ops (always dependent with same-thread company), ``-1`` for free
+    stores, the destination register name for free loads.
     """
 
     def __init__(self, test, chip, intensity=1.0, strategy="dpor",
@@ -263,7 +305,17 @@ class Explorer:
         self.memory = cell.memory
         self.iv = [probability > 0.0 for probability in cell.draw_probs]
         self.condition = condition if condition is not None else test.condition
+        self._atomic_ordered = chip.atomic_ordered
         self._choice_rng = _ChoiceRng(chip.underscoped_fence_damping)
+        self._flags = self._commute_tables()
+        self._slot_index = [
+            {id(st): slot for slot, st in enumerate(statics)}
+            for statics in cell._op_statics]
+        self._sleep_only = (
+            strategy == "dpor"
+            and sum(len(statics) for statics in cell._op_statics)
+            <= SLEEP_ONLY_MAX_OPS)
+        self._closure = not self._fence_choice_points()
         self._loop_counts = [0] * len(self.threads)
         self._wrap_backward_branches()
         self._loc_names = {address: name
@@ -271,25 +323,106 @@ class Explorer:
         self.memory.reset(_StubRng(), False)
         for thread in self.threads:
             thread.reset(self._choice_rng)
-        self.reachable = set()
-        self.executions = 0
-        self.transitions = 0
-        self.losses = 0
-        self.bounded = False
-        self.witness = None
+        self._base = self._snapshot()
+        self._plan = None
+        self._active_seen = set()
+        self._marks = set()
+        self._mark_tid = None
+        self._branch_base = 0
+        self._reset_results()
 
-    # -- loop bounding ------------------------------------------------------
+    # -- static commutation analysis ----------------------------------------
+
+    def _commute_tables(self):
+        """Per-thread ``id(op-static) -> flag`` free-op tables.
+
+        An op is *free* — provably commuting with any same-thread free
+        op at a different address and destination — when its thread is
+        straight-line (no backward branch) and enqueues at most a
+        window's worth of ops (so decode never stalls on a full queue),
+        the op is a plain non-volatile load or store, its address
+        resolves statically (:func:`resolve_address`, reusing the
+        analyzer's rules), and — for loads — the decode path never
+        reads nor ALU-writes its destination register
+        (:func:`decode_read_registers`): issuing it early or late can
+        then steer neither its own thread's front end nor any register
+        another instruction consults.  Everything else is a barrier op
+        (flag ``None``), dependent with all same-thread company.
+        """
+        tables = []
+        for tid, program in enumerate(self.test.threads):
+            tables.append(self._thread_flags(tid, program,
+                                             self.cell._op_statics[tid]))
+        return tables
+
+    def _thread_flags(self, tid, program, statics):
+        table = {}
+        instructions = list(program.instructions)
+        for pc, instruction in enumerate(instructions):
+            if (isinstance(instruction, Bra)
+                    and program.labels[instruction.target] <= pc):
+                return table    # looping thread: every op is a barrier
+        if len(statics) > _Thread.WINDOW:
+            return table        # the queue may fill and stall decode
+        decode_read = decode_read_registers(program)
+        decode_written = set()
+        defs_by_reg = {}
+        for instruction in instructions:
+            if not (instruction.is_memory_access or instruction.is_fence):
+                decode_written.update(instruction.defs())
+        for index, instruction in enumerate(instructions):
+            for reg in instruction.defs():
+                defs_by_reg.setdefault(reg, []).append(index)
+        queue_instructions = [instruction for instruction in instructions
+                              if instruction.is_memory_access
+                              or instruction.is_fence]
+        if len(queue_instructions) != len(statics):
+            return table        # defensive: lowering changed shape
+        for instruction, st in zip(queue_instructions, statics):
+            if st.kind not in (K_LOAD, K_STORE) or st.volatile:
+                continue
+            location, _ = resolve_address(instruction.addr, tid,
+                                          self.test.reg_init, defs_by_reg)
+            if location is None:
+                continue        # computed address: stays a barrier
+            if st.kind == K_STORE:
+                table[id(st)] = -1
+            elif st.dst not in decode_read and st.dst not in decode_written:
+                table[id(st)] = st.dst
+        return table
+
+    def _fence_choice_points(self):
+        """Does any execution hit a genuine fence-damping draw?
+
+        Only under-scoped fences draw, and only a damping strictly
+        between 0 and 1 makes the draw a binary choice point (the
+        :class:`_ChoiceRng` short-circuits both extremes).  When no
+        choice point exists the machine state determines the future
+        completely and state-hash loop closure is sound.
+        """
+        damping = self.chip.underscoped_fence_damping
+        if damping <= 0.0 or damping >= 1.0:
+            return False
+        placement = self.test.scope_tree.classify()
+        required = Scope.GL if placement == "inter-cta" else Scope.CTA
+        for program in self.test.threads:
+            for instruction in program.instructions:
+                if (instruction.is_fence
+                        and not instruction.scope.covers(required)):
+                    return True
+        return False
+
+    # -- loop bounding and closure ------------------------------------------
 
     def _wrap_backward_branches(self):
-        """Wrap every backward ``bra`` with the per-thread loop counter.
+        """Wrap every backward ``bra`` with the per-thread back-edge hook.
 
         Only *taken backward* jumps count (a guarded branch that falls
-        through advances the pc instead); exceeding the bound abandons
-        the branch via :class:`_LoopBoundExceeded` and flags the result
-        ``bounded``.
+        through advances the pc instead); the hook closes the branch on
+        a repeated state (:class:`_LoopClosed`) or abandons it past the
+        loop bound (:class:`_LoopBoundExceeded`, flagging the result
+        ``bounded``).
         """
-        bound = self.loop_bound
-        counts = self._loop_counts
         for tid, program in enumerate(self.test.threads):
             thread = self.threads[tid]
             for pc, instruction in enumerate(program.instructions):
@@ -300,15 +433,48 @@ class Explorer:
                     continue
 
                 def step(t, _inner=thread.code[pc], _target=target,
-                         _tid=tid, _counts=counts, _bound=bound):
+                         _tid=tid, _hook=self._back_edge):
                     result = _inner(t)
                     if result and t.pc == _target:
-                        _counts[_tid] += 1
-                        if _counts[_tid] > _bound:
-                            raise _LoopBoundExceeded()
+                        _hook(_tid)
                     return result
 
                 thread.code[pc] = step
+
+    def _back_edge(self, tid):
+        counts = self._loop_counts
+        counts[tid] += 1
+        if self._closure and tid == self._mark_tid:
+            key = self._canonical_state()
+            if key in self._active_seen or key in self._marks:
+                raise _LoopClosed()
+            self._marks.add(key)
+        if counts[tid] > self.loop_bound:
+            raise _LoopBoundExceeded()
+
+    def _canonical_state(self):
+        """A hashable image of everything that determines the future.
+
+        Thread fronts (pc, registers, pending destinations, queue
+        entries keyed by static slot instead of dynamic seq) plus
+        global/shared memory.  Loop counters and absolute sequence
+        numbers are deliberately excluded — they advance monotonically
+        and would defeat closure — as is L1 content, unobservable with
+        staleness off.
+        """
+        threads = []
+        for tid, thread in enumerate(self.threads):
+            slots = self._slot_index[tid]
+            queue = tuple((slots[id(op.st)], op.address, op.value, op.compare)
+                          for op in thread.queue)
+            threads.append((thread.pc,
+                            tuple(sorted(thread.regs.items())),
+                            tuple(sorted(thread.pending)), queue))
+        memory = self.memory
+        return (tuple(threads),
+                tuple(sorted(memory.global_mem.items())),
+                tuple(tuple(sorted(bank.items()))
+                      for bank in memory.shared_mem))
 
     # -- state save/restore -------------------------------------------------
 
@@ -348,31 +514,99 @@ class Explorer:
     def _enabled(self):
         """All enabled transition labels at the current (decoded) state.
 
-        A label ``(tid, seq, kind, address, is_store, is_load)`` is
-        path-stable (the pending op keeps its identity until issued) and
-        deterministically ordered: ``(tid, seq)`` alone is unique, so
-        tuple comparison never reaches the possibly-None address.
+        A label is path-stable (the pending op keeps its identity until
+        issued) and deterministically ordered by its unique
+        ``(tid, seq)`` prefix.
         """
         enabled = {}
         iv = self.iv
+        flags = self._flags
         for tid, thread in enumerate(self.threads):
             if thread.pc < thread.ncode or thread.queue:
+                table = flags[tid]
                 for op in thread.eligible_ops(iv):
                     st = op.st
-                    enabled[(tid, op.seq, st.kind, op.address,
-                             st.is_store, st.is_load)] = op
+                    enabled[(tid, op.seq, st.kind, op.address, st.is_store,
+                             st.is_load, table.get(id(st)))] = op
         return enabled
 
-    def _execute(self, label, op):
+    def _dependent(self, a, b):
+        """May the transitions labelled ``a`` and ``b`` not commute?
+
+        Cross-thread: fences touch only their own SM's L1 (unobservable,
+        see :class:`_StubRng`) and are independent of everything; memory
+        ops conflict iff they target the same address with at least one
+        writer.  Same-thread: barrier ops (flag ``None``) are dependent
+        with everything; free ops conflict on a shared address, on a
+        shared destination register, or when the chip's pass rule pins
+        their issue order (a disabled pass slot means the younger op can
+        never overtake — order is forced, not commuting).
+        """
+        if a[0] != b[0]:
+            if a[2] == K_FENCE or b[2] == K_FENCE:
+                return False
+            if a[3] != b[3]:
+                return False
+            return a[4] or b[4]
+        if a[6] is None or b[6] is None:
+            return True
+        if a[3] == b[3]:
+            return True
+        if a[5] and b[5] and a[6] == b[6]:
+            return True
+        older, younger = (a, b) if a[1] < b[1] else (b, a)
+        return not self.iv[_PASS_PAIR[younger[4]][older[4]]]
+
+    def _may_precede(self, b, a):
+        """May ``b`` ever issue while same-thread ``a`` is still queued?
+
+        The static mirror of ``_Thread.eligible_ops`` pair rules, used
+        to skip seeding intra-thread race reversals that the pass rules
+        make unrealisable (on in-order chips this is every one of them).
+        Conservative towards ``True``: a wrong ``True`` costs a no-op
+        backtrack entry, a wrong ``False`` would lose executions.
+        """
+        if b[1] < a[1]:
+            return True         # program-order older: never blocked by a
+        if b[2] == K_FENCE:
+            return False        # fences never pass anything
+        iv = self.iv
+        if a[2] == K_FENCE:
+            # Only .ca loads slip past fences, and only via a bypass
+            # intent; the label can't see the cache op, so any enabled
+            # bypass slot keeps the reversal plausible.
+            return (b[2] == K_LOAD
+                    and any(iv[SLOT_BYPASS_BASE:]))
+        if self._atomic_ordered and (b[2] in _ATOMIC_KINDS
+                                     or a[2] in _ATOMIC_KINDS):
+            return False
+        if b[3] == a[3]:
+            if b[2] == K_LOAD and a[2] == K_LOAD:
+                return iv[SLOT_RR_HAZARD] or iv[SLOT_MIXED_HAZARD]
+            return False        # same address: order enforced
+        return iv[_PASS_PAIR[b[4]][a[4]]]
+
+    def _execute(self, label, op, events):
         """Issue ``op`` and re-decode its thread to fixpoint."""
         self.transitions += 1
-        if self.transitions > self.max_transitions:
+        explored = self.transitions - self._branch_base
+        if explored > self.max_transitions:
             raise ExplorationLimit(
-                "exhaustive exploration of %s on %s exceeded %d "
-                "transitions; raise max_transitions or lower the loop "
-                "bound" % (self.test.name, self.chip.short,
+                "exhaustive exploration of cell %s on %s aborted after "
+                "%d transitions (budget %d per branch): raise "
+                "--max-transitions or lower --loop-bound to shrink the "
+                "space" % (self.test.name, self.chip.short, explored,
                            self.max_transitions))
         tid = label[0]
+        if self._closure:
+            active = set()
+            for event in reversed(events):
+                if event.label[0] != tid:
+                    break
+                active.update(event.marks)
+            self._active_seen = active
+            self._marks = set()
+            self._mark_tid = tid
         thread = self.threads[tid]
         thread.issue(op)
         st = op.st
@@ -432,19 +666,33 @@ class Explorer:
         frame = _Frame(self._snapshot(), enabled, sleep)
         if self.strategy == "naive":
             frame.backtrack = set(enabled)
-        else:
-            # Seed the persistent set with *every* enabled op of one
-            # thread, not one op: a thread's eligible ops are mutually
-            # dependent (issue order is itself a relaxation choice), and
-            # cross-thread race reversal can never recover an
-            # intra-thread reordering.
-            awake = [label for label in enabled if label not in sleep]
-            if awake:
-                seed_tid = min(awake)[0]
-                frame.backtrack.update(label for label in awake
-                                       if label[0] == seed_tid)
-            # else: every enabled transition is asleep — this state's
-            # subtree is already covered elsewhere (sleep-set blocking).
+            return frame
+        awake = [label for label in enabled if label not in sleep]
+        if not awake:
+            # Every enabled transition is asleep — this state's subtree
+            # is already covered elsewhere (sleep-set blocking).
+            return frame
+        if self._sleep_only:
+            frame.backtrack.update(awake)
+            return frame
+        # Seed the persistent set with the dependence-cluster of the
+        # smallest awake label: every awake same-thread op transitively
+        # dependent with it.  Free ops outside the cluster commute with
+        # all of it and stay out; cross-thread and intra-thread races
+        # reach the seed's siblings through _update_races reversal.
+        seed = min(awake)
+        cluster = {seed}
+        thread_awake = [label for label in awake if label[0] == seed[0]]
+        grew = True
+        while grew:
+            grew = False
+            for label in thread_awake:
+                if label in cluster:
+                    continue
+                if any(self._dependent(label, member) for member in cluster):
+                    cluster.add(label)
+                    grew = True
+        frame.backtrack.update(cluster)
         return frame
 
     def _pick(self, frame):
@@ -468,28 +716,30 @@ class Explorer:
 
         ``events[i]`` was executed from ``stack[i]``; its ``hb`` mask is
         already transitively closed, so the new transition's closure is
-        the union over its direct predecessors (same thread or
-        dependent) — the same bitmask-row idiom as
+        the union over its direct dependence predecessors — the same
+        bitmask-row idiom as
         :meth:`~repro.model.relation.IndexedRelation.transitive_closure`.
-        A dependent cross-thread event not ordered before ``label``
-        through *other* predecessors is a reversible race: seed the
-        backtrack set of its pre-state with the threads that can reach
-        the reversal (Flanagan-Godefroid's E-set, all labels of those
-        threads at our transition granularity; every enabled label if
-        none qualify).
+        A dependent event not ordered before ``label`` through *other*
+        predecessors is a reversible race: seed the backtrack set of its
+        pre-state with the threads that can reach the reversal
+        (Flanagan-Godefroid's E-set, all labels of those threads at our
+        transition granularity; every enabled label if none qualify).
+        Same-thread races are seeded too — intra-thread issue reordering
+        is a real relaxation — but only when :meth:`_may_precede` says
+        the chip's pass rules can realise the reversal.
         """
+        if self.strategy != "dpor" or self._sleep_only:
+            return 0
         tid = label[0]
         contributors = [index for index, event in enumerate(events)
-                        if event.label[0] == tid
-                        or _dependent(event.label, label)]
+                        if self._dependent(event.label, label)]
         hb = 0
         for index in contributors:
             hb |= events[index].hb | (1 << index)
-        if self.strategy != "dpor":
-            return hb
         for index in contributors:
             event = events[index]
-            if event.label[0] == tid:
+            if (event.label[0] == tid
+                    and not self._may_precede(label, event.label)):
                 continue
             ordered = 0
             for other in contributors:
@@ -507,11 +757,39 @@ class Explorer:
             frame.backtrack.update(candidates or frame.enabled)
         return hb
 
-    def _dpor(self):
-        """Explore every interleaving from the current (decoded) state."""
-        root = self._make_frame(set(), [])
-        if root is None:
+    def _expand_cycle(self, stack):
+        """Compensate a closed cycle: its truncated future can no longer
+        seed race reversals, so every frame of the same-thread cycle run
+        is conservatively fully expanded (all non-sleeping enabled
+        labels join the backtrack set) before the branch closes."""
+        if self.strategy == "naive":
             return
+        tid = stack[-1].label[0]
+        for frame in reversed(stack):
+            if frame.label is None or frame.label[0] != tid:
+                break
+            frame.backtrack.update(label for label in frame.enabled
+                                   if label not in frame.sleep)
+
+    def _dpor(self, branch):
+        """Explore one root branch from the current (decoded) state.
+
+        The root frame is pinned to branch ``branch`` of the sorted
+        enabled labels, with every earlier sibling asleep (exactly the
+        state serial sleep-set exploration reaches after finishing those
+        siblings) — so exploring the branches in order equals one
+        classic run, and exploring them in parallel merges to the same.
+        """
+        enabled = self._enabled()
+        if not enabled:
+            return
+        labels = sorted(enabled)
+        root = _Frame(self._snapshot(), enabled, set())
+        label = labels[branch]
+        root.backtrack = {label}
+        root.done = set(labels) - {label}
+        if self.strategy != "naive":
+            root.sleep = set(labels[:branch])
         stack = [root]
         events = []
         rng = self._choice_rng
@@ -534,54 +812,126 @@ class Explorer:
             rng.begin(script)
             op = frame.enabled[frame.label]
             try:
-                detail = self._execute(frame.label, op)
+                detail = self._execute(frame.label, op, events)
             except _LoopBoundExceeded:
                 self.bounded = True
                 self._queue_variants(frame.variants, script,
                                      tuple(rng.taken))
                 continue
+            except _LoopClosed:
+                self._queue_variants(frame.variants, script,
+                                     tuple(rng.taken))
+                self._expand_cycle(stack)
+                continue
             self._queue_variants(frame.variants, script, tuple(rng.taken))
-            events.append(_Event(frame.label, hb, detail))
+            events.append(_Event(frame.label, hb, detail,
+                                 frozenset(self._marks)))
             if self.strategy == "naive":
                 child_sleep = set()
             else:
                 child_sleep = {other for other in frame.sleep
-                               if not _dependent(other, frame.label)}
+                               if not self._dependent(other, frame.label)}
             child = self._make_frame(child_sleep, events)
             if child is not None:
                 stack.append(child)
 
     # -- driver -------------------------------------------------------------
 
-    def run(self):
-        """Explore everything; returns the :class:`ExhaustiveResult`.
+    def _initial_decode(self):
+        """Decode every thread to fixpoint before the first issue."""
+        self._mark_tid = None   # back-edges here only count, never close
+        for thread in self.threads:
+            while thread.decode():
+                pass
+
+    def root_plan(self):
+        """The static branch partition: ``(fence-script, branch)`` pairs.
 
         The initial decode (before any issue) may itself hit fence
         choice points, so its outcomes are enumerated as exploration
-        roots; each root then gets the full DPOR treatment.
+        roots; each root state then contributes one entry per enabled
+        transition (``branch >= 0``) or a single ``branch = -1`` entry
+        when it is terminal or truncated.  The plan is a pure function
+        of the cell — every worker and every serial run derives the
+        identical list, which is what makes per-branch results merge
+        deterministically.
         """
-        base = self._snapshot()
+        if self._plan is not None:
+            return self._plan
+        plan = []
         rng = self._choice_rng
         scripts = [()]
         while scripts:
             script = scripts.pop()
-            self._restore(base)
+            self._restore(self._base)
             rng.begin(script)
             try:
-                for thread in self.threads:
-                    while thread.decode():
-                        pass
+                self._initial_decode()
             except _LoopBoundExceeded:
-                self.bounded = True
                 self._queue_variants(scripts, script, tuple(rng.taken))
+                plan.append((script, -1))
                 continue
             self._queue_variants(scripts, script, tuple(rng.taken))
-            self._dpor()
+            branches = len(self._enabled())
+            if branches == 0:
+                plan.append((script, -1))
+            else:
+                plan.extend((script, branch) for branch in range(branches))
+        self._restore(self._base)
+        self._plan = plan
+        return plan
+
+    def _reset_results(self):
+        self.reachable = set()
+        self.executions = 0
+        self.transitions = 0
+        self.losses = 0
+        self.bounded = False
+        self.witness = None
+        self._branch_base = 0
+
+    def _result(self):
         return ExhaustiveResult(
             reachable=frozenset(self.reachable), executions=self.executions,
             transitions=self.transitions, losses=self.losses,
             bounded=self.bounded, strategy=self.strategy,
             loop_bound=self.loop_bound, witness=self.witness)
+
+    def _run_branch(self, entry):
+        script, branch = entry
+        rng = self._choice_rng
+        self._restore(self._base)
+        self._branch_base = self.transitions
+        rng.begin(script)
+        try:
+            self._initial_decode()
+        except _LoopBoundExceeded:
+            self.bounded = True
+            return
+        if branch < 0:
+            if not self._enabled():
+                self._record_terminal(())
+            return
+        self._dpor(branch)
+
+    def run(self):
+        """Explore everything; returns the :class:`ExhaustiveResult`.
+
+        Iterates :meth:`root_plan` in order — the exact decomposition a
+        parallel run shards across workers, so both spell out the same
+        transitions in the same per-branch groups.
+        """
+        self._reset_results()
+        for entry in self.root_plan():
+            self._run_branch(entry)
+        return self._result()
+
+    def run_branch(self, index):
+        """Explore exactly one :meth:`root_plan` entry (a parallel shard);
+        returns the branch-local :class:`ExhaustiveResult`."""
+        self._reset_results()
+        self._run_branch(self.root_plan()[index])
+        return self._result()
 
 
 def explore_test(test, chip, intensity=1.0, strategy="dpor",

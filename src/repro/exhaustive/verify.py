@@ -9,10 +9,14 @@ a loss rate.
 
 Verdicts route through an exhaustive
 :class:`~repro.api.session.Session`, so repeat invocations hit the
-fingerprint-keyed cache and ``--jobs`` fans cells out exactly like any
-other campaign; the witness trace for a losing cell is re-derived
-locally (the exploration is deterministic, so the re-run reaches the
-same first witness the cached verdict counted).
+fingerprint-keyed cache and ``--jobs`` fans work out exactly like any
+other campaign — not just across cells: every cell's exploration
+shards by root branch (:meth:`ExhaustiveBackend.shards`), so a single
+wide scenario saturates the pool too, and the shard-ordered merge
+keeps every verdict bit-identical to a serial run.  The witness trace
+for a losing cell is re-derived locally (the exploration is
+deterministic, so the re-run reaches the same first witness the cached
+verdict counted).
 """
 
 from dataclasses import dataclass

@@ -16,8 +16,9 @@ from .appbench import (APP_PINNED_CORPUS, APP_TINY_CORPUS, AppBenchCell,
                        render_app_table, summarize_apps, write_app_report)
 from .compare import (CompareResult, DEFAULT_THRESHOLD, MetricDelta,
                       compare_reports, load_report, render_compare)
-from .exhaustbench import (EXHAUST_PINNED_CORPUS, EXHAUST_TINY_CORPUS,
-                           ExhaustBenchCell, bench_exhaust,
+from .exhaustbench import (EXHAUST_DPOR_ONLY, EXHAUST_PINNED_CORPUS,
+                           EXHAUST_TINY_CORPUS, ExhaustBenchCell,
+                           balance_bound, bench_exhaust,
                            bench_exhaust_cell, exhaust_corpus_by_name,
                            exhaust_corpus_test, padded_mp,
                            render_exhaust_table, summarize_exhaust,
@@ -37,7 +38,8 @@ __all__ = [
     "render_app_table", "summarize_apps", "write_app_report",
     "CompareResult", "DEFAULT_THRESHOLD", "MetricDelta",
     "compare_reports", "load_report", "render_compare",
-    "EXHAUST_PINNED_CORPUS", "EXHAUST_TINY_CORPUS", "ExhaustBenchCell",
+    "EXHAUST_DPOR_ONLY", "EXHAUST_PINNED_CORPUS", "EXHAUST_TINY_CORPUS",
+    "ExhaustBenchCell", "balance_bound",
     "bench_exhaust", "bench_exhaust_cell", "exhaust_corpus_by_name",
     "exhaust_corpus_test", "padded_mp", "render_exhaust_table",
     "summarize_exhaust", "write_exhaust_report",

@@ -63,6 +63,11 @@ def _speedup_metrics(cell_a, cell_b):
     for key in sorted(set(cell_a) & set(cell_b)):
         if "speedup" not in key and "reduction" not in key:
             continue
+        if "wall" in key:
+            # wall_speedup (exhaust v2) is a measured timing ratio —
+            # worthless across machines (a single-core runner pins it
+            # at ~1x) unlike the exact-count reduction/balance columns.
+            continue
         old, new = cell_a[key], cell_b[key]
         if (isinstance(old, (int, float)) and isinstance(new, (int, float))
                 and old > 0 and new > 0):

@@ -62,7 +62,13 @@ class TestPruningSoundness:
         assert dpor.reachable == naive.reachable
         assert dpor.transitions <= naive.transitions
         assert (dpor.losses == 0) == (naive.losses == 0)
-        assert dpor.bounded == naive.bounded
+        # State-hash loop closure can complete a spin loop DPOR-side
+        # that naive (whose interleavings break the same-thread spin
+        # suffix the closure keys on) still truncates at the bound —
+        # but never the other way around: naive replays every path
+        # DPOR explores, so a bounded DPOR run implies a bounded naive
+        # run.
+        assert naive.bounded or not dpor.bounded
 
     def test_unknown_strategy_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -153,9 +159,25 @@ class TestBackendEncoding:
 
 
 class TestBoundsAndWitnesses:
-    def test_loop_bound_flags_bounded_verdicts(self):
+    def test_loop_closure_completes_spin_loops(self):
+        # Before state-hash loop closure the fenced ticket lock's spin
+        # always hit the retry bound ("bounded" verdict); now revisited
+        # spin states close the branch and the DPOR exploration is
+        # complete — and stays complete at deeper bounds.
         test = get_scenario("ticket+fenced").test()
         result = explore_test(test, CHIPS["Titan"])
+        assert result.complete and not result.bounded
+        assert result.verified
+        deeper = explore_test(test, CHIPS["Titan"], loop_bound=5)
+        assert deeper.complete and deeper.verified
+        assert deeper.reachable == result.reachable
+
+    def test_loop_bound_flags_bounded_verdicts(self):
+        # Naive enumeration interleaves the spinner with the lock
+        # holder, breaking the consecutive same-thread suffix the
+        # closure keys on — its truncations still flag the verdict.
+        test = get_scenario("ticket+fenced").test()
+        result = explore_test(test, CHIPS["Titan"], strategy="naive")
         assert result.bounded and not result.complete
         assert result.verified
 
@@ -164,9 +186,15 @@ class TestBoundsAndWitnesses:
             explore_test(library.build("mp"), CHIPS["Titan"], loop_bound=0)
 
     def test_transition_budget_fails_loudly(self):
-        with pytest.raises(ExplorationLimit):
+        with pytest.raises(ExplorationLimit) as excinfo:
             explore_test(library.build("mp"), CHIPS["Titan"],
                          max_transitions=5)
+        message = str(excinfo.value)
+        # The abort names the cell and chip, reports how far it got and
+        # points at both remedies.
+        assert "mp" in message and "Titan" in message
+        assert "--max-transitions" in message
+        assert "--loop-bound" in message
         assert issubclass(ExplorationLimit, SimulationError)
 
     def test_witness_reaches_a_losing_state(self):
